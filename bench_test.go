@@ -1,0 +1,174 @@
+package nccd
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (Section 5).  Each benchmark regenerates a representative point of the
+// corresponding experiment and reports the virtual-time latency alongside
+// Go's wall-clock numbers; the full sweeps (and the exact paper parameters)
+// live in the cmd/ binaries and internal/bench.
+//
+// The wall-clock numbers are meaningful too: the baseline engine's
+// re-search is really executed, so BenchmarkFig12 shows the quadratic blow
+// up on the host CPU, not just in the model.
+
+import (
+	"testing"
+
+	"nccd/internal/bench"
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+)
+
+// reportVirtual attaches a virtual-time metric (microseconds per operation)
+// to the benchmark output.
+func reportVirtual(b *testing.B, seconds float64) {
+	b.ReportMetric(seconds*1e6, "virt-us/op")
+}
+
+// BenchmarkFig12Transpose regenerates Figure 12 (matrix transpose latency)
+// at a representative 256x256 size for both engines.
+func BenchmarkFig12Transpose(b *testing.B) {
+	for _, arm := range core.MPIArms() {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			var last bench.TransposeResult
+			for i := 0; i < b.N; i++ {
+				last = bench.RunTranspose(256, 1, arm.Config)
+			}
+			reportVirtual(b, last.Latency)
+		})
+	}
+}
+
+// BenchmarkFig13Breakdown regenerates the Figure 13 search-share breakdown
+// (reported as a metric, not wall time).
+func BenchmarkFig13Breakdown(b *testing.B) {
+	for _, arm := range core.MPIArms() {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			var r bench.TransposeResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunTranspose(256, 1, arm.Config)
+			}
+			b.ReportMetric(100*r.SearchSec/r.Latency, "search-%")
+		})
+	}
+}
+
+// BenchmarkFig14aAllgathervSize regenerates Figure 14(a) at the 4096-double
+// outlier point on 16 ranks.
+func BenchmarkFig14aAllgathervSize(b *testing.B) {
+	for _, arm := range core.MPIArms() {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = bench.RunAllgathervOutlier(16, 4096, 1, arm.Config)
+			}
+			reportVirtual(b, lat)
+		})
+	}
+}
+
+// BenchmarkFig14bAllgathervProcs regenerates Figure 14(b) at 32 ranks with
+// a 32 KB outlier.
+func BenchmarkFig14bAllgathervProcs(b *testing.B) {
+	for _, arm := range core.MPIArms() {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = bench.RunAllgathervOutlier(32, 4096, 1, arm.Config)
+			}
+			reportVirtual(b, lat)
+		})
+	}
+}
+
+// BenchmarkFig15Alltoallw regenerates Figure 15 (ring-neighbor Alltoallw)
+// at 32 ranks.
+func BenchmarkFig15Alltoallw(b *testing.B) {
+	for _, arm := range core.MPIArms() {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = bench.RunAlltoallwRing(32, 2, arm.Config)
+			}
+			reportVirtual(b, lat)
+		})
+	}
+}
+
+// BenchmarkFig16VecScatter regenerates Figure 16 (PETSc vector scatter) at
+// 8 ranks for all three arms.
+func BenchmarkFig16VecScatter(b *testing.B) {
+	p := bench.VecScatterParams{PerRankDoubles: 1 << 13, Iters: 1}
+	for _, arm := range core.Arms() {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				lat = bench.RunVecScatter(8, p, arm)
+			}
+			reportVirtual(b, lat)
+		})
+	}
+}
+
+// BenchmarkFig17Multigrid regenerates Figure 17 (3-D Laplacian multigrid)
+// on a reduced 24^3 grid at 8 ranks for all three arms.
+func BenchmarkFig17Multigrid(b *testing.B) {
+	p := bench.MultigridParams{Extent: 24, Levels: 3, Rtol: 1e-6, MaxCycles: 30}
+	for _, arm := range core.Arms() {
+		arm := arm
+		b.Run(arm.Name, func(b *testing.B) {
+			var r bench.MultigridResult
+			for i := 0; i < b.N; i++ {
+				r = bench.RunMultigrid(8, p, arm)
+			}
+			reportVirtual(b, r.Seconds)
+		})
+	}
+}
+
+// BenchmarkPackEngines measures the two pack engines' real CPU cost on the
+// paper's column datatype, isolating the quadratic re-search from any
+// communication.
+func BenchmarkPackEngines(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		ty := bench.TransposeType(n)
+		buf := make([]byte, ty.Extent())
+		for _, arm := range core.MPIArms() {
+			arm := arm
+			b.Run(arm.Name+"/"+benchSize(n), func(b *testing.B) {
+				b.SetBytes(int64(ty.Size()))
+				w := core.NewUniformWorld(2, arm.Config)
+				for i := 0; i < b.N; i++ {
+					err := w.Run(func(c *mpi.Comm) error {
+						if c.Rank() == 0 {
+							c.SendType(1, 0, ty, 1, buf)
+						} else {
+							c.Recv(0, 0)
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func benchSize(n int) string {
+	switch n {
+	case 128:
+		return "128x128"
+	case 256:
+		return "256x256"
+	case 512:
+		return "512x512"
+	}
+	return "?"
+}

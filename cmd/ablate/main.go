@@ -1,0 +1,27 @@
+// Command ablate regenerates the ablation studies of DESIGN.md Section 5:
+// sweeps over the look-ahead window, pipelining granularity, Alltoallw bin
+// threshold, Allgatherv algorithm choice, and outlier-detection threshold.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 256, "transpose matrix size for engine ablations")
+	iters := flag.Int("iters", 3, "iterations to average")
+	flag.Parse()
+
+	bench.AblateLookAhead([]int{1, 2, 4, 8, 15, 32, 64, 128, 256}, *n, *iters).Print(os.Stdout)
+	bench.AblatePipeline([]int{4096, 8192, 16384, 32768, 65536, 131072, 262144}, *n, *iters).Print(os.Stdout)
+	bench.AblateBinThreshold([]int{0, 64, 1024, 1 << 20}, *iters).Print(os.Stdout)
+	bench.AblateAlgorithms([]int{8, 16, 32, 64}, *iters).Print(os.Stdout)
+	bench.AblateOutlierThreshold([]float64{1.5, 2, 4, 8, 16, 64}, *iters).Print(os.Stdout)
+
+	mgp := bench.MultigridParams{Extent: 48, Levels: 3, Rtol: 1e-6, MaxCycles: 30}
+	bench.AblateAgglomeration([]int{16, 32, 64, 128}, mgp, 2048).Print(os.Stdout)
+	bench.AblateSmoother([]int{8, 32}, mgp).Print(os.Stdout)
+}

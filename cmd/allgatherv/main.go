@@ -1,0 +1,29 @@
+// Command allgatherv regenerates Figure 14 of the paper: MPI_Allgatherv
+// latency with one outlier contribution, swept over the outlier size (a)
+// and the process count (b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	sweep := flag.String("sweep", "both", `"size", "procs" or "both"`)
+	iters := flag.Int("iters", 5, "iterations to average")
+	flag.Parse()
+
+	if *sweep == "size" || *sweep == "both" {
+		bench.Fig14a([]int{1, 4, 16, 64, 256, 1024, 4096, 16384}, *iters).Print(os.Stdout)
+	}
+	if *sweep == "procs" || *sweep == "both" {
+		bench.Fig14b([]int{2, 4, 8, 16, 32, 64}, *iters).Print(os.Stdout)
+	}
+	if *sweep != "size" && *sweep != "procs" && *sweep != "both" {
+		fmt.Fprintln(os.Stderr, "unknown -sweep:", *sweep)
+		os.Exit(1)
+	}
+}

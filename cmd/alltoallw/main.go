@@ -1,0 +1,17 @@
+// Command alltoallw regenerates Figure 15 of the paper: nearest-neighbor
+// MPI_Alltoallw latency vs. process count, round-robin baseline vs. the
+// binned design.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	iters := flag.Int("iters", 20, "iterations to average")
+	flag.Parse()
+	bench.Fig15([]int{2, 4, 8, 16, 32, 64, 128}, *iters).Print(os.Stdout)
+}

@@ -1,0 +1,21 @@
+// Command amr runs the extension experiment from the paper's future-work
+// section: the impact of FLASH-style adaptive-mesh transient load imbalance
+// on the two Alltoallw designs.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	steps := flag.Int("steps", bench.DefaultAMRParams.Steps, "time steps per measurement")
+	flag.Parse()
+	p := bench.DefaultAMRParams
+	p.Steps = *steps
+
+	bench.AMRByProcs([]int{4, 8, 16, 32, 64, 128}, p).Print(os.Stdout)
+	bench.AMRByImbalance([]float64{0, 0.5, 1, 2, 4, 8}, 64, p).Print(os.Stdout)
+}

@@ -1,0 +1,21 @@
+// Command mgsolve regenerates Figure 17 of the paper: execution time of the
+// 3-D Laplacian multigrid solver application (100^3 grid, three levels)
+// over the three experimental arms.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	extent := flag.Int("extent", bench.DefaultMultigridParams.Extent, "cubic grid extent")
+	levels := flag.Int("levels", bench.DefaultMultigridParams.Levels, "multigrid levels")
+	rtol := flag.Float64("rtol", bench.DefaultMultigridParams.Rtol, "relative tolerance")
+	flag.Parse()
+	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol,
+		MaxCycles: bench.DefaultMultigridParams.MaxCycles}
+	bench.Fig17([]int{4, 8, 16, 32, 64, 128}, p).Print(os.Stdout)
+}

@@ -1,0 +1,58 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section in one run, printing paper-vs-measured tables suitable
+// for EXPERIMENTS.md.  Use -quick for a reduced sweep during development.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Println("Reproducing: Nonuniformly Communicating Noncontiguous Data (IPDPS 2007)")
+	fmt.Println("Simulated testbed: 32 Intel EM64T + 32 AMD Opteron nodes, IB DDR (virtual-time model)")
+	fmt.Println()
+
+	transposeSizes := []int{64, 128, 256, 512, 1024}
+	agvSizes := []int{1, 4, 16, 64, 256, 1024, 4096, 16384}
+	agvProcs := []int{2, 4, 8, 16, 32, 64}
+	a2aProcs := []int{2, 4, 8, 16, 32, 64, 128}
+	vsProcs := []int{2, 4, 8, 16, 32, 64, 128}
+	mgProcs := []int{4, 8, 16, 32, 64, 128}
+	transposeIters, agvIters, a2aIters := 3, 5, 20
+	vsParams := bench.DefaultVecScatterParams
+	mgParams := bench.DefaultMultigridParams
+	if *quick {
+		transposeSizes = []int{64, 128, 256}
+		agvSizes = []int{16, 256, 4096}
+		agvProcs = []int{4, 16, 64}
+		a2aProcs = []int{4, 16, 64}
+		vsProcs = []int{4, 16, 64}
+		mgProcs = []int{4, 16, 64}
+		transposeIters, agvIters, a2aIters = 2, 3, 8
+		vsParams.PerRankDoubles = 1 << 14
+		vsParams.Iters = 3
+		mgParams.Extent = 32
+		mgParams.Levels = 3
+	}
+
+	bench.Fig12(transposeSizes, transposeIters).Print(os.Stdout)
+	a, b := bench.Fig13(transposeSizes, transposeIters)
+	a.Print(os.Stdout)
+	b.Print(os.Stdout)
+	bench.Fig14a(agvSizes, agvIters).Print(os.Stdout)
+	bench.Fig14b(agvProcs, agvIters).Print(os.Stdout)
+	bench.Fig15(a2aProcs, a2aIters).Print(os.Stdout)
+	bench.Fig16(vsProcs, vsParams).Print(os.Stdout)
+	bench.Fig17(mgProcs, mgParams).Print(os.Stdout)
+
+	fmt.Printf("total harness time: %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,46 @@
+// Command transpose regenerates Figures 12 and 13 of the paper: the matrix
+// transpose microbenchmark stressing noncontiguous datatype processing, and
+// its time breakdown into communication, packing and searching.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	sizes := flag.String("sizes", "64,128,256,512,1024", "comma-separated matrix sizes")
+	iters := flag.Int("iters", 3, "iterations to average")
+	breakdown := flag.Bool("breakdown", false, "also print the Figure 13 breakdown")
+	flag.Parse()
+
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -sizes:", err)
+		os.Exit(1)
+	}
+
+	bench.Fig12(ns, *iters).Print(os.Stdout)
+	if *breakdown {
+		a, b := bench.Fig13(ns, *iters)
+		a.Print(os.Stdout)
+		b.Print(os.Stdout)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

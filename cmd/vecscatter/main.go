@@ -1,0 +1,20 @@
+// Command vecscatter regenerates Figure 16 of the paper: the PETSc vector
+// scatter benchmark over the three experimental arms (hand-tuned, baseline
+// MPI datatypes+collectives, optimized MPI datatypes+collectives).
+package main
+
+import (
+	"flag"
+	"os"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	perRank := flag.Int("per-rank", bench.DefaultVecScatterParams.PerRankDoubles,
+		"doubles per rank (weak scaling)")
+	iters := flag.Int("iters", bench.DefaultVecScatterParams.Iters, "iterations to average")
+	flag.Parse()
+	p := bench.VecScatterParams{PerRankDoubles: *perRank, Iters: *iters}
+	bench.Fig16([]int{2, 4, 8, 16, 32, 64, 128}, p).Print(os.Stdout)
+}

@@ -1,0 +1,61 @@
+// Transpose: a direct look at the two datatype pack engines, without any
+// communication.  It packs a matrix in column-major order with the baseline
+// single-context engine and the paper's dual-context engine, printing the
+// work counters — including the actually-executed re-search walks whose
+// cost grows quadratically with the datatype size.
+//
+// Run with: go run ./examples/transpose [-n 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"nccd/internal/datatype"
+)
+
+func main() {
+	n := flag.Int("n", 512, "matrix dimension")
+	flag.Parse()
+
+	// The paper's Figure 6 type: element = 3 doubles, column = vector of n
+	// elements with stride n, matrix-in-column-order = n columns.
+	elem := datatype.Contiguous(3, datatype.Double)
+	col := datatype.Vector(*n, 1, *n, elem)
+	matT := datatype.Hvector(*n, 1, elem.Extent(), col)
+
+	buf := make([]byte, matT.Extent())
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	scratch := make([]byte, datatype.DefaultOptions.Pipeline)
+
+	fmt.Printf("datatype: %d x %d matrix, %d segments of 24 B, %.1f MiB of data\n\n",
+		*n, *n, matT.Blocks(), float64(matT.Size())/(1<<20))
+	fmt.Printf("%-16s %12s %14s %14s %12s\n",
+		"engine", "wall time", "packed segs", "searched segs", "chunks")
+
+	for _, kind := range []datatype.EngineKind{datatype.SingleContext, datatype.DualContext} {
+		p := datatype.NewPacker(kind, matT, 1, buf, datatype.Options{})
+		start := time.Now()
+		total := 0
+		for {
+			c, ok := p.NextChunk(scratch)
+			if !ok {
+				break
+			}
+			total += c.Bytes
+		}
+		wall := time.Since(start)
+		m := p.Metrics()
+		fmt.Printf("%-16s %12v %14d %14d %12d\n",
+			kind, wall.Round(time.Microsecond), m.PackedSegments, m.SearchSegments, m.Chunks)
+		if total != matT.Size() {
+			panic("packed byte count mismatch")
+		}
+	}
+
+	fmt.Println("\nThe single-context engine walks the datatype from the beginning after")
+	fmt.Println("every sparse look-ahead; the dual-context engine never searches at all.")
+}

@@ -1,0 +1,3 @@
+module nccd
+
+go 1.22

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+)
+
+// The paper's future-work section (Section 7) proposes studying how
+// FLASH-style adaptive mesh refinement interacts with MPI: AMR
+// load-balancing granularity creates *transient* skew — the dynamically
+// discovered area of interest concentrates work on a changing subset of
+// ranks each step.  A collective that couples every rank (the round-robin
+// Alltoallw with its zero-byte synchronizations) makes every step pay the
+// instantaneous maximum of that skew; a collective that only couples actual
+// neighbors (the binned design) lets lightly loaded ranks run ahead and
+// absorb the fluctuations.  E8 implements that study.
+
+// AMRParams configures the adaptive-mesh skew experiment.
+type AMRParams struct {
+	// Steps is the number of compute+exchange iterations.
+	Steps int
+	// BaseCompute is the per-step nominal compute time in seconds.
+	BaseCompute float64
+	// Imbalance is the extra work factor for refined ranks (1.0 = 2x).
+	Imbalance float64
+	// RefinedFraction is the fraction of ranks holding refined blocks at
+	// any one step.
+	RefinedFraction float64
+	// GhostBytes is the per-neighbor exchange volume.
+	GhostBytes int
+}
+
+// DefaultAMRParams models a FLASH-like workload: quarter of the ranks
+// carry a 2x-refined region that migrates every step.
+var DefaultAMRParams = AMRParams{
+	Steps:           40,
+	BaseCompute:     50e-6,
+	Imbalance:       1.0,
+	RefinedFraction: 0.25,
+	GhostBytes:      4096,
+}
+
+// RunAMR measures the mean per-step time of the AMR-like workload on n
+// ranks: an imbalanced compute phase (the refined window moves across the
+// ranks each step, like regridding after the area of interest shifts)
+// followed by a neighbor-only Alltoallw ghost exchange.
+func RunAMR(n int, p AMRParams, cfg mpi.Config) float64 {
+	w := core.NewPaperWorld(n, cfg)
+	var out float64
+	err := w.Run(func(c *mpi.Comm) error {
+		me := c.Rank()
+		succ, pred := (me+1)%n, (me-1+n)%n
+		sends := make([]mpi.TypeSpec, n)
+		recvs := make([]mpi.TypeSpec, n)
+		sends[succ] = mpi.TypeSpec{Type: mpi.Bytes(p.GhostBytes), Count: 1, Displ: 0}
+		recvs[succ] = mpi.TypeSpec{Type: mpi.Bytes(p.GhostBytes), Count: 1, Displ: 0}
+		if pred != succ && n > 1 {
+			sends[pred] = mpi.TypeSpec{Type: mpi.Bytes(p.GhostBytes), Count: 1, Displ: p.GhostBytes}
+			recvs[pred] = mpi.TypeSpec{Type: mpi.Bytes(p.GhostBytes), Count: 1, Displ: p.GhostBytes}
+		}
+		sendbuf := make([]byte, 2*p.GhostBytes)
+		recvbuf := make([]byte, 2*p.GhostBytes)
+
+		refined := int(float64(n) * p.RefinedFraction)
+		if refined < 1 {
+			refined = 1
+		}
+		lat := TimeSection(c, p.Steps, func(step int) {
+			// The refined window [step*3 mod n, +refined) migrates as the
+			// area of interest moves.
+			start := (step * 3) % n
+			inWindow := (me-start+n)%n < refined
+			work := p.BaseCompute
+			if inWindow {
+				work *= 1 + p.Imbalance
+			}
+			c.Compute(work)
+			c.Alltoallw(sendbuf, sends, recvbuf, recvs)
+		})
+		if me == 0 {
+			out = lat
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AMRByProcs regenerates E8(a): per-step time vs. process count for both
+// Alltoallw algorithms under the default transient imbalance.
+func AMRByProcs(procs []int, p AMRParams) *Experiment {
+	e := &Experiment{
+		ID:     "e8a-amr",
+		Title:  "AMR-style transient imbalance: per-step time vs. process count (extension)",
+		XLabel: "procs",
+		Unit:   "us",
+		Series: []string{"round-robin", "binned", "improvement"},
+		Expect: "future-work study: round-robin couples every rank to the refined window; binned stays near the ideal (base + imbalance share)",
+	}
+	for _, n := range procs {
+		rr, bin := amrPair(n, p)
+		e.Add(fmt.Sprintf("%d", n), map[string]float64{
+			"round-robin": rr * 1e6,
+			"binned":      bin * 1e6,
+			"improvement": Improvement(rr, bin),
+		})
+	}
+	return e
+}
+
+// AMRByImbalance regenerates E8(b): per-step time vs. imbalance factor at a
+// fixed process count.
+func AMRByImbalance(factors []float64, n int, p AMRParams) *Experiment {
+	e := &Experiment{
+		ID:     "e8b-amr",
+		Title:  fmt.Sprintf("AMR-style transient imbalance: per-step time vs. imbalance (%d ranks, extension)", n),
+		XLabel: "imbalance",
+		Unit:   "us",
+		Series: []string{"round-robin", "binned", "improvement"},
+		Expect: "round-robin's penalty grows with the imbalance factor; binned grows only with the window share",
+	}
+	for _, f := range factors {
+		q := p
+		q.Imbalance = f
+		rr, bin := amrPair(n, q)
+		e.Add(fmt.Sprintf("%.1fx", 1+f), map[string]float64{
+			"round-robin": rr * 1e6,
+			"binned":      bin * 1e6,
+			"improvement": Improvement(rr, bin),
+		})
+	}
+	return e
+}
+
+func amrPair(n int, p AMRParams) (rr, bin float64) {
+	cfgRR := mpi.Optimized()
+	cfgRR.Alltoallw = mpi.ATRoundRobin
+	cfgBin := mpi.Optimized()
+	cfgBin.Alltoallw = mpi.ATBinned
+	return RunAMR(n, p, cfgRR), RunAMR(n, p, cfgBin)
+}

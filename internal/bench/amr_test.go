@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"nccd/internal/mpi"
+)
+
+func quickAMR() AMRParams {
+	p := DefaultAMRParams
+	p.Steps = 10
+	return p
+}
+
+func TestRunAMRBasic(t *testing.T) {
+	p := quickAMR()
+	for _, algo := range []mpi.AlltoallwAlgo{mpi.ATRoundRobin, mpi.ATBinned} {
+		cfg := mpi.Optimized()
+		cfg.Alltoallw = algo
+		lat := RunAMR(8, p, cfg)
+		if lat <= p.BaseCompute {
+			t.Fatalf("%v: per-step %v below compute floor %v", algo, lat, p.BaseCompute)
+		}
+	}
+}
+
+func TestAMRBinnedAbsorbsTransientSkew(t *testing.T) {
+	p := quickAMR()
+	rr, bin := amrPair(32, p)
+	if bin >= rr {
+		t.Fatalf("binned (%v) should beat round-robin (%v) under transient imbalance", bin, rr)
+	}
+	// Round-robin's penalty must grow with N, binned's must not explode.
+	rr2, bin2 := amrPair(64, p)
+	if rr2 <= rr {
+		t.Fatalf("round-robin should degrade with N: %v -> %v", rr, rr2)
+	}
+	if bin2 > 2*bin {
+		t.Fatalf("binned degraded too much with N: %v -> %v", bin, bin2)
+	}
+}
+
+func TestAMRExperimentTables(t *testing.T) {
+	p := quickAMR()
+	a := AMRByProcs([]int{4, 8}, p)
+	if len(a.Rows) != 2 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	b := AMRByImbalance([]float64{0, 2}, 8, p)
+	// More imbalance must cost more for round-robin.
+	lo, _ := b.Value("1.0x", "round-robin")
+	hi, _ := b.Value("3.0x", "round-robin")
+	if hi <= lo {
+		t.Fatalf("imbalance did not increase round-robin cost: %v -> %v", lo, hi)
+	}
+}
+
+func TestAblationRunners(t *testing.T) {
+	if e := AblateLookAhead([]int{1, 15}, 64, 1); len(e.Rows) != 2 {
+		t.Fatal("lookahead ablation rows")
+	}
+	e := AblatePipeline([]int{8192, 65536}, 64, 1)
+	small, _ := e.Value("8KiB", "MVAPICH2-0.9.5")
+	big, _ := e.Value("64KiB", "MVAPICH2-0.9.5")
+	if small <= big {
+		t.Fatalf("smaller granules should slow the baseline: %v vs %v", small, big)
+	}
+	b := AblateBinThreshold([]int{64, 1 << 20}, 2)
+	loT, _ := b.Value("64B", "light-peer")
+	hiT, _ := b.Value("1048576B", "light-peer")
+	if loT >= hiT {
+		t.Fatalf("small-first binning should protect light peers: %v vs %v", loT, hiT)
+	}
+	alg := AblateAlgorithms([]int{8}, 2)
+	rd, _ := alg.Value("8", "recursive-doubling")
+	ring, _ := alg.Value("8", "ring")
+	if rd >= ring {
+		t.Fatalf("recursive doubling should beat ring: %v vs %v", rd, ring)
+	}
+	out := AblateOutlierThreshold([]float64{2, 64}, 2)
+	low, _ := out.Value("2", "adaptive")
+	high, _ := out.Value("64", "adaptive")
+	if low >= high {
+		t.Fatalf("high threshold should fall back to the slower ring: %v vs %v", low, high)
+	}
+}

@@ -1,0 +1,144 @@
+// Package bench is the experiment harness: one runner per table/figure of
+// the paper's evaluation (Section 5), each regenerating the corresponding
+// rows on the simulated testbed.  Runners return Experiment values that
+// print as aligned tables with the paper's qualitative expectation attached,
+// so cmd/repro can emit a full paper-vs-measured report.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nccd/internal/mpi"
+)
+
+// Row is one x-axis point of an experiment.
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// Experiment is a regenerated table/figure.
+type Experiment struct {
+	ID     string // e.g. "fig12"
+	Title  string
+	XLabel string
+	Unit   string // unit of the series values, e.g. "ms"
+	Series []string
+	Rows   []Row
+	// Expect records the paper's qualitative claim for EXPERIMENTS.md.
+	Expect string
+	// Notes records measured-vs-paper commentary filled by the runner.
+	Notes []string
+}
+
+// Add appends a row.
+func (e *Experiment) Add(label string, values map[string]float64) {
+	e.Rows = append(e.Rows, Row{Label: label, Values: values})
+}
+
+// Value returns the value of series s in the row with the given label.
+func (e *Experiment) Value(label, s string) (float64, bool) {
+	for _, r := range e.Rows {
+		if r.Label == label {
+			v, ok := r.Values[s]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// Improvement returns 1 - new/old as a percentage for the given row label.
+func Improvement(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return 100 * (1 - newV/oldV)
+}
+
+// Print renders the experiment as an aligned text table.
+func (e *Experiment) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", strings.ToUpper(e.ID), e.Title)
+	if e.Expect != "" {
+		fmt.Fprintf(w, "  paper: %s\n", e.Expect)
+	}
+	cols := append([]string{e.XLabel}, e.Series...)
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(e.Rows))
+	for ri, r := range e.Rows {
+		cells[ri] = make([]string, len(cols))
+		cells[ri][0] = r.Label
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+		for si, s := range e.Series {
+			v, ok := r.Values[s]
+			txt := "-"
+			if ok {
+				unit := e.Unit
+				if strings.Contains(s, "improvement") {
+					unit = "%"
+				}
+				if strings.Contains(s, "cycles") {
+					unit = ""
+				}
+				txt = formatValue(v, unit)
+			}
+			cells[ri][si+1] = txt
+			if len(txt) > widths[si+1] {
+				widths[si+1] = len(txt)
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			fmt.Fprintf(w, "  %-*s", widths[i], p)
+		}
+		fmt.Fprintln(w)
+	}
+	line(cols)
+	for _, row := range cells {
+		line(row)
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatValue(v float64, unit string) string {
+	switch unit {
+	case "%":
+		return fmt.Sprintf("%.1f%%", v)
+	default:
+		return fmt.Sprintf("%.3g %s", v, unit)
+	}
+}
+
+// TimeSection measures the mean per-iteration virtual time of body across
+// all ranks of c's world: a barrier, then iters calls, then a max-reduce of
+// the per-rank elapsed clock.  Call it from inside a World.Run body.
+func TimeSection(c *mpi.Comm, iters int, body func(it int)) float64 {
+	c.Barrier()
+	t0 := c.Clock()
+	for it := 0; it < iters; it++ {
+		body(it)
+	}
+	elapsed := c.Clock() - t0
+	return c.AllreduceScalar(elapsed, mpi.OpMax) / float64(iters)
+}
+
+// SortedKeys returns the sorted keys of a series map (test helper).
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

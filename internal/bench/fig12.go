@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"nccd/internal/core"
+	"nccd/internal/datatype"
+	"nccd/internal/mpi"
+)
+
+// TransposeType builds the paper's Figure 6 datatype for an n x n matrix of
+// elements of three doubles, read in column-major order: a vector over one
+// column (blocklen 1, stride n elements) nested in an hvector stepping one
+// element per column.
+func TransposeType(n int) *datatype.Type {
+	elem := datatype.Contiguous(3, datatype.Double)
+	col := datatype.Vector(n, 1, n, elem)
+	return datatype.Hvector(n, 1, elem.Extent(), col)
+}
+
+// TransposeResult carries the Figure 12 latency and the Figure 13 breakdown
+// for one matrix size and configuration.
+type TransposeResult struct {
+	Latency   float64 // seconds per transpose
+	PackSec   float64 // sender+receiver packing (incl. look-ahead scans)
+	SearchSec float64 // baseline re-search time
+}
+
+// RunTranspose measures the matrix-transpose benchmark (Section 5.2): rank
+// 0 sends an n x n matrix of 3-double elements in column-major order, rank
+// 1 receives it contiguously (row-major of the transpose).  iters
+// iterations are averaged.
+func RunTranspose(n, iters int, cfg mpi.Config) TransposeResult {
+	w := core.NewPaperWorld(2, cfg)
+	matT := TransposeType(n)
+	elemBytes := 24
+	var res TransposeResult
+	err := w.Run(func(c *mpi.Comm) error {
+		buf := make([]byte, n*n*elemBytes)
+		recvType := datatype.Contiguous(n*n*elemBytes, datatype.Byte)
+		s0 := c.Stats()
+		lat := TimeSection(c, iters, func(it int) {
+			if c.Rank() == 0 {
+				c.SendType(1, 0, matT, 1, buf)
+			} else {
+				c.RecvType(0, 0, recvType, 1, buf)
+			}
+		})
+		s1 := c.Stats()
+		pack := c.AllreduceScalar(s1.PackSec-s0.PackSec, mpi.OpSum) / float64(iters)
+		search := c.AllreduceScalar(s1.SearchSec-s0.SearchSec, mpi.OpSum) / float64(iters)
+		if c.Rank() == 0 {
+			res = TransposeResult{Latency: lat, PackSec: pack, SearchSec: search}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Fig12 regenerates Figure 12: transpose latency vs. matrix size for the
+// baseline and optimized MPI configurations.
+func Fig12(sizes []int, iters int) *Experiment {
+	e := &Experiment{
+		ID:     "fig12",
+		Title:  "Matrix transpose benchmark latency",
+		XLabel: "matrix",
+		Unit:   "ms",
+		Series: []string{"MVAPICH2-0.9.5", "MVAPICH2-New", "improvement"},
+		Expect: "optimized wins at every size; gap grows with matrix size; >85% at 1024x1024",
+	}
+	for _, n := range sizes {
+		base := RunTranspose(n, iters, mpi.Baseline())
+		opt := RunTranspose(n, iters, mpi.Optimized())
+		e.Add(fmt.Sprintf("%dx%d", n, n), map[string]float64{
+			"MVAPICH2-0.9.5": base.Latency * 1e3,
+			"MVAPICH2-New":   opt.Latency * 1e3,
+			"improvement":    Improvement(base.Latency, opt.Latency),
+		})
+	}
+	return e
+}
+
+// Fig13 regenerates Figure 13: the percentage breakdown of transpose time
+// into communication, packing and searching, for both configurations.
+func Fig13(sizes []int, iters int) (baseline, optimized *Experiment) {
+	mk := func(id, title string) *Experiment {
+		return &Experiment{
+			ID:     id,
+			Title:  title,
+			XLabel: "matrix",
+			Unit:   "%",
+			Series: []string{"comm", "pack", "search"},
+		}
+	}
+	baseline = mk("fig13a", "Transpose time breakdown, current approach (MVAPICH2-0.9.5)")
+	baseline.Expect = "search share grows dramatically with matrix size"
+	optimized = mk("fig13b", "Transpose time breakdown, dual-context look-ahead (MVAPICH2-New)")
+	optimized.Expect = "search eliminated entirely; communication dominates"
+
+	for _, n := range sizes {
+		for i, cfg := range []mpi.Config{mpi.Baseline(), mpi.Optimized()} {
+			r := RunTranspose(n, iters, cfg)
+			// Breakdown of the transfer's critical path: packing and
+			// searching are sender CPU time; whatever remains of the
+			// one-way latency (wire serialization, overheads) counts as
+			// communication.
+			comm := r.Latency - r.PackSec - r.SearchSec
+			if comm < 0 {
+				comm = 0
+			}
+			total := comm + r.PackSec + r.SearchSec
+			row := map[string]float64{
+				"comm":   100 * comm / total,
+				"pack":   100 * r.PackSec / total,
+				"search": 100 * r.SearchSec / total,
+			}
+			label := fmt.Sprintf("%dx%d", n, n)
+			if i == 0 {
+				baseline.Add(label, row)
+			} else {
+				optimized.Add(label, row)
+			}
+		}
+	}
+	return baseline, optimized
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+)
+
+// RunAllgathervOutlier measures the average latency of one MPI_Allgatherv
+// on n ranks where rank 0 contributes bigDoubles doubles and every other
+// rank one double (Section 5.3's first benchmark).
+func RunAllgathervOutlier(n, bigDoubles, iters int, cfg mpi.Config) float64 {
+	w := core.NewPaperWorld(n, cfg)
+	var out float64
+	err := w.Run(func(c *mpi.Comm) error {
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = 8
+		}
+		counts[0] = bigDoubles * 8
+		total := 0
+		for _, x := range counts {
+			total += x
+		}
+		mine := make([]byte, counts[c.Rank()])
+		recv := make([]byte, total)
+		lat := TimeSection(c, iters, func(int) {
+			c.Allgatherv(mine, counts, recv)
+		})
+		if c.Rank() == 0 {
+			out = lat
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Fig14a regenerates Figure 14(a): Allgatherv latency on 64 ranks as the
+// size of rank 0's contribution varies.
+func Fig14a(sizesDoubles []int, iters int) *Experiment {
+	e := &Experiment{
+		ID:     "fig14a",
+		Title:  "MPI_Allgatherv latency vs. outlier size (64 processes)",
+		XLabel: "doubles",
+		Unit:   "us",
+		Series: []string{"MVAPICH2-0.9.5", "MVAPICH2-New", "improvement"},
+		Expect: "baseline latency grows faster with the outlier size than the optimized implementation",
+	}
+	for _, d := range sizesDoubles {
+		base := RunAllgathervOutlier(64, d, iters, mpi.Baseline())
+		opt := RunAllgathervOutlier(64, d, iters, mpi.Optimized())
+		e.Add(fmt.Sprintf("%d", d), map[string]float64{
+			"MVAPICH2-0.9.5": base * 1e6,
+			"MVAPICH2-New":   opt * 1e6,
+			"improvement":    Improvement(base, opt),
+		})
+	}
+	return e
+}
+
+// Fig14b regenerates Figure 14(b): Allgatherv latency with a 32 KB outlier
+// as the number of processes varies.
+func Fig14b(procs []int, iters int) *Experiment {
+	e := &Experiment{
+		ID:     "fig14b",
+		Title:  "MPI_Allgatherv latency vs. system size (rank 0 sends 32 KB)",
+		XLabel: "procs",
+		Unit:   "us",
+		Series: []string{"MVAPICH2-0.9.5", "MVAPICH2-New", "improvement"},
+		Expect: "baseline latency grows faster with process count; paper reports ~20% improvement at 64",
+	}
+	const bigDoubles = 32 * 1024 / 8
+	for _, n := range procs {
+		base := RunAllgathervOutlier(n, bigDoubles, iters, mpi.Baseline())
+		opt := RunAllgathervOutlier(n, bigDoubles, iters, mpi.Optimized())
+		e.Add(fmt.Sprintf("%d", n), map[string]float64{
+			"MVAPICH2-0.9.5": base * 1e6,
+			"MVAPICH2-New":   opt * 1e6,
+			"improvement":    Improvement(base, opt),
+		})
+	}
+	return e
+}

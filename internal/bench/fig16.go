@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+)
+
+// VecScatterParams configures the PETSc vector scatter benchmark.
+type VecScatterParams struct {
+	// PerRankDoubles is each rank's portion of the 1-D grids; the global
+	// size scales with the process count (weak scaling, as in the paper).
+	PerRankDoubles int
+	// Iters is the number of scatters averaged.
+	Iters int
+}
+
+// DefaultVecScatterParams mirrors the paper's setup scale: a constant
+// per-rank portion large enough that datatype processing matters.
+var DefaultVecScatterParams = VecScatterParams{PerRankDoubles: 1 << 16, Iters: 5}
+
+// RunVecScatter measures the Section 5.4 vector scatter benchmark on n
+// ranks for one experimental arm.  Two 1-D grids are interlaced in each
+// vector (even slots = first grid, odd slots = second grid); each rank
+// scatters its first-grid elements into the second-grid slots of the
+// portion owned by the opposite rank (P-1-r), so every rank sends one large
+// strided (noncontiguous) message to one peer and nothing to everyone else
+// — the extreme nonuniform-volume case.
+func RunVecScatter(n int, p VecScatterParams, arm core.Arm) float64 {
+	w := core.NewPaperWorld(n, arm.Config)
+	m := p.PerRankDoubles
+	var out float64
+	err := w.Run(func(c *mpi.Comm) error {
+		me := c.Rank()
+		dst := n - 1 - me
+		evens := make([]int, m/2)
+		odds := make([]int, m/2)
+		for k := range evens {
+			evens[k] = 2 * k
+			odds[k] = 2*k + 1
+		}
+		plan := petsc.Plan{
+			Sends: []petsc.PeerIndices{{Peer: dst, Local: evens}},
+			Recvs: []petsc.PeerIndices{{Peer: dst, Local: odds}},
+		}
+		sc := petsc.NewScatterFromPlan(c, m, m, plan, arm.Mode)
+
+		x := make([]float64, m)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = float64(me*m + i)
+		}
+		lat := TimeSection(c, p.Iters, func(int) {
+			sc.DoArrays(x, y)
+		})
+		// Sanity: the first received element must be the peer's first
+		// even element.
+		if y[1] != float64(dst*m) {
+			return fmt.Errorf("scatter produced wrong data: y[1]=%v want %v", y[1], float64(dst*m))
+		}
+		if me == 0 {
+			out = lat
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Fig16 regenerates Figure 16: vector scatter latency (and percentage
+// improvement over the baseline) vs. process count for the three arms.
+func Fig16(procs []int, p VecScatterParams) *Experiment {
+	e := &Experiment{
+		ID:     "fig16",
+		Title:  "PETSc vector scatter benchmark",
+		XLabel: "procs",
+		Unit:   "ms",
+		Series: []string{
+			"MVAPICH2-0.9.5", "MVAPICH2-New", "hand-tuned",
+			"improvement(New)", "improvement(hand)",
+		},
+		Expect: "baseline degrades sharply with process count; optimized improvement >95% at 128; hand-tuned ~4% ahead of optimized",
+	}
+	for _, n := range procs {
+		vals := map[string]float64{}
+		for _, arm := range core.Arms() {
+			vals[arm.Name] = RunVecScatter(n, p, arm) * 1e3
+		}
+		base := vals["MVAPICH2-0.9.5"]
+		vals["improvement(New)"] = Improvement(base, vals["MVAPICH2-New"])
+		vals["improvement(hand)"] = Improvement(base, vals["hand-tuned"])
+		e.Add(fmt.Sprintf("%d", n), vals)
+	}
+	return e
+}

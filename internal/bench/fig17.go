@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+
+	"nccd/internal/core"
+	"nccd/internal/mg"
+	"nccd/internal/mpi"
+)
+
+// MultigridParams configures the 3-D Laplacian multigrid application run.
+type MultigridParams struct {
+	// Extent is the cubic grid size per dimension (the paper uses 100).
+	Extent int
+	// Levels is the multigrid depth (the paper uses 3).
+	Levels int
+	// Rtol is the solve tolerance.
+	Rtol float64
+	// MaxCycles bounds the V-cycle count.
+	MaxCycles int
+	// AgglomerateCells, when positive, concentrates levels with fewer
+	// than this many cells per rank onto fewer ranks (an extension; the
+	// paper's configuration keeps every level fully distributed).
+	AgglomerateCells int
+	// Chebyshev selects the Chebyshev smoother instead of damped Jacobi
+	// (an extension; the paper's solver configuration is unspecified, and
+	// damped Jacobi is the default here).
+	Chebyshev bool
+}
+
+// DefaultMultigridParams is the paper's configuration: 100^3, one degree of
+// freedom, three levels.
+var DefaultMultigridParams = MultigridParams{Extent: 100, Levels: 3, Rtol: 1e-6, MaxCycles: 30}
+
+// MultigridResult holds one application run's outcome.
+type MultigridResult struct {
+	Seconds float64
+	Cycles  int
+	RelRes  float64
+}
+
+// RunMultigrid measures the Section 5.5 application: solving the 3-D
+// Laplacian (equation 2 with homogeneous boundaries) on an Extent^3 grid
+// with a Levels-level multigrid, for one experimental arm.
+func RunMultigrid(n int, p MultigridParams, arm core.Arm) MultigridResult {
+	w := core.NewPaperWorld(n, arm.Config)
+	var out MultigridResult
+	err := w.Run(func(c *mpi.Comm) error {
+		s := mg.NewAgglomerated(c, []int{p.Extent, p.Extent, p.Extent}, p.Levels, arm.Mode, p.AgglomerateCells)
+		if p.Chebyshev {
+			s.Smoother = mg.SmootherChebyshev
+		}
+		b := s.CreateVec()
+		// The paper's data grid varies the coordinates uniformly across
+		// the grid in each dimension; use the matching separable forcing.
+		da := s.DA(0)
+		own := da.OwnedBox()
+		ba := b.Array()
+		idx := 0
+		for k := own.Lo[2]; k < own.Hi[2]; k++ {
+			for j := own.Lo[1]; j < own.Hi[1]; j++ {
+				for i := own.Lo[0]; i < own.Hi[0]; i++ {
+					x := (float64(i) + 0.5) / float64(p.Extent)
+					y := (float64(j) + 0.5) / float64(p.Extent)
+					z := (float64(k) + 0.5) / float64(p.Extent)
+					ba[idx] = x * y * z
+					idx++
+				}
+			}
+		}
+		x := s.CreateVec()
+
+		c.Barrier()
+		t0 := c.Clock()
+		cycles, relres := s.Solve(b, x, p.Rtol, p.MaxCycles)
+		elapsed := c.AllreduceScalar(c.Clock()-t0, mpi.OpMax)
+		if c.Rank() == 0 {
+			out = MultigridResult{Seconds: elapsed, Cycles: cycles, RelRes: relres}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Fig17 regenerates Figure 17: 3-D Laplacian multigrid execution time (and
+// percentage improvement over the baseline) vs. process count.
+func Fig17(procs []int, p MultigridParams) *Experiment {
+	e := &Experiment{
+		ID:     "fig17",
+		Title:  fmt.Sprintf("3-D Laplacian multigrid solver (%d^3 grid, %d levels)", p.Extent, p.Levels),
+		XLabel: "procs",
+		Unit:   "s",
+		Series: []string{
+			"MVAPICH2-0.9.5", "MVAPICH2-New", "hand-tuned",
+			"improvement(New)", "improvement(hand)",
+		},
+		Expect: "baseline stops scaling past 32 procs; optimized keeps scaling, ~90% improvement at 128; hand-tuned ahead ~10% at 4 procs shrinking to <3% at 128",
+	}
+	var cycles int
+	for _, n := range procs {
+		vals := map[string]float64{}
+		for _, arm := range core.Arms() {
+			r := RunMultigrid(n, p, arm)
+			vals[arm.Name] = r.Seconds
+			cycles = r.Cycles
+		}
+		base := vals["MVAPICH2-0.9.5"]
+		vals["improvement(New)"] = Improvement(base, vals["MVAPICH2-New"])
+		vals["improvement(hand)"] = Improvement(base, vals["hand-tuned"])
+		e.Add(fmt.Sprintf("%d", n), vals)
+	}
+	e.Notes = append(e.Notes, fmt.Sprintf("all arms run the identical numerical path (%d V-cycles to rtol %.0e)", cycles, p.Rtol))
+	return e
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"nccd/internal/datatype"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+)
+
+func TestArms(t *testing.T) {
+	arms := Arms()
+	if len(arms) != 3 {
+		t.Fatalf("want 3 arms, got %d", len(arms))
+	}
+	byName := map[string]Arm{}
+	for _, a := range arms {
+		byName[a.Name] = a
+	}
+	base, ok := byName["MVAPICH2-0.9.5"]
+	if !ok || base.Config.Engine != datatype.SingleContext || base.Mode != petsc.ScatterDatatype {
+		t.Errorf("baseline arm misconfigured: %+v", base)
+	}
+	opt, ok := byName["MVAPICH2-New"]
+	if !ok || opt.Config.Engine != datatype.DualContext ||
+		opt.Config.Allgatherv != mpi.AGAdaptive || opt.Config.Alltoallw != mpi.ATBinned {
+		t.Errorf("optimized arm misconfigured: %+v", opt)
+	}
+	hand, ok := byName["hand-tuned"]
+	if !ok || hand.Mode != petsc.ScatterHandTuned {
+		t.Errorf("hand-tuned arm misconfigured: %+v", hand)
+	}
+	if len(MPIArms()) != 2 {
+		t.Error("MPIArms should return the two MPI-level arms")
+	}
+}
+
+func TestWorldConstructors(t *testing.T) {
+	w := NewPaperWorld(8, mpi.Optimized())
+	if w.Size() != 8 {
+		t.Fatalf("paper world size %d", w.Size())
+	}
+	if w.Cluster().Skew == nil {
+		t.Fatal("paper world should have skew")
+	}
+	u := NewUniformWorld(4, mpi.Baseline())
+	if u.Size() != 4 || u.Cluster().Skew != nil {
+		t.Fatal("uniform world misconfigured")
+	}
+	if err := u.Run(func(c *mpi.Comm) error { c.Barrier(); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

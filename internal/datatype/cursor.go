@@ -1,0 +1,214 @@
+package datatype
+
+// Cursor streams the contiguous segments of count instances of a datatype in
+// type-map order without materializing the full segment list.  It is the
+// "context" of the paper's Section 3.1: the saved position inside a derived
+// datatype that a pipelined pack engine resumes from at each event.
+//
+// A Cursor walks the type tree with an explicit frame stack, so advancing to
+// the next segment costs amortized O(1) and cloning costs O(depth).  The
+// expensive operation the baseline engine is forced into — recovering a lost
+// position by scanning the datatype from the beginning — is SeekBytes, which
+// really performs that linear walk (and reports how many segments it
+// visited, so cost models can charge for it).
+type Cursor struct {
+	root  *Type
+	count int // instances of root
+
+	stack []frame
+	inst  int // current instance of root
+
+	pendOff int // unconsumed remainder of a partially consumed segment
+	pendLen int
+
+	emitted  int64 // data bytes produced so far
+	segsSeen int64 // segments fetched from the tree so far
+}
+
+type frame struct {
+	t    *Type
+	base int // absolute byte offset of this node instance
+	idx  int // next child to visit
+}
+
+// NewCursor returns a cursor over count instances of t, positioned at the
+// beginning.  Instance i is laid out at byte offset i*t.Extent().
+func NewCursor(t *Type, count int) *Cursor {
+	if t == nil {
+		panic("datatype: nil type")
+	}
+	if count < 0 {
+		panic("datatype: negative count")
+	}
+	c := &Cursor{root: t, count: count}
+	c.Reset()
+	return c
+}
+
+// Reset repositions the cursor at the beginning of the type map.
+func (c *Cursor) Reset() {
+	c.stack = c.stack[:0]
+	c.inst = 0
+	c.pendOff, c.pendLen = 0, 0
+	c.emitted, c.segsSeen = 0, 0
+	if c.count > 0 && c.root.size > 0 {
+		c.stack = append(c.stack, frame{t: c.root, base: 0})
+	}
+}
+
+// Clone returns an independent copy of the cursor at the same position.
+// This is the cheap snapshot the dual-context engine takes before each
+// look-ahead.
+func (c *Cursor) Clone() *Cursor {
+	d := *c
+	d.stack = append([]frame(nil), c.stack...)
+	return &d
+}
+
+// BytesEmitted returns the number of data bytes produced so far.
+func (c *Cursor) BytesEmitted() int64 { return c.emitted }
+
+// SegmentsSeen returns the number of segments fetched from the tree so far.
+func (c *Cursor) SegmentsSeen() int64 { return c.segsSeen }
+
+// Done reports whether the cursor has produced the entire type map.
+func (c *Cursor) Done() bool {
+	return c.emitted >= int64(c.root.size)*int64(c.count)
+}
+
+// nextSegment fetches the next raw contiguous segment from the tree,
+// ignoring any pending remainder.  ok is false at the end of the map.
+func (c *Cursor) nextSegment() (off, n int, ok bool) {
+	for {
+		if len(c.stack) == 0 {
+			c.inst++
+			if c.inst >= c.count {
+				return 0, 0, false
+			}
+			c.stack = append(c.stack, frame{t: c.root, base: c.inst * c.root.extent})
+		}
+		f := &c.stack[len(c.stack)-1]
+		if f.t.contig {
+			off, n = f.base, f.t.size
+			c.stack = c.stack[:len(c.stack)-1]
+			if n == 0 {
+				continue
+			}
+			c.segsSeen++
+			return off, n, true
+		}
+		if f.idx >= f.t.nchildren() {
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		child, rel := f.t.childAt(f.idx)
+		f.idx++
+		if child.contig {
+			if child.size == 0 {
+				continue
+			}
+			c.segsSeen++
+			return f.base + rel, child.size, true
+		}
+		c.stack = append(c.stack, frame{t: child, base: f.base + rel})
+	}
+}
+
+// NextRun returns the next contiguous piece of the type map, at most
+// maxBytes long.  Longer segments are split; the remainder is served by the
+// following call.  ok is false once the map is exhausted.
+func (c *Cursor) NextRun(maxBytes int) (off, n int, ok bool) {
+	if maxBytes <= 0 {
+		return 0, 0, false
+	}
+	if c.pendLen == 0 {
+		o, l, more := c.nextSegment()
+		if !more {
+			return 0, 0, false
+		}
+		c.pendOff, c.pendLen = o, l
+	}
+	off = c.pendOff
+	n = c.pendLen
+	if n > maxBytes {
+		n = maxBytes
+	}
+	c.pendOff += n
+	c.pendLen -= n
+	c.emitted += int64(n)
+	return off, n, true
+}
+
+// PeekSegments walks up to maxSegs segments ahead of the current position,
+// returning them without moving the cursor, plus the total byte count.  The
+// dual-context engine's look-ahead calls this on a clone; it touches only
+// the datatype signature, never the data.
+func (c *Cursor) PeekSegments(maxSegs int, dst []Segment) (segs []Segment, bytes int) {
+	segs = dst[:0]
+	p := c.Clone()
+	if p.pendLen > 0 {
+		segs = append(segs, Segment{p.pendOff, p.pendLen})
+		bytes += p.pendLen
+		p.pendLen = 0
+	}
+	for len(segs) < maxSegs {
+		o, l, ok := p.nextSegment()
+		if !ok {
+			break
+		}
+		segs = append(segs, Segment{o, l})
+		bytes += l
+	}
+	return segs, bytes
+}
+
+// AdvanceSegments moves the cursor forward by up to maxSegs whole segments,
+// returning the segments skipped and their byte total.  This is the
+// single-context engine's look-ahead: it examines upcoming structure by
+// *consuming* the only context it has, which is exactly the defect the paper
+// describes.
+func (c *Cursor) AdvanceSegments(maxSegs int, dst []Segment) (segs []Segment, bytes int) {
+	segs = dst[:0]
+	if c.pendLen > 0 && maxSegs > 0 {
+		segs = append(segs, Segment{c.pendOff, c.pendLen})
+		bytes += c.pendLen
+		c.emitted += int64(c.pendLen)
+		c.pendLen = 0
+	}
+	for len(segs) < maxSegs {
+		o, l, ok := c.nextSegment()
+		if !ok {
+			break
+		}
+		segs = append(segs, Segment{o, l})
+		bytes += l
+		c.emitted += int64(l)
+	}
+	return segs, bytes
+}
+
+// SeekBytes repositions the cursor so that exactly target data bytes precede
+// it, by resetting to the beginning and linearly walking the type map.  It
+// returns the number of segments visited during the walk — the real,
+// executed cost of the baseline engine's re-search.  SeekBytes panics if
+// target exceeds the type map size.
+func (c *Cursor) SeekBytes(target int64) (visited int64) {
+	c.Reset()
+	if target == 0 {
+		return 0
+	}
+	for {
+		o, l, ok := c.nextSegment()
+		if !ok {
+			panic("datatype: SeekBytes past end of type map")
+		}
+		visited++
+		if c.emitted+int64(l) >= target {
+			take := int(target - c.emitted)
+			c.pendOff, c.pendLen = o+take, l-take
+			c.emitted = target
+			return visited
+		}
+		c.emitted += int64(l)
+	}
+}

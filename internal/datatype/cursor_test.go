@@ -1,0 +1,231 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// drain collects all runs from a cursor with the given budget per call.
+func drain(c *Cursor, budget int) []Segment {
+	var segs []Segment
+	for {
+		off, n, ok := c.NextRun(budget)
+		if !ok {
+			return segs
+		}
+		segs = append(segs, Segment{off, n})
+	}
+}
+
+// coalesce merges adjacent segments, for comparing against Flatten.
+func coalesce(in []Segment) []Segment {
+	var out []Segment
+	for _, s := range in {
+		if s.Len == 0 {
+			continue
+		}
+		if k := len(out); k > 0 && out[k-1].Off+out[k-1].Len == s.Off {
+			out[k-1].Len += s.Len
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestCursorMatchesFlatten(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		ty := randomType(rng, 3)
+		count := rng.Intn(3) + 1
+		want := Flatten(ty, count)
+		budget := 1 + rng.Intn(64)
+		got := coalesce(drain(NewCursor(ty, count), budget))
+		if len(want) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("trial %d: got %v, want empty", trial, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (%v, count %d, budget %d):\n got %v\nwant %v",
+				trial, ty, count, budget, got, want)
+		}
+	}
+}
+
+func TestCursorSplitsLongSegments(t *testing.T) {
+	c := NewCursor(Contiguous(10, Double), 1) // one 80-byte segment
+	var got []Segment
+	for {
+		off, n, ok := c.NextRun(16)
+		if !ok {
+			break
+		}
+		if n > 16 {
+			t.Fatalf("run length %d exceeds budget", n)
+		}
+		got = append(got, Segment{off, n})
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d runs, want 5", len(got))
+	}
+	if c.BytesEmitted() != 80 {
+		t.Fatalf("emitted %d, want 80", c.BytesEmitted())
+	}
+}
+
+func TestCursorDoneAndReset(t *testing.T) {
+	ty := Vector(4, 1, 2, Double)
+	c := NewCursor(ty, 2)
+	if c.Done() {
+		t.Fatal("fresh cursor reports done")
+	}
+	drain(c, 1024)
+	if !c.Done() {
+		t.Fatal("exhausted cursor not done")
+	}
+	if _, _, ok := c.NextRun(8); ok {
+		t.Fatal("NextRun after done returned data")
+	}
+	c.Reset()
+	if c.Done() || c.BytesEmitted() != 0 {
+		t.Fatal("reset did not rewind")
+	}
+	if got := coalesce(drain(c, 1024)); !reflect.DeepEqual(got, Flatten(ty, 2)) {
+		t.Fatalf("post-reset drain mismatch: %v", got)
+	}
+}
+
+func TestCursorZeroBudget(t *testing.T) {
+	c := NewCursor(Double, 1)
+	if _, _, ok := c.NextRun(0); ok {
+		t.Fatal("zero budget returned data")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ty := Vector(8, 1, 3, Double)
+	a := NewCursor(ty, 1)
+	a.NextRun(8)
+	a.NextRun(8)
+	b := a.Clone()
+	restA := drain(a, 8)
+	restB := drain(b, 8)
+	if !reflect.DeepEqual(restA, restB) {
+		t.Fatalf("clone diverged: %v vs %v", restA, restB)
+	}
+	// Draining b again must yield nothing, and a fresh clone of a (done)
+	// must also be done.
+	if !a.Clone().Done() {
+		t.Fatal("clone of done cursor not done")
+	}
+}
+
+func TestPeekDoesNotMove(t *testing.T) {
+	ty := Vector(16, 1, 4, Double)
+	c := NewCursor(ty, 1)
+	c.NextRun(8)
+	before := c.BytesEmitted()
+	segs, bytes := c.PeekSegments(5, nil)
+	if len(segs) != 5 || bytes != 40 {
+		t.Fatalf("peek returned %d segs / %d bytes, want 5/40", len(segs), bytes)
+	}
+	if c.BytesEmitted() != before {
+		t.Fatal("peek moved the cursor")
+	}
+	// The peeked segments must equal what the cursor subsequently emits.
+	var got []Segment
+	for i := 0; i < 5; i++ {
+		off, n, _ := c.NextRun(1 << 20)
+		got = append(got, Segment{off, n})
+	}
+	if !reflect.DeepEqual(got, segs) {
+		t.Fatalf("peek/emit mismatch: %v vs %v", segs, got)
+	}
+}
+
+func TestPeekIncludesPending(t *testing.T) {
+	c := NewCursor(Contiguous(4, Double), 1) // single 32-byte segment
+	c.NextRun(8)                             // leaves 24 pending
+	segs, bytes := c.PeekSegments(3, nil)
+	if len(segs) != 1 || bytes != 24 || segs[0] != (Segment{8, 24}) {
+		t.Fatalf("peek over pending = %v (%d bytes)", segs, bytes)
+	}
+}
+
+func TestAdvanceSegmentsConsumes(t *testing.T) {
+	ty := Vector(8, 1, 2, Double)
+	c := NewCursor(ty, 1)
+	segs, bytes := c.AdvanceSegments(3, nil)
+	if len(segs) != 3 || bytes != 24 {
+		t.Fatalf("advance = %v (%d bytes)", segs, bytes)
+	}
+	if c.BytesEmitted() != 24 {
+		t.Fatalf("emitted %d, want 24", c.BytesEmitted())
+	}
+	off, _, _ := c.NextRun(8)
+	if off != 3*16 {
+		t.Fatalf("next run at %d, want 48", off)
+	}
+}
+
+func TestSeekBytesRestoresPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		ty := randomType(rng, 3)
+		count := 1 + rng.Intn(2)
+		total := ty.Size() * count
+		if total == 0 {
+			continue
+		}
+		// Walk to a random position, remember the rest, then re-search to
+		// the same position on a second cursor and compare tails.
+		target := int64(rng.Intn(total))
+		a := NewCursor(ty, count)
+		for a.BytesEmitted() < target {
+			a.NextRun(int(target - a.BytesEmitted()))
+		}
+		tailA := drain(a, 32)
+
+		b := NewCursor(ty, count)
+		b.NextRun(4) // disturb
+		visited := b.SeekBytes(target)
+		if visited < 0 {
+			t.Fatal("negative visit count")
+		}
+		tailB := drain(b, 32)
+		if !reflect.DeepEqual(coalesce(tailA), coalesce(tailB)) {
+			t.Fatalf("trial %d: seek tail mismatch at %d:\n%v\n%v", trial, target, tailA, tailB)
+		}
+	}
+}
+
+func TestSeekBytesVisitGrowsWithTarget(t *testing.T) {
+	// The executed search really is linear in the seek position: that is
+	// the paper's whole point about the baseline engine.
+	ty := Vector(1024, 1, 4, Double)
+	c := NewCursor(ty, 1)
+	early := c.SeekBytes(8 * 8)
+	late := c.SeekBytes(8 * 900)
+	if late <= early*10 {
+		t.Fatalf("search cost not linear: early=%d late=%d", early, late)
+	}
+}
+
+func TestSeekBytesPanicsPastEnd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCursor(Double, 1).SeekBytes(9)
+}
+
+func TestCursorZeroSizeType(t *testing.T) {
+	c := NewCursor(Contiguous(0, Double), 3)
+	if _, _, ok := c.NextRun(8); ok {
+		t.Fatal("zero-size type produced data")
+	}
+}

@@ -1,0 +1,92 @@
+package datatype
+
+import "fmt"
+
+// Darray returns the datatype selecting one process's block of a
+// block-distributed multidimensional array, a reduced form of
+// MPI_Type_create_darray (block distribution per dimension, C order): the
+// global array has the given sizes, the process grid has procs[d] processes
+// per dimension, and coords[d] is this process's position.  The block
+// bounds follow the PETSc-style near-equal split.  The returned type's
+// extent is the full array, so it composes with file views and window
+// layouts the way the MPI type does.
+func Darray(sizes, procs, coords []int, elem *Type) *Type {
+	nd := len(sizes)
+	if len(procs) != nd || len(coords) != nd {
+		panic("datatype: darray dimension mismatch")
+	}
+	subsizes := make([]int, nd)
+	starts := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		if procs[d] < 1 || coords[d] < 0 || coords[d] >= procs[d] {
+			panic(fmt.Sprintf("datatype: darray dim %d: coord %d not in grid of %d", d, coords[d], procs[d]))
+		}
+		lo, hi := blockRange(sizes[d], procs[d], coords[d])
+		starts[d] = lo
+		subsizes[d] = hi - lo
+	}
+	return Subarray(sizes, subsizes, starts, elem)
+}
+
+// blockRange splits n items over p parts, part k getting the near-equal
+// range (first n%p parts take one extra).
+func blockRange(n, p, k int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = k*base + min(k, rem)
+	size := base
+	if k < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// Equal reports whether two types describe the same type map: identical
+// sequences of (offset, length) segments.  Structure may differ (e.g. a
+// vector versus the equivalent indexed type); only the map matters, like
+// MPI type signature plus layout equality.
+func Equal(a, b *Type) bool {
+	if a.Size() != b.Size() || a.Extent() != b.Extent() {
+		return false
+	}
+	ca := NewCursor(a, 1)
+	cb := NewCursor(b, 1)
+	for {
+		// Compare coalesced runs so differing internal block boundaries
+		// do not produce false negatives.
+		oa, na, oka := nextCoalesced(ca)
+		ob, nb, okb := nextCoalesced(cb)
+		if oka != okb {
+			return false
+		}
+		if !oka {
+			return true
+		}
+		if oa != ob || na != nb {
+			return false
+		}
+	}
+}
+
+// nextCoalesced returns the next maximal contiguous run of a cursor.
+func nextCoalesced(c *Cursor) (off, n int, ok bool) {
+	off, n, ok = c.NextRun(1 << 62)
+	if !ok {
+		return 0, 0, false
+	}
+	for {
+		o2, n2, ok2 := c.NextRun(1 << 62)
+		if !ok2 {
+			return off, n, true
+		}
+		if o2 == off+n {
+			n += n2
+			continue
+		}
+		// Push the lookahead run back into the cursor's pending slot (we
+		// are in the cursor's package; NextRun had fully consumed it).
+		c.pendOff, c.pendLen = o2, n2
+		c.emitted -= int64(n2)
+		return off, n, true
+	}
+}

@@ -1,0 +1,115 @@
+package datatype
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDarrayCoversArray(t *testing.T) {
+	// The union of all processes' darray blocks must tile the array
+	// exactly once.
+	sizes := []int{7, 5}
+	procs := []int{3, 2}
+	covered := make([]int, 35)
+	for cy := 0; cy < procs[1]; cy++ {
+		for cx := 0; cx < procs[0]; cx++ {
+			ty := Darray(sizes, procs, []int{cx, cy}, Double)
+			if ty.Extent() != 35*8 {
+				t.Fatalf("extent = %d, want full array", ty.Extent())
+			}
+			for _, s := range Flatten(ty, 1) {
+				if s.Off%8 != 0 || s.Len%8 != 0 {
+					t.Fatalf("unaligned segment %v", s)
+				}
+				for e := s.Off / 8; e < (s.Off+s.Len)/8; e++ {
+					covered[e]++
+				}
+			}
+		}
+	}
+	for e, c := range covered {
+		if c != 1 {
+			t.Fatalf("element %d covered %d times", e, c)
+		}
+	}
+}
+
+func TestDarray3D(t *testing.T) {
+	ty := Darray([]int{4, 4, 4}, []int{2, 1, 2}, []int{1, 0, 1}, Int32)
+	// Block: x in [2,4), y in [0,4), z in [2,4) -> 16 cells.
+	if ty.Size() != 16*4 {
+		t.Fatalf("size = %d", ty.Size())
+	}
+	segs := Flatten(ty, 1)
+	// First segment starts at (z=2, y=0, x=2).
+	if segs[0].Off != (2*16+0*4+2)*4 {
+		t.Fatalf("first segment at %d", segs[0].Off)
+	}
+}
+
+func TestDarrayPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dim mismatch": func() { Darray([]int{4}, []int{2, 2}, []int{0}, Double) },
+		"bad coord":    func() { Darray([]int{4}, []int{2}, []int{2}, Double) },
+		"bad grid":     func() { Darray([]int{4}, []int{0}, []int{0}, Double) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEqualStructurallyDifferentSameMap(t *testing.T) {
+	// A vector and the equivalent indexed type describe the same map.
+	v := Vector(4, 2, 5, Double)
+	ix := Indexed([]int{2, 2, 2, 2}, []int{0, 5, 10, 15}, Double)
+	// Force identical extent for the comparison.
+	ix2 := Resized(ix, v.Extent())
+	if !Equal(v, ix2) {
+		t.Fatal("equivalent types reported unequal")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	a := Vector(4, 1, 3, Double)
+	if Equal(a, Vector(4, 1, 4, Double)) {
+		t.Fatal("different strides reported equal")
+	}
+	if Equal(a, Vector(3, 1, 3, Double)) {
+		t.Fatal("different sizes reported equal")
+	}
+	if Equal(a, Resized(Contiguous(4, Double), a.Extent())) {
+		t.Fatal("different maps with equal size/extent reported equal")
+	}
+}
+
+func TestEqualReflexiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		ty := randomType(rng, 3)
+		if !Equal(ty, ty) {
+			t.Fatalf("trial %d: type not equal to itself: %v", trial, ty)
+		}
+	}
+}
+
+func TestBlockRangePartition(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {4, 4}, {3, 5}, {100, 7}} {
+		prev := 0
+		for k := 0; k < tc.p; k++ {
+			lo, hi := blockRange(tc.n, tc.p, k)
+			if lo != prev || hi < lo {
+				t.Fatalf("n=%d p=%d k=%d: [%d,%d) after %d", tc.n, tc.p, k, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d p=%d: covered %d", tc.n, tc.p, prev)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package datatype
+
+// This file implements the pipelined pack engines compared in the paper.
+//
+// Both engines produce the same chunk stream: a sequence of pipeline-sized
+// pieces of the type map, each either packed into a caller-supplied
+// intermediate buffer (sparse regions) or described as raw segments of the
+// user buffer for direct gather transmission (dense regions).  Before every
+// chunk the engine looks ahead over the upcoming datatype signature to
+// classify the region, mirroring MPICH2's dense/sparse decision.
+//
+// SingleContext reproduces the baseline defect (paper Section 3.1): the
+// look-ahead advances the engine's only datatype context, so whenever the
+// region is sparse the engine has lost the position it must pack from and
+// re-searches the datatype linearly from the beginning.  That search really
+// happens here — SeekBytes walks the tree — so its quadratic growth shows up
+// in wall-clock benchmarks as well as in the virtual-time model.
+//
+// DualContext implements the paper's fix (Section 4.1): look-aheads run on a
+// disposable clone of the pack context and touch only the datatype
+// signature, so the pack context never moves except to pack and no search is
+// ever needed.
+
+// EngineKind selects which pack engine a Packer uses.
+type EngineKind uint8
+
+const (
+	// SingleContext is the baseline MPICH2-like engine with one datatype
+	// context and from-scratch re-search after sparse look-aheads.
+	SingleContext EngineKind = iota
+	// DualContext is the paper's dual-context look-ahead engine.
+	DualContext
+)
+
+func (k EngineKind) String() string {
+	if k == SingleContext {
+		return "single-context"
+	}
+	return "dual-context"
+}
+
+// Options tunes a pack engine.  The zero value selects the defaults below.
+type Options struct {
+	// Pipeline is the intermediate-buffer granularity in bytes: how much
+	// data each chunk carries.  Default 32 KiB.
+	Pipeline int
+	// LookAhead is how many contiguous segments the density classifier
+	// examines before each chunk.  The paper's implementation uses 15.
+	LookAhead int
+	// DenseThreshold is the minimum mean segment length, in bytes, for a
+	// region to take the direct (no-copy) path.  Default 8 KiB — the
+	// CH3-era implementations packed everything but very dense layouts,
+	// since scatter/gather sends only pay off for long segments.
+	DenseThreshold int
+}
+
+// DefaultOptions are the engine defaults used throughout the repository.
+var DefaultOptions = Options{Pipeline: 32 * 1024, LookAhead: 15, DenseThreshold: 8192}
+
+// WithDefaults returns o with zero fields replaced by DefaultOptions values.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
+func (o Options) withDefaults() Options {
+	if o.Pipeline <= 0 {
+		o.Pipeline = DefaultOptions.Pipeline
+	}
+	if o.LookAhead <= 0 {
+		o.LookAhead = DefaultOptions.LookAhead
+	}
+	if o.DenseThreshold <= 0 {
+		o.DenseThreshold = DefaultOptions.DenseThreshold
+	}
+	return o
+}
+
+// Metrics counts the work a pack or unpack engine performed.  Byte and
+// segment counts are exact; the virtual-time layer converts them into
+// pack/search/communication time.
+type Metrics struct {
+	Chunks          int64 // pipeline events
+	PackedBytes     int64 // bytes copied through the intermediate buffer
+	DirectBytes     int64 // bytes taken by the direct (dense) path
+	PackedSegments  int64 // segments copied while packing
+	DirectSegments  int64 // segments emitted on the direct path
+	ScannedSegments int64 // segments examined by look-aheads
+	SearchSegments  int64 // segments visited by baseline re-searches
+	Searches        int64 // number of re-search events
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.Chunks += other.Chunks
+	m.PackedBytes += other.PackedBytes
+	m.DirectBytes += other.DirectBytes
+	m.PackedSegments += other.PackedSegments
+	m.DirectSegments += other.DirectSegments
+	m.ScannedSegments += other.ScannedSegments
+	m.SearchSegments += other.SearchSegments
+	m.Searches += other.Searches
+}
+
+// Chunk is one pipeline unit produced by a Packer.
+type Chunk struct {
+	// Data holds the packed bytes when Direct is false.  It aliases the
+	// scratch buffer passed to NextChunk and is only valid until the next
+	// call.
+	Data []byte
+	// Segs lists the user-buffer segments making up the chunk when Direct
+	// is true.  It aliases engine-owned scratch, valid until the next call.
+	Segs []Segment
+	// Direct reports the dense no-copy path.
+	Direct bool
+	// Bytes is the amount of data in the chunk.
+	Bytes int
+}
+
+// Packer turns count instances of a datatype laid out in buf into a chunk
+// stream.  Create one per message; a Packer is not safe for concurrent use.
+type Packer struct {
+	kind EngineKind
+	opt  Options
+	buf  []byte
+	cur  *Cursor
+	m    Metrics
+
+	scratchSegs []Segment
+}
+
+// NewPacker returns a Packer over count instances of t stored in buf.
+// buf must be at least count*t.Extent() bytes (zero-size types excepted).
+func NewPacker(kind EngineKind, t *Type, count int, buf []byte, opt Options) *Packer {
+	opt = opt.withDefaults()
+	if need := requiredBytes(t, count); len(buf) < need {
+		panic("datatype: buffer smaller than type map extent")
+	}
+	return &Packer{
+		kind: kind,
+		opt:  opt,
+		buf:  buf,
+		cur:  NewCursor(t, count),
+	}
+}
+
+func requiredBytes(t *Type, count int) int {
+	if count == 0 || t.size == 0 {
+		return 0
+	}
+	// The final instance needs only its true span, but extent-spacing is
+	// the common case and the simple bound is fine for validation.
+	return (count-1)*t.extent + t.extent
+}
+
+// Remaining reports whether more chunks are available.
+func (p *Packer) Remaining() bool { return !p.cur.Done() }
+
+// TotalBytes returns the total data size of the message.
+func (p *Packer) TotalBytes() int64 {
+	return int64(p.cur.root.size) * int64(p.cur.count)
+}
+
+// Metrics returns the work counters accumulated so far.
+func (p *Packer) Metrics() Metrics { return p.m }
+
+// NextChunk produces the next pipeline chunk.  scratch must be at least
+// Options.Pipeline bytes; packed chunks alias it.  ok is false when the
+// type map is exhausted.
+func (p *Packer) NextChunk(scratch []byte) (c Chunk, ok bool) {
+	if p.cur.Done() {
+		return Chunk{}, false
+	}
+	if len(scratch) < p.opt.Pipeline {
+		panic("datatype: scratch smaller than pipeline granularity")
+	}
+	p.m.Chunks++
+
+	switch p.kind {
+	case SingleContext:
+		return p.nextSingle(scratch), true
+	case DualContext:
+		return p.nextDual(scratch), true
+	}
+	panic("datatype: unknown engine kind")
+}
+
+// nextSingle is the baseline: look-ahead consumes the only context; the
+// sparse path must re-search from the start of the datatype.
+func (p *Packer) nextSingle(scratch []byte) Chunk {
+	saved := p.cur.BytesEmitted()
+
+	// Look-ahead (destructive): examine up to LookAhead segments, stopping
+	// once a pipeline's worth of data has been classified.
+	segs, bytes := p.cur.AdvanceSegments(p.opt.LookAhead, p.scratchSegs)
+	p.scratchSegs = segs[:0]
+	p.m.ScannedSegments += int64(len(segs))
+
+	if p.isDense(bytes, len(segs)) {
+		// Dense: the scanned region is transmitted directly from the user
+		// buffer; the context conveniently already sits past it.
+		p.m.DirectBytes += int64(bytes)
+		p.m.DirectSegments += int64(len(segs))
+		return Chunk{Segs: segs, Direct: true, Bytes: bytes}
+	}
+
+	// Sparse: the position to pack from was lost to the look-ahead.
+	// Re-search the datatype from the beginning — the real linear walk
+	// whose repetition makes total search time quadratic.
+	p.m.Searches++
+	p.m.SearchSegments += p.cur.SeekBytes(saved)
+	return p.packInto(scratch)
+}
+
+// nextDual is the paper's engine: the look-ahead runs on a clone and reads
+// only the signature; the pack context never loses its place.
+func (p *Packer) nextDual(scratch []byte) Chunk {
+	segs, bytes := p.cur.PeekSegments(p.opt.LookAhead, p.scratchSegs)
+	p.scratchSegs = segs[:0]
+	p.m.ScannedSegments += int64(len(segs))
+
+	if p.isDense(bytes, len(segs)) {
+		// Advance the pack context over exactly the scanned segments and
+		// emit them directly.
+		adv, advBytes := p.cur.AdvanceSegments(len(segs), p.scratchSegs)
+		p.scratchSegs = adv[:0]
+		p.m.DirectBytes += int64(advBytes)
+		p.m.DirectSegments += int64(len(adv))
+		return Chunk{Segs: adv, Direct: true, Bytes: advBytes}
+	}
+	return p.packInto(scratch)
+}
+
+// isDense applies the density heuristic over a scanned window.
+func (p *Packer) isDense(bytes, segs int) bool {
+	if segs == 0 {
+		return false
+	}
+	return bytes/segs >= p.opt.DenseThreshold
+}
+
+// packInto copies up to one pipeline granule from the current position into
+// scratch.
+func (p *Packer) packInto(scratch []byte) Chunk {
+	budget := p.opt.Pipeline
+	n := 0
+	for n < budget {
+		off, l, ok := p.cur.NextRun(budget - n)
+		if !ok {
+			break
+		}
+		copy(scratch[n:n+l], p.buf[off:off+l])
+		n += l
+		p.m.PackedSegments++
+	}
+	p.m.PackedBytes += int64(n)
+	return Chunk{Data: scratch[:n], Bytes: n}
+}
+
+// Unpacker scatters an in-order byte stream into count instances of a
+// datatype laid out in buf — the receive side of a noncontiguous transfer.
+type Unpacker struct {
+	buf []byte
+	cur *Cursor
+	m   Metrics
+}
+
+// NewUnpacker returns an Unpacker writing into count instances of t in buf.
+func NewUnpacker(t *Type, count int, buf []byte) *Unpacker {
+	if need := requiredBytes(t, count); len(buf) < need {
+		panic("datatype: buffer smaller than type map extent")
+	}
+	return &Unpacker{buf: buf, cur: NewCursor(t, count)}
+}
+
+// Consume scatters data into the next positions of the type map.  It panics
+// if more bytes arrive than the type map holds.
+func (u *Unpacker) Consume(data []byte) {
+	for len(data) > 0 {
+		off, l, ok := u.cur.NextRun(len(data))
+		if !ok {
+			panic("datatype: unpack overflow: more data than type map")
+		}
+		copy(u.buf[off:off+l], data[:l])
+		data = data[l:]
+		u.m.PackedBytes += int64(l)
+		u.m.PackedSegments++
+	}
+}
+
+// ConsumeSegments scatters a direct chunk (segments of the sender's buffer)
+// into the receive type map.
+func (u *Unpacker) ConsumeSegments(src []byte, segs []Segment) {
+	for _, s := range segs {
+		u.Consume(src[s.Off : s.Off+s.Len])
+	}
+}
+
+// Done reports whether the whole type map has been filled.
+func (u *Unpacker) Done() bool { return u.cur.Done() }
+
+// BytesWritten returns the number of data bytes unpacked so far.
+func (u *Unpacker) BytesWritten() int64 { return u.cur.BytesEmitted() }
+
+// Metrics returns the unpack work counters.
+func (u *Unpacker) Metrics() Metrics { return u.m }
+
+// Pack is a convenience that packs count instances of t from buf into a
+// single contiguous byte slice using the dual-context engine.
+func Pack(t *Type, count int, buf []byte) []byte {
+	out := make([]byte, 0, int64(t.Size())*int64(count))
+	p := NewPacker(DualContext, t, count, buf, Options{})
+	scratch := make([]byte, DefaultOptions.Pipeline)
+	for {
+		c, ok := p.NextChunk(scratch)
+		if !ok {
+			break
+		}
+		if c.Direct {
+			for _, s := range c.Segs {
+				out = append(out, buf[s.Off:s.Off+s.Len]...)
+			}
+		} else {
+			out = append(out, c.Data...)
+		}
+	}
+	return out
+}
+
+// Unpack is a convenience that scatters packed data into count instances of
+// t in buf.  It panics if data does not exactly fill the type map.
+func Unpack(t *Type, count int, buf []byte, data []byte) {
+	u := NewUnpacker(t, count, buf)
+	u.Consume(data)
+	if got, want := u.BytesWritten(), int64(t.Size())*int64(count); got != want {
+		panic("datatype: unpack underflow: data does not fill type map")
+	}
+}

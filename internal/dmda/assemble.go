@@ -1,0 +1,89 @@
+package dmda
+
+import (
+	"nccd/internal/mat"
+	"nccd/internal/petsc"
+)
+
+// StencilEntry is one coupling of a grid point to a neighbor: the value V
+// multiplies the unknown at offset (DI, DJ, DK), dof component F.
+type StencilEntry struct {
+	DI, DJ, DK int
+	F          int
+	V          float64
+}
+
+// GlobalIndex returns the index of grid point (i,j,k) component f in the
+// DA's global vector numbering (rank-contiguous, canonical order within
+// each rank's box).
+func (da *DA) GlobalIndex(i, j, k, f int) int {
+	var coord [3]int
+	coord[0] = petsc.Owner(da.n[0], da.p[0], i)
+	coord[1] = petsc.Owner(da.n[1], da.p[1], j)
+	coord[2] = petsc.Owner(da.n[2], da.p[2], k)
+	rank := coord[0] + da.p[0]*(coord[1]+da.p[1]*coord[2])
+	own := da.ownedBoxOf(coord)
+	return da.rankOffset(rank) + boxIndex(own, da.dof, i, j, k, f)
+}
+
+// rankOffset returns the global-vector offset of a rank's block.
+func (da *DA) rankOffset(rank int) int {
+	if da.offsets == nil {
+		sizes := da.localSizes()
+		da.offsets = make([]int, len(sizes)+1)
+		for r, n := range sizes {
+			da.offsets[r+1] = da.offsets[r] + n
+		}
+	}
+	return da.offsets[rank]
+}
+
+// VecLayout returns the DA's global-vector layout for building matching
+// matrices.
+func (da *DA) VecLayout() mat.Layout {
+	return mat.NewLayout(da.localSizes())
+}
+
+// AssembleStencil builds a distributed AIJ matrix over the DA's vector
+// layout from a per-point stencil: fn is called for every owned point
+// (i,j,k) and component f and returns the couplings of that row.  Neighbor
+// offsets falling outside the domain wrap around in periodic dimensions and
+// are dropped otherwise (homogeneous Dirichlet).  Collective.
+func (da *DA) AssembleStencil(mode petsc.ScatterMode, fn func(i, j, k, f int) []StencilEntry) *mat.AIJ {
+	l := da.VecLayout()
+	m := mat.NewAIJWithLayout(da.c, l, l, mode)
+	own := da.OwnedBox()
+	for k := own.Lo[2]; k < own.Hi[2]; k++ {
+		for j := own.Lo[1]; j < own.Hi[1]; j++ {
+			for i := own.Lo[0]; i < own.Hi[0]; i++ {
+				for f := 0; f < da.dof; f++ {
+					row := da.GlobalIndex(i, j, k, f)
+					for _, e := range fn(i, j, k, f) {
+						ci, ok1 := da.wrap(0, i+e.DI)
+						cj, ok2 := da.wrap(1, j+e.DJ)
+						ck, ok3 := da.wrap(2, k+e.DK)
+						if !ok1 || !ok2 || !ok3 {
+							continue
+						}
+						m.Add(row, da.GlobalIndex(ci, cj, ck, e.F), e.V)
+					}
+				}
+			}
+		}
+	}
+	m.Assemble()
+	return m
+}
+
+// wrap maps coordinate x in dimension d into the domain: periodic
+// dimensions wrap, truncating ones report out-of-domain.
+func (da *DA) wrap(d, x int) (int, bool) {
+	n := da.n[d]
+	if x >= 0 && x < n {
+		return x, true
+	}
+	if d < da.dim && da.bnd[d] == BoundaryPeriodic {
+		return ((x % n) + n) % n, true
+	}
+	return 0, false
+}

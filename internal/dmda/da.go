@@ -1,0 +1,521 @@
+// Package dmda reimplements the slice of PETSc's DMDA (distributed
+// structured arrays) the paper's application workloads use: regular 1-D,
+// 2-D and 3-D grids decomposed over a process grid, with star- or box-type
+// stencil ghost regions (paper Figure 3), interlaced degrees of freedom,
+// and Global↔Local ghost-point communication built on petsc.Scatter — so
+// every ghost update exercises whichever communication backend (hand-tuned
+// or MPI datatypes + collectives) the experiment selects.
+package dmda
+
+import (
+	"fmt"
+
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+)
+
+// StencilType selects the ghost-region shape, per the paper's Figure 3.
+type StencilType uint8
+
+const (
+	// StencilStar communicates only face neighbors (2*dim of them); the
+	// volume exchanged differs per dimension when subdomains are not
+	// cubic.
+	StencilStar StencilType = iota
+	// StencilBox also communicates edge and corner neighbors, with much
+	// smaller volumes than faces — the paper's canonical example of
+	// nonuniform communication volumes.
+	StencilBox
+)
+
+func (s StencilType) String() string {
+	if s == StencilStar {
+		return "star"
+	}
+	return "box"
+}
+
+// BoundaryType selects the domain boundary handling per dimension.
+type BoundaryType uint8
+
+const (
+	// BoundaryNone truncates ghost regions at the domain edge.
+	BoundaryNone BoundaryType = iota
+	// BoundaryPeriodic wraps ghost regions around the domain, like
+	// DM_BOUNDARY_PERIODIC.  Ghost boxes then extend past [0, N) and the
+	// extended coordinates map to cells modulo N.
+	BoundaryPeriodic
+)
+
+func (b BoundaryType) String() string {
+	if b == BoundaryNone {
+		return "none"
+	}
+	return "periodic"
+}
+
+// Box is a half-open cell region [Lo, Hi) per dimension.  Unused dimensions
+// are [0, 1).
+type Box struct {
+	Lo, Hi [3]int
+}
+
+// Empty reports whether the box contains no cells.
+func (b Box) Empty() bool {
+	for d := 0; d < 3; d++ {
+		if b.Hi[d] <= b.Lo[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Cells returns the number of grid cells in the box.
+func (b Box) Cells() int {
+	n := 1
+	for d := 0; d < 3; d++ {
+		if b.Hi[d] <= b.Lo[d] {
+			return 0
+		}
+		n *= b.Hi[d] - b.Lo[d]
+	}
+	return n
+}
+
+// Intersect returns the intersection of two boxes.
+func (b Box) Intersect(o Box) Box {
+	var r Box
+	for d := 0; d < 3; d++ {
+		r.Lo[d] = max(b.Lo[d], o.Lo[d])
+		r.Hi[d] = min(b.Hi[d], o.Hi[d])
+	}
+	return r
+}
+
+// DA is a distributed regular grid.  All metadata (process grid, ownership
+// ranges of every rank) is computed deterministically from the global sizes,
+// so communication plans are built without setup messages.
+type DA struct {
+	c       *mpi.Comm
+	dim     int
+	n       [3]int // global grid size per dim (1 for unused dims)
+	dof     int
+	stencil StencilType
+	width   int
+	mode    petsc.ScatterMode
+
+	bnd [3]BoundaryType
+
+	active int    // ranks participating in the decomposition (others own nothing)
+	p      [3]int // process grid over the active ranks
+	coord  [3]int // my position in the process grid (valid if rank < active)
+
+	own   Box // owned cell region
+	ghost Box // owned region widened by the stencil (clamped to the domain)
+
+	g2l *petsc.Scatter // global vec -> ghosted local array
+
+	offsets []int // lazy per-rank global-vector offsets (see rankOffset)
+}
+
+// New creates a DA over the world of c.  n lists the global grid size per
+// dimension (len(n) = 1, 2 or 3), dof the interlaced degrees of freedom per
+// grid point, and width the stencil width.  mode selects the communication
+// backend for all of the DA's scatters.  All boundaries are truncating;
+// use NewWithBoundaries for periodic domains.  Collective.
+func New(c *mpi.Comm, n []int, dof int, stencil StencilType, width int, mode petsc.ScatterMode) *DA {
+	return NewWithBoundaries(c, n, dof, stencil, width, mode, nil)
+}
+
+// NewWithBoundaries is New with per-dimension boundary types; a nil bnd
+// means all-truncating.  Periodic dimensions require width < n[d].
+func NewWithBoundaries(c *mpi.Comm, n []int, dof int, stencil StencilType, width int,
+	mode petsc.ScatterMode, bnd []BoundaryType) *DA {
+	return NewLimited(c, n, dof, stencil, width, mode, bnd, 0)
+}
+
+// NewLimited is NewWithBoundaries with the decomposition restricted to the
+// first maxRanks ranks (0 means all).  The remaining ranks own no cells but
+// still participate in every collective operation — this is how multigrid
+// agglomerates coarse levels onto fewer ranks when subdomains become too
+// small to be worth the communication.
+func NewLimited(c *mpi.Comm, n []int, dof int, stencil StencilType, width int,
+	mode petsc.ScatterMode, bnd []BoundaryType, maxRanks int) *DA {
+	dim := len(n)
+	if dim < 1 || dim > 3 {
+		panic(fmt.Sprintf("dmda: dimension %d out of range", dim))
+	}
+	if dof < 1 {
+		panic("dmda: dof must be at least 1")
+	}
+	if width < 0 {
+		panic("dmda: negative stencil width")
+	}
+	if bnd != nil && len(bnd) != dim {
+		panic("dmda: boundary list length must match dimension")
+	}
+	da := &DA{c: c, dim: dim, dof: dof, stencil: stencil, width: width, mode: mode}
+	for d := 0; d < 3; d++ {
+		da.n[d] = 1
+		da.p[d] = 1
+	}
+	for d := 0; d < dim; d++ {
+		if n[d] < 1 {
+			panic("dmda: grid dimension must be positive")
+		}
+		da.n[d] = n[d]
+		if bnd != nil {
+			da.bnd[d] = bnd[d]
+		}
+		if da.bnd[d] == BoundaryPeriodic && width >= n[d] {
+			panic("dmda: periodic boundary requires width < grid extent")
+		}
+	}
+	da.active = c.Size()
+	if maxRanks > 0 && maxRanks < da.active {
+		da.active = maxRanks
+	}
+	da.p = FactorGrid(da.active, dim, da.n)
+	me := c.Rank()
+	da.coord[0] = me % da.p[0]
+	da.coord[1] = (me / da.p[0]) % da.p[1]
+	da.coord[2] = me / (da.p[0] * da.p[1])
+
+	da.own = da.ownedBoxOfRank(me)
+	da.ghost = da.ghostBoxOf(da.own)
+	da.g2l = da.buildGhostScatter()
+	return da
+}
+
+// ownedBoxOfRank returns a rank's owned region; ranks beyond the active
+// decomposition own nothing.
+func (da *DA) ownedBoxOfRank(rank int) Box {
+	if rank >= da.active {
+		return Box{}
+	}
+	return da.ownedBoxOf(da.coordOf(rank))
+}
+
+// Active returns the number of ranks holding cells.
+func (da *DA) Active() int { return da.active }
+
+// ownedBoxOf returns the owned region of the process at the given grid
+// coordinates.
+func (da *DA) ownedBoxOf(coord [3]int) Box {
+	var b Box
+	for d := 0; d < 3; d++ {
+		lo, hi := petsc.OwnershipRange(da.n[d], da.p[d], coord[d])
+		b.Lo[d], b.Hi[d] = lo, hi
+	}
+	return b
+}
+
+// ghostBoxOf widens a box by the stencil width; truncating dimensions
+// clamp to the domain, periodic ones extend past it (extended coordinates
+// map to cells modulo n).
+func (da *DA) ghostBoxOf(own Box) Box {
+	if own.Empty() {
+		return own // inactive ranks have no ghost region either
+	}
+	g := own
+	for d := 0; d < da.dim; d++ {
+		g.Lo[d] = own.Lo[d] - da.width
+		g.Hi[d] = own.Hi[d] + da.width
+		if da.bnd[d] != BoundaryPeriodic {
+			g.Lo[d] = max(0, g.Lo[d])
+			g.Hi[d] = min(da.n[d], g.Hi[d])
+		}
+	}
+	return g
+}
+
+// shiftsOf returns the domain translations under which a ghost region in
+// extended coordinates can overlap owned boxes: {0} for truncating
+// dimensions, {-n, 0, +n} for periodic ones.
+func (da *DA) shiftsOf() [][]int {
+	out := make([][]int, 3)
+	for d := 0; d < 3; d++ {
+		if d < da.dim && da.bnd[d] == BoundaryPeriodic {
+			out[d] = []int{0, da.n[d], -da.n[d]}
+		} else {
+			out[d] = []int{0}
+		}
+	}
+	return out
+}
+
+// translate returns b moved by (sx, sy, sz).
+func translate(b Box, s [3]int) Box {
+	for d := 0; d < 3; d++ {
+		b.Lo[d] += s[d]
+		b.Hi[d] += s[d]
+	}
+	return b
+}
+
+// coordOf returns the process-grid coordinates of a rank.
+func (da *DA) coordOf(rank int) [3]int {
+	return [3]int{
+		rank % da.p[0],
+		(rank / da.p[0]) % da.p[1],
+		rank / (da.p[0] * da.p[1]),
+	}
+}
+
+// Comm returns the communicator.
+func (da *DA) Comm() *mpi.Comm { return da.c }
+
+// Dim returns the grid dimensionality.
+func (da *DA) Dim() int { return da.dim }
+
+// GlobalSize returns the global grid size of dimension d.
+func (da *DA) GlobalSize(d int) int { return da.n[d] }
+
+// Dof returns the degrees of freedom per grid point.
+func (da *DA) Dof() int { return da.dof }
+
+// Stencil returns the stencil type.
+func (da *DA) Stencil() StencilType { return da.stencil }
+
+// Width returns the stencil width.
+func (da *DA) Width() int { return da.width }
+
+// Boundary returns the boundary type of dimension d.
+func (da *DA) Boundary(d int) BoundaryType { return da.bnd[d] }
+
+// ProcGrid returns the process-grid extents.
+func (da *DA) ProcGrid() [3]int { return da.p }
+
+// Coords returns this rank's process-grid coordinates.
+func (da *DA) Coords() [3]int { return da.coord }
+
+// OwnedBox returns this rank's owned cell region.
+func (da *DA) OwnedBox() Box { return da.own }
+
+// GhostBox returns this rank's ghosted cell region.
+func (da *DA) GhostBox() Box { return da.ghost }
+
+// OwnedCount returns the number of owned values (cells times dof).
+func (da *DA) OwnedCount() int { return da.own.Cells() * da.dof }
+
+// GhostCount returns the length of a ghosted local array.
+func (da *DA) GhostCount() int { return da.ghost.Cells() * da.dof }
+
+// localSizes returns every rank's owned value count.
+func (da *DA) localSizes() []int {
+	sizes := make([]int, da.c.Size())
+	for r := range sizes {
+		sizes[r] = da.ownedBoxOfRank(r).Cells() * da.dof
+	}
+	return sizes
+}
+
+// CreateGlobalVec returns a zeroed distributed vector over the grid, one
+// contiguous block per rank, cells in canonical (z, y, x-fastest) order with
+// dof interlaced.
+func (da *DA) CreateGlobalVec() *petsc.Vec {
+	return petsc.NewVecWithSizes(da.c, da.localSizes())
+}
+
+// CreateLocalArray returns a zeroed ghosted local array.
+func (da *DA) CreateLocalArray() []float64 {
+	return make([]float64, da.GhostCount())
+}
+
+// boxIndex returns the flat index of cell (i,j,k), dof component f, within
+// box b (canonical order).
+func boxIndex(b Box, dof, i, j, k, f int) int {
+	nx := b.Hi[0] - b.Lo[0]
+	ny := b.Hi[1] - b.Lo[1]
+	cell := ((k-b.Lo[2])*ny+(j-b.Lo[1]))*nx + (i - b.Lo[0])
+	return cell*dof + f
+}
+
+// LocalIndex returns the index of grid point (i,j,k) component f in a
+// ghosted local array.  For dim<3 pass 0 for the unused coordinates.
+func (da *DA) LocalIndex(i, j, k, f int) int {
+	return boxIndex(da.ghost, da.dof, i, j, k, f)
+}
+
+// OwnedIndex returns the index of owned grid point (i,j,k) component f in
+// the local part of a global vector.
+func (da *DA) OwnedIndex(i, j, k, f int) int {
+	return boxIndex(da.own, da.dof, i, j, k, f)
+}
+
+// appendBoxIndices appends the flat within-frame indices of every value of
+// region (canonical cell order, dof inner) to dst, where frame is the box
+// the flat indexing is relative to.
+func appendBoxIndices(dst []int, frame, region Box, dof int) []int {
+	for k := region.Lo[2]; k < region.Hi[2]; k++ {
+		for j := region.Lo[1]; j < region.Hi[1]; j++ {
+			for i := region.Lo[0]; i < region.Hi[0]; i++ {
+				base := boxIndex(frame, dof, i, j, k, 0)
+				for f := 0; f < dof; f++ {
+					dst = append(dst, base+f)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// ghostRegionsOf enumerates the ghost regions a rank with the given owned
+// box needs, in a canonical deterministic order, including the interior
+// (offset 0,0,0) region — the scatter also moves the owned data into the
+// ghosted array.  For star stencils only face slabs (exactly one nonzero
+// offset) and the interior are included; for box stencils all 3^dim
+// regions.
+func (da *DA) ghostRegionsOf(own, ghost Box) []Box {
+	var regions []Box
+	lim := func(d int) (int, int) {
+		if d < da.dim {
+			return -1, 1
+		}
+		return 0, 0
+	}
+	zlo, zhi := lim(2)
+	ylo, yhi := lim(1)
+	xlo, xhi := lim(0)
+	for oz := zlo; oz <= zhi; oz++ {
+		for oy := ylo; oy <= yhi; oy++ {
+			for ox := xlo; ox <= xhi; ox++ {
+				nz := abs(ox) + abs(oy) + abs(oz)
+				if da.stencil == StencilStar && nz > 1 {
+					continue
+				}
+				var r Box
+				for d, o := range [3]int{ox, oy, oz} {
+					switch o {
+					case -1:
+						r.Lo[d], r.Hi[d] = ghost.Lo[d], own.Lo[d]
+					case 0:
+						r.Lo[d], r.Hi[d] = own.Lo[d], own.Hi[d]
+					case 1:
+						r.Lo[d], r.Hi[d] = own.Hi[d], ghost.Hi[d]
+					}
+				}
+				if !r.Empty() {
+					regions = append(regions, r)
+				}
+			}
+		}
+	}
+	return regions
+}
+
+// buildGhostScatter constructs the GlobalToLocal communication plan.  Both
+// sides of every pairwise transfer enumerate regions, boundary shifts and
+// cells in the same canonical order, so the plan needs no setup
+// communication.  Periodic ghost regions live in extended coordinates; a
+// shifted copy of the region is intersected with owned boxes and the result
+// translated back into the ghost frame on the receive side.
+func (da *DA) buildGhostScatter() *petsc.Scatter {
+	size := da.c.Size()
+	shifts := da.shiftsOf()
+
+	recvFrom := map[int][]int{}
+	for _, region := range da.ghostRegionsOf(da.own, da.ghost) {
+		da.forEachShift(shifts, region, func(s [3]int, shifted Box) {
+			for q := 0; q < size; q++ {
+				ov := shifted.Intersect(da.ownedBoxOfRank(q))
+				if ov.Empty() {
+					continue
+				}
+				back := translate(ov, [3]int{-s[0], -s[1], -s[2]})
+				recvFrom[q] = appendBoxIndices(recvFrom[q], da.ghost, back, da.dof)
+			}
+		})
+	}
+
+	sendTo := map[int][]int{}
+	for r := 0; r < size; r++ {
+		rOwn := da.ownedBoxOfRank(r)
+		rGhost := da.ghostBoxOf(rOwn)
+		for _, region := range da.ghostRegionsOf(rOwn, rGhost) {
+			da.forEachShift(shifts, region, func(s [3]int, shifted Box) {
+				// Within r's (region, shift) enumeration my contribution
+				// must appear exactly where r expects it; shifted
+				// intersection preserves the canonical cell order.
+				ov := shifted.Intersect(da.own)
+				if ov.Empty() {
+					return
+				}
+				sendTo[r] = appendBoxIndices(sendTo[r], da.own, ov, da.dof)
+			})
+		}
+	}
+
+	plan := petsc.Plan{Sends: peersOf(sendTo), Recvs: peersOf(recvFrom)}
+	return petsc.NewScatterFromPlan(da.c, da.OwnedCount(), da.GhostCount(), plan, da.mode)
+}
+
+// forEachShift invokes f for every boundary-shift combination of region, in
+// a fixed canonical order.
+func (da *DA) forEachShift(shifts [][]int, region Box, f func(s [3]int, shifted Box)) {
+	for _, sz := range shifts[2] {
+		for _, sy := range shifts[1] {
+			for _, sx := range shifts[0] {
+				s := [3]int{sx, sy, sz}
+				f(s, translate(region, s))
+			}
+		}
+	}
+}
+
+func peersOf(m map[int][]int) []petsc.PeerIndices {
+	peers := make([]petsc.PeerIndices, 0, len(m))
+	for p := range m {
+		peers = append(peers, petsc.PeerIndices{Peer: p, Local: m[p]})
+	}
+	// Sort by peer for determinism.
+	for i := 1; i < len(peers); i++ {
+		for j := i; j > 0 && peers[j-1].Peer > peers[j].Peer; j-- {
+			peers[j-1], peers[j] = peers[j], peers[j-1]
+		}
+	}
+	return peers
+}
+
+// GlobalToLocal fills the ghosted local array l (length GhostCount) from
+// the global vector g, communicating ghost points from neighbor ranks.
+// Collective.
+func (da *DA) GlobalToLocal(g *petsc.Vec, l []float64) {
+	if g.LocalSize() != da.OwnedCount() {
+		panic("dmda: global vector does not match DA layout")
+	}
+	if len(l) != da.GhostCount() {
+		panic("dmda: local array does not match DA ghost layout")
+	}
+	da.g2l.DoArrays(g.Array(), l)
+}
+
+// LocalToGlobal copies the owned region of the ghosted local array l into
+// the global vector g (INSERT semantics).  Purely local.
+func (da *DA) LocalToGlobal(l []float64, g *petsc.Vec) {
+	if g.LocalSize() != da.OwnedCount() {
+		panic("dmda: global vector does not match DA layout")
+	}
+	if len(l) != da.GhostCount() {
+		panic("dmda: local array does not match DA ghost layout")
+	}
+	ga := g.Array()
+	for k := da.own.Lo[2]; k < da.own.Hi[2]; k++ {
+		for j := da.own.Lo[1]; j < da.own.Hi[1]; j++ {
+			src := da.LocalIndex(da.own.Lo[0], j, k, 0)
+			dst := da.OwnedIndex(da.own.Lo[0], j, k, 0)
+			n := (da.own.Hi[0] - da.own.Lo[0]) * da.dof
+			copy(ga[dst:dst+n], l[src:src+n])
+		}
+	}
+}
+
+// GhostScatter exposes the GlobalToLocal scatter (for instrumentation).
+func (da *DA) GhostScatter() *petsc.Scatter { return da.g2l }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

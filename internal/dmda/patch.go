@@ -1,0 +1,78 @@
+package dmda
+
+import (
+	"encoding/binary"
+
+	"nccd/internal/petsc"
+)
+
+// NewPatchScatter builds a scatter that fills, on every rank, a local patch
+// array covering the rank's requested cell box from the DA's global
+// vectors.  Each rank passes its own desired box (it may differ per rank
+// and may overlap other ranks' boxes); the box is clamped to the domain and
+// returned.  The patch array layout is canonical (z, y, x-fastest, dof
+// interlaced) within the clamped box.
+//
+// Multigrid uses this for inter-level transfer: a fine rank requests the
+// coarse-cell box its interpolation stencil reads, regardless of how the
+// coarse grid is decomposed.  Unlike the ghost scatter, the requested boxes
+// are not deducible from the decomposition, so creation performs one small
+// Allgather of box coordinates.  Collective.
+func (da *DA) NewPatchScatter(want Box) (*petsc.Scatter, Box) {
+	for d := 0; d < 3; d++ {
+		want.Lo[d] = max(0, want.Lo[d])
+		want.Hi[d] = min(da.n[d], want.Hi[d])
+		if want.Hi[d] < want.Lo[d] {
+			want.Hi[d] = want.Lo[d]
+		}
+	}
+	size := da.c.Size()
+
+	// Exchange all ranks' requested boxes.
+	mine := encodeBox(want)
+	all := make([]byte, len(mine)*size)
+	da.c.Allgather(mine, all)
+
+	// Receives: my patch cells from each owner.
+	recvFrom := map[int][]int{}
+	for q := 0; q < size; q++ {
+		ov := want.Intersect(da.ownedBoxOfRank(q))
+		if ov.Empty() {
+			continue
+		}
+		recvFrom[q] = appendBoxIndices(recvFrom[q], want, ov, da.dof)
+	}
+
+	// Sends: my owned cells inside each rank's requested box.
+	sendTo := map[int][]int{}
+	for r := 0; r < size; r++ {
+		rwant := decodeBox(all[r*48 : (r+1)*48])
+		ov := rwant.Intersect(da.own)
+		if ov.Empty() {
+			continue
+		}
+		sendTo[r] = appendBoxIndices(sendTo[r], da.own, ov, da.dof)
+	}
+
+	plan := petsc.Plan{Sends: peersOf(sendTo), Recvs: peersOf(recvFrom)}
+	sc := petsc.NewScatterFromPlan(da.c, da.OwnedCount(), want.Cells()*da.dof, plan, da.mode)
+	return sc, want
+}
+
+func encodeBox(b Box) []byte {
+	out := make([]byte, 48)
+	for d := 0; d < 3; d++ {
+		binary.LittleEndian.PutUint64(out[d*8:], uint64(int64(b.Lo[d])))
+		binary.LittleEndian.PutUint64(out[24+d*8:], uint64(int64(b.Hi[d])))
+	}
+	return out
+}
+
+func decodeBox(in []byte) Box {
+	var b Box
+	for d := 0; d < 3; d++ {
+		b.Lo[d] = int(int64(binary.LittleEndian.Uint64(in[d*8:])))
+		b.Hi[d] = int(int64(binary.LittleEndian.Uint64(in[24+d*8:])))
+	}
+	return b
+}

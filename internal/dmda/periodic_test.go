@@ -1,0 +1,167 @@
+package dmda
+
+import (
+	"fmt"
+	"testing"
+
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+)
+
+// wrapCoord maps an extended coordinate into the domain.
+func wrapCoord(e, n int) int {
+	return ((e % n) + n) % n
+}
+
+// checkPeriodicGhosts verifies every defined ghost value equals the value
+// of the wrapped global cell.
+func checkPeriodicGhosts(da *DA, l []float64) error {
+	own, ghost := da.OwnedBox(), da.GhostBox()
+	for k := ghost.Lo[2]; k < ghost.Hi[2]; k++ {
+		for j := ghost.Lo[1]; j < ghost.Hi[1]; j++ {
+			for i := ghost.Lo[0]; i < ghost.Hi[0]; i++ {
+				out := 0
+				if i < own.Lo[0] || i >= own.Hi[0] {
+					out++
+				}
+				if j < own.Lo[1] || j >= own.Hi[1] {
+					out++
+				}
+				if k < own.Lo[2] || k >= own.Hi[2] {
+					out++
+				}
+				if da.Stencil() == StencilStar && out > 1 {
+					continue
+				}
+				wi := wrapCoord(i, da.GlobalSize(0))
+				wj := wrapCoord(j, da.GlobalSize(1))
+				wk := wrapCoord(k, da.GlobalSize(2))
+				for f := 0; f < da.Dof(); f++ {
+					got := l[da.LocalIndex(i, j, k, f)]
+					want := cellValue(wi, wj, wk, f)
+					if got != want {
+						return fmt.Errorf("ghost (%d,%d,%d,%d) = %v, want %v (wrapped %d,%d,%d)",
+							i, j, k, f, got, want, wi, wj, wk)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func TestPeriodic1DRing(t *testing.T) {
+	for _, mode := range []petsc.ScatterMode{petsc.ScatterHandTuned, petsc.ScatterDatatype} {
+		for _, np := range []int{1, 2, 5} {
+			runWorld(t, np, mpi.Optimized(), func(c *mpi.Comm) error {
+				da := NewWithBoundaries(c, []int{17}, 1, StencilStar, 2, mode,
+					[]BoundaryType{BoundaryPeriodic})
+				g := da.CreateGlobalVec()
+				fillGlobal(da, g)
+				l := da.CreateLocalArray()
+				da.GlobalToLocal(g, l)
+				return checkPeriodicGhosts(da, l)
+			})
+		}
+	}
+}
+
+func TestPeriodic2DTorus(t *testing.T) {
+	for _, st := range []StencilType{StencilStar, StencilBox} {
+		for _, mode := range []petsc.ScatterMode{petsc.ScatterHandTuned, petsc.ScatterDatatype} {
+			runWorld(t, 6, mpi.Baseline(), func(c *mpi.Comm) error {
+				da := NewWithBoundaries(c, []int{12, 9}, 2, st, 1, mode,
+					[]BoundaryType{BoundaryPeriodic, BoundaryPeriodic})
+				g := da.CreateGlobalVec()
+				fillGlobal(da, g)
+				l := da.CreateLocalArray()
+				da.GlobalToLocal(g, l)
+				return checkPeriodicGhosts(da, l)
+			})
+		}
+	}
+}
+
+func TestPeriodicMixedBoundaries(t *testing.T) {
+	// Periodic in x, truncating in y: a cylinder.
+	runWorld(t, 4, mpi.Optimized(), func(c *mpi.Comm) error {
+		da := NewWithBoundaries(c, []int{8, 8}, 1, StencilBox, 1, petsc.ScatterDatatype,
+			[]BoundaryType{BoundaryPeriodic, BoundaryNone})
+		g := da.CreateGlobalVec()
+		fillGlobal(da, g)
+		l := da.CreateLocalArray()
+		da.GlobalToLocal(g, l)
+		// x wraps.
+		ghost := da.GhostBox()
+		if ghost.Lo[0] >= 0 && da.OwnedBox().Lo[0] == 0 {
+			return fmt.Errorf("periodic x ghost box did not extend: %v", ghost)
+		}
+		// y is clamped.
+		if ghost.Lo[1] < 0 || ghost.Hi[1] > 8 {
+			return fmt.Errorf("truncating y ghost box extended: %v", ghost)
+		}
+		return checkPeriodicGhosts(da, l)
+	})
+}
+
+func TestPeriodic3D(t *testing.T) {
+	runWorld(t, 8, mpi.Optimized(), func(c *mpi.Comm) error {
+		da := NewWithBoundaries(c, []int{6, 6, 6}, 1, StencilStar, 1, petsc.ScatterHandTuned,
+			[]BoundaryType{BoundaryPeriodic, BoundaryPeriodic, BoundaryPeriodic})
+		g := da.CreateGlobalVec()
+		fillGlobal(da, g)
+		l := da.CreateLocalArray()
+		da.GlobalToLocal(g, l)
+		return checkPeriodicGhosts(da, l)
+	})
+}
+
+func TestPeriodicSingleRankWraps(t *testing.T) {
+	// With one rank, periodic ghosts come from the rank's own opposite
+	// edge (a pure self-scatter with wrapping).
+	runWorld(t, 1, mpi.Baseline(), func(c *mpi.Comm) error {
+		da := NewWithBoundaries(c, []int{5}, 1, StencilStar, 1, petsc.ScatterHandTuned,
+			[]BoundaryType{BoundaryPeriodic})
+		g := da.CreateGlobalVec()
+		fillGlobal(da, g)
+		l := da.CreateLocalArray()
+		da.GlobalToLocal(g, l)
+		// Extended coords: -1 wraps to 4, 5 wraps to 0.
+		if l[da.LocalIndex(-1, 0, 0, 0)] != cellValue(4, 0, 0, 0) {
+			return fmt.Errorf("left wrap wrong: %v", l[da.LocalIndex(-1, 0, 0, 0)])
+		}
+		if l[da.LocalIndex(5, 0, 0, 0)] != cellValue(0, 0, 0, 0) {
+			return fmt.Errorf("right wrap wrong: %v", l[da.LocalIndex(5, 0, 0, 0)])
+		}
+		return nil
+	})
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	runWorld(t, 1, mpi.Baseline(), func(c *mpi.Comm) error {
+		mustPanic := func(name string, f func()) error {
+			defer func() { recover() }()
+			f()
+			return fmt.Errorf("%s: expected panic", name)
+		}
+		if err := mustPanic("width too large", func() {
+			NewWithBoundaries(c, []int{4}, 1, StencilStar, 4, petsc.ScatterHandTuned,
+				[]BoundaryType{BoundaryPeriodic})
+		}); err != nil {
+			return err
+		}
+		if err := mustPanic("bnd length", func() {
+			NewWithBoundaries(c, []int{4, 4}, 1, StencilStar, 1, petsc.ScatterHandTuned,
+				[]BoundaryType{BoundaryPeriodic})
+		}); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+func TestBoundaryStrings(t *testing.T) {
+	if BoundaryNone.String() != "none" || BoundaryPeriodic.String() != "periodic" {
+		t.Fatal("bad boundary strings")
+	}
+}

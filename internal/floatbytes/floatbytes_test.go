@@ -1,0 +1,40 @@
+package floatbytes
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	v := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1)}
+	b := Bytes(v)
+	if len(b) != 40 {
+		t.Fatalf("len = %d, want 40", len(b))
+	}
+	w := Floats(b)
+	for i := range v {
+		if w[i] != v[i] {
+			t.Fatalf("w[%d] = %v, want %v", i, w[i], v[i])
+		}
+	}
+	// Aliasing: writing through one view is visible in the other.
+	w[0] = 42
+	if v[0] != 42 {
+		t.Fatal("views do not alias")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if Bytes(nil) != nil || Floats(nil) != nil {
+		t.Fatal("empty conversions should be nil")
+	}
+}
+
+func TestBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Floats(make([]byte, 7))
+}

@@ -1,0 +1,155 @@
+// Package kselect implements the Floyd–Rivest SELECT algorithm for finding
+// the k-th smallest element of a slice in expected linear time, plus the
+// outlier-ratio computation the paper builds on top of it.
+//
+// The MPI_Allgatherv optimization (paper Section 4.2.1) must decide, from the
+// communication-volume set that every rank already holds, whether a small
+// subset of volumes falls far outside the range of the rest.  It computes
+//
+//	outlierRatio = kSelect(vols, N) / kSelect(vols, N*OUTLIER_FRACT)
+//
+// i.e. the ratio of the maximum volume to the volume at the OUTLIER_FRACT
+// quantile, and compares it against a threshold.  Floyd–Rivest keeps that
+// decision linear-time, so the adaptive algorithm selection never changes the
+// asymptotic cost of the collective itself.
+package kselect
+
+import "math"
+
+// Select returns the k-th smallest element (1-based, so k=1 is the minimum
+// and k=len(v) the maximum) of v in expected O(len(v)) time using the
+// Floyd–Rivest SELECT algorithm.  The input slice is reordered in place; the
+// element with rank k ends up at index k-1, smaller elements before it and
+// larger after it.  Select panics if k is out of range or v is empty.
+func Select(v []int64, k int) int64 {
+	if len(v) == 0 {
+		panic("kselect: empty input")
+	}
+	if k < 1 || k > len(v) {
+		panic("kselect: rank out of range")
+	}
+	floydRivest(v, 0, len(v)-1, k-1)
+	return v[k-1]
+}
+
+// SelectCopy is like Select but leaves v untouched, operating on a copy.
+func SelectCopy(v []int64, k int) int64 {
+	w := make([]int64, len(v))
+	copy(w, v)
+	return Select(w, k)
+}
+
+// floydRivest places the element of rank k (0-based) of v[left:right+1] at
+// index k, partitioning smaller elements to its left and larger to its right.
+//
+// This is the classical Algorithm 489 (SELECT) by Floyd and Rivest: on large
+// ranges it first recursively selects inside a small sample around k to
+// obtain tight partitioning pivots, giving n + min(k, n-k) + o(n) expected
+// comparisons.
+func floydRivest(v []int64, left, right, k int) {
+	for right > left {
+		if right-left > 600 {
+			// Sample bounds chosen per the original paper: select
+			// recursively from a sample of size s around position k so the
+			// subsequent partition examines few elements outside v[k]'s
+			// final position.
+			n := float64(right - left + 1)
+			i := float64(k - left + 1)
+			z := math.Log(n)
+			s := 0.5 * math.Exp(2*z/3)
+			sign := 1.0
+			if i < n/2 {
+				sign = -1.0
+			}
+			sd := 0.5 * math.Sqrt(z*s*(n-s)/n) * sign
+			newLeft := max(left, int(float64(k)-i*s/n+sd))
+			newRight := min(right, int(float64(k)+(n-i)*s/n+sd))
+			floydRivest(v, newLeft, newRight, k)
+		}
+		t := v[k]
+		i, j := left, right
+		v[left], v[k] = v[k], v[left]
+		if v[right] > t {
+			v[right], v[left] = v[left], v[right]
+		}
+		for i < j {
+			v[i], v[j] = v[j], v[i]
+			i++
+			j--
+			for v[i] < t {
+				i++
+			}
+			for v[j] > t {
+				j--
+			}
+		}
+		if v[left] == t {
+			v[left], v[j] = v[j], v[left]
+		} else {
+			j++
+			v[j], v[right] = v[right], v[j]
+		}
+		if j <= k {
+			left = j + 1
+		}
+		if k <= j {
+			right = j - 1
+		}
+	}
+}
+
+// OutlierParams controls outlier detection over a communication-volume set.
+type OutlierParams struct {
+	// Fract is OUTLIER_FRACT from the paper: the fraction of processes that
+	// must lie outside the bulk range to be considered outliers.  The ratio
+	// compares the maximum volume against the volume at quantile 1-Fract.
+	Fract float64
+	// Threshold is the minimum outlierRatio at which the volume set is
+	// declared nonuniform.
+	Threshold float64
+}
+
+// DefaultOutlierParams matches the constants used in the paper's
+// implementation sketch: up to 1/8 of processes may be outliers, and the
+// bulk-to-max spread must exceed 16x to trigger the nonuniform algorithms.
+var DefaultOutlierParams = OutlierParams{Fract: 0.125, Threshold: 16}
+
+// OutlierRatio computes the ratio from paper equation (1):
+//
+//	k_select(vols, N) / k_select(vols, N*(1-Fract))
+//
+// The numerator is the largest communication volume, the denominator the
+// volume bounding the "bulk" of the set once the outlier fraction is
+// excluded.  A ratio near 1 means the volumes are uniform.  Zero-volume bulks
+// with a nonzero maximum yield +Inf (maximally nonuniform); an all-zero set
+// yields 1 (uniform: nothing to communicate).
+func OutlierRatio(vols []int64, p OutlierParams) float64 {
+	if len(vols) == 0 {
+		return 1
+	}
+	n := len(vols)
+	w := make([]int64, n)
+	copy(w, vols)
+	maxVol := Select(w, n)
+	bulkRank := int(math.Ceil(float64(n) * (1 - p.Fract)))
+	if bulkRank < 1 {
+		bulkRank = 1
+	}
+	if bulkRank > n {
+		bulkRank = n
+	}
+	bulk := Select(w, bulkRank)
+	if maxVol == 0 {
+		return 1
+	}
+	if bulk == 0 {
+		return math.Inf(1)
+	}
+	return float64(maxVol) / float64(bulk)
+}
+
+// IsNonuniform reports whether the communication-volume set should be treated
+// as nonuniform under params p, per the paper's detection rule.
+func IsNonuniform(vols []int64, p OutlierParams) bool {
+	return OutlierRatio(vols, p) >= p.Threshold
+}

@@ -1,0 +1,206 @@
+package kselect
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectSmall(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		k    int
+		want int64
+	}{
+		{[]int64{5}, 1, 5},
+		{[]int64{2, 1}, 1, 1},
+		{[]int64{2, 1}, 2, 2},
+		{[]int64{3, 1, 2}, 2, 2},
+		{[]int64{9, 9, 9}, 2, 9},
+		{[]int64{0, -5, 7, 3, 3}, 1, -5},
+		{[]int64{0, -5, 7, 3, 3}, 5, 7},
+		{[]int64{0, -5, 7, 3, 3}, 3, 3},
+	}
+	for _, c := range cases {
+		if got := SelectCopy(c.in, c.k); got != c.want {
+			t.Errorf("Select(%v, %d) = %d, want %d", c.in, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSelectPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Select(nil, 1) },
+		func() { Select([]int64{1}, 0) },
+		func() { Select([]int64{1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSelectMatchesSortAllRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = int64(rng.Intn(50) - 25) // duplicates likely
+		}
+		sorted := make([]int64, n)
+		copy(sorted, v)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for k := 1; k <= n; k++ {
+			if got := SelectCopy(v, k); got != sorted[k-1] {
+				t.Fatalf("trial %d: Select(.., %d) = %d, want %d", trial, k, got, sorted[k-1])
+			}
+		}
+	}
+}
+
+func TestSelectLargeTriggersSampling(t *testing.T) {
+	// Exercise the right-bound > 600 recursive-sampling path.
+	rng := rand.New(rand.NewSource(2))
+	n := 20000
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = rng.Int63n(1 << 40)
+	}
+	sorted := make([]int64, n)
+	copy(sorted, v)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, k := range []int{1, 2, 100, n / 4, n / 2, 3 * n / 4, n - 1, n} {
+		if got := SelectCopy(v, k); got != sorted[k-1] {
+			t.Fatalf("Select(.., %d) = %d, want %d", k, got, sorted[k-1])
+		}
+	}
+}
+
+func TestSelectPartitionsInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := make([]int64, 1000)
+	for i := range v {
+		v[i] = rng.Int63n(1000)
+	}
+	k := 400
+	got := Select(v, k)
+	if v[k-1] != got {
+		t.Fatalf("rank-k element not at index k-1")
+	}
+	for i := 0; i < k-1; i++ {
+		if v[i] > got {
+			t.Fatalf("v[%d]=%d > v[k-1]=%d", i, v[i], got)
+		}
+	}
+	for i := k; i < len(v); i++ {
+		if v[i] < got {
+			t.Fatalf("v[%d]=%d < v[k-1]=%d", i, v[i], got)
+		}
+	}
+}
+
+func TestSelectQuick(t *testing.T) {
+	f := func(raw []int16, kRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]int64, len(raw))
+		for i, x := range raw {
+			v[i] = int64(x)
+		}
+		k := 1 + int(kRaw)%len(v)
+		sorted := make([]int64, len(v))
+		copy(sorted, v)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return SelectCopy(v, k) == sorted[k-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutlierRatioUniform(t *testing.T) {
+	vols := []int64{100, 100, 100, 100, 100, 100, 100, 100}
+	if r := OutlierRatio(vols, DefaultOutlierParams); r != 1 {
+		t.Errorf("uniform set ratio = %v, want 1", r)
+	}
+	if IsNonuniform(vols, DefaultOutlierParams) {
+		t.Error("uniform set flagged nonuniform")
+	}
+}
+
+func TestOutlierRatioSingleLarge(t *testing.T) {
+	// Paper's motivating case: one rank sends a large volume, the rest send
+	// one double (8 bytes).
+	vols := make([]int64, 64)
+	for i := range vols {
+		vols[i] = 8
+	}
+	vols[0] = 32 * 1024
+	r := OutlierRatio(vols, DefaultOutlierParams)
+	if r < 4000 || math.IsInf(r, 1) {
+		t.Errorf("ratio = %v, want 32768/8 = 4096", r)
+	}
+	if !IsNonuniform(vols, DefaultOutlierParams) {
+		t.Error("single-large set not flagged nonuniform")
+	}
+}
+
+func TestOutlierRatioZeroCases(t *testing.T) {
+	if r := OutlierRatio([]int64{0, 0, 0, 0}, DefaultOutlierParams); r != 1 {
+		t.Errorf("all-zero ratio = %v, want 1", r)
+	}
+	r := OutlierRatio([]int64{0, 0, 0, 0, 0, 0, 0, 4096}, DefaultOutlierParams)
+	if !math.IsInf(r, 1) {
+		t.Errorf("zero-bulk ratio = %v, want +Inf", r)
+	}
+	if r := OutlierRatio(nil, DefaultOutlierParams); r != 1 {
+		t.Errorf("empty ratio = %v, want 1", r)
+	}
+}
+
+func TestOutlierRatioBelowThreshold(t *testing.T) {
+	// Mild nonuniformity (2x spread) must not trigger the nonuniform path.
+	vols := []int64{100, 120, 90, 110, 100, 95, 105, 200}
+	if IsNonuniform(vols, DefaultOutlierParams) {
+		t.Error("2x spread flagged nonuniform at 16x threshold")
+	}
+}
+
+func TestOutlierFractTolerates(t *testing.T) {
+	// With Fract=0.25, up to a quarter of ranks may be huge without the bulk
+	// rank moving into the outlier region... the ratio still detects them
+	// because the numerator is the max.  Verify the bulk quantile excludes
+	// the outliers.
+	vols := make([]int64, 16)
+	for i := range vols {
+		vols[i] = 10
+	}
+	vols[0], vols[1] = 1000, 900
+	p := OutlierParams{Fract: 0.25, Threshold: 16}
+	if got := OutlierRatio(vols, p); got != 100 {
+		t.Errorf("ratio = %v, want 100 (max=1000 / bulk=10)", got)
+	}
+}
+
+func BenchmarkSelectLinear(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	v := make([]int64, 1<<16)
+	for i := range v {
+		v[i] = rng.Int63()
+	}
+	w := make([]int64, len(v))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(w, v)
+		Select(w, len(w)/2)
+	}
+}

@@ -1,0 +1,280 @@
+package ksp
+
+import (
+	"math"
+
+	"nccd/internal/petsc"
+)
+
+// GMRES is the restarted generalized minimal residual solver GMRES(m), the
+// PETSc default KSP for nonsymmetric operators.  It uses Arnoldi with
+// modified Gram–Schmidt and Givens rotations for the least-squares update.
+type GMRES struct {
+	A       Operator
+	M       Preconditioner // left preconditioning
+	Restart int            // Krylov subspace size m (default 30, PETSc's default)
+	Rtol    float64        // default 1e-8
+	Atol    float64
+	MaxIts  int // total iteration cap (default 10000)
+
+	Monitor func(it int, rnorm float64)
+}
+
+// Solve solves A x = b from initial guess x, overwriting x.  Collective.
+func (s *GMRES) Solve(b, x *petsc.Vec) Result {
+	m := s.Restart
+	if m <= 0 {
+		m = 30
+	}
+	rtol, atol, maxIts := s.Rtol, s.Atol, s.MaxIts
+	if rtol == 0 {
+		rtol = 1e-8
+	}
+	if atol == 0 {
+		atol = 1e-50
+	}
+	if maxIts == 0 {
+		maxIts = 10000
+	}
+	M := s.M
+	if M == nil {
+		M = None{}
+	}
+
+	// Krylov basis and work vectors.
+	V := make([]*petsc.Vec, m+1)
+	for i := range V {
+		V[i] = b.Duplicate()
+	}
+	w := b.Duplicate()
+	r := b.Duplicate()
+
+	// Left preconditioning works with preconditioned residuals, so the
+	// relative tolerance is against ||M^{-1} b|| (PETSc's default
+	// convention for GMRES).
+	M.Precondition(b, w)
+	bnorm := w.Norm2()
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	// Hessenberg in column-major: h[j] holds column j (j+2 entries).
+	h := make([][]float64, m)
+	for j := range h {
+		h[j] = make([]float64, j+2)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+
+	it := 0
+	var rnorm float64
+	for {
+		// r = M^{-1}(b - A x)
+		s.A.Apply(x, r)
+		r.AYPX(-1, b)
+		M.Precondition(r, V[0])
+		rnorm = V[0].Norm2()
+		if s.Monitor != nil {
+			s.Monitor(it, rnorm)
+		}
+		if rnorm <= rtol*bnorm || rnorm <= atol {
+			return Result{Iterations: it, Residual: rnorm, Converged: true}
+		}
+		if it >= maxIts {
+			return Result{Iterations: it, Residual: rnorm, Converged: false}
+		}
+
+		V[0].Scale(1 / rnorm)
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = rnorm
+
+		// Arnoldi process.
+		j := 0
+		for ; j < m && it < maxIts; j++ {
+			it++
+			s.A.Apply(V[j], w)
+			M.Precondition(w, V[j+1])
+			// Modified Gram–Schmidt.
+			for i := 0; i <= j; i++ {
+				h[j][i] = V[j+1].Dot(V[i])
+				V[j+1].AXPY(-h[j][i], V[i])
+			}
+			h[j][j+1] = V[j+1].Norm2()
+			if h[j][j+1] != 0 {
+				V[j+1].Scale(1 / h[j][j+1])
+			}
+
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < j; i++ {
+				t := cs[i]*h[j][i] + sn[i]*h[j][i+1]
+				h[j][i+1] = -sn[i]*h[j][i] + cs[i]*h[j][i+1]
+				h[j][i] = t
+			}
+			// New rotation annihilating h[j][j+1].
+			denom := math.Hypot(h[j][j], h[j][j+1])
+			if denom == 0 {
+				cs[j], sn[j] = 1, 0
+			} else {
+				cs[j] = h[j][j] / denom
+				sn[j] = h[j][j+1] / denom
+			}
+			h[j][j] = cs[j]*h[j][j] + sn[j]*h[j][j+1]
+			h[j][j+1] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+
+			rnorm = math.Abs(g[j+1])
+			if s.Monitor != nil {
+				s.Monitor(it, rnorm)
+			}
+			if rnorm <= rtol*bnorm || rnorm <= atol {
+				j++
+				break
+			}
+		}
+
+		// Back-substitute y from the triangular system and update x.
+		y := make([]float64, j)
+		for i := j - 1; i >= 0; i-- {
+			sum := g[i]
+			for k := i + 1; k < j; k++ {
+				sum -= h[k][i] * y[k]
+			}
+			y[i] = sum / h[i][i]
+		}
+		for i := 0; i < j; i++ {
+			x.AXPY(y[i], V[i])
+		}
+
+		if rnorm <= rtol*bnorm || rnorm <= atol {
+			// Recompute the true residual to report an honest norm.
+			s.A.Apply(x, r)
+			r.AYPX(-1, b)
+			M.Precondition(r, w)
+			rnorm = w.Norm2()
+			if rnorm <= rtol*bnorm || rnorm <= atol {
+				return Result{Iterations: it, Residual: rnorm, Converged: true}
+			}
+		}
+		if it >= maxIts {
+			return Result{Iterations: it, Residual: rnorm, Converged: false}
+		}
+	}
+}
+
+// BiCGStab is the stabilized biconjugate gradient solver, the usual
+// low-memory alternative to GMRES for nonsymmetric systems.
+type BiCGStab struct {
+	A      Operator
+	M      Preconditioner
+	Rtol   float64
+	Atol   float64
+	MaxIts int
+
+	Monitor func(it int, rnorm float64)
+}
+
+// Solve solves A x = b from initial guess x, overwriting x.  Collective.
+func (s *BiCGStab) Solve(b, x *petsc.Vec) Result {
+	rtol, atol, maxIts := s.Rtol, s.Atol, s.MaxIts
+	if rtol == 0 {
+		rtol = 1e-8
+	}
+	if atol == 0 {
+		atol = 1e-50
+	}
+	if maxIts == 0 {
+		maxIts = 10000
+	}
+	M := s.M
+	if M == nil {
+		M = None{}
+	}
+
+	r := b.Duplicate()
+	rhat := b.Duplicate()
+	p := b.Duplicate()
+	v := b.Duplicate()
+	ph := b.Duplicate()
+	sv := b.Duplicate()
+	sh := b.Duplicate()
+	t := b.Duplicate()
+
+	s.A.Apply(x, r)
+	r.AYPX(-1, b)
+	rhat.Copy(r)
+
+	bnorm := b.Norm2()
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rnorm := r.Norm2()
+	if s.Monitor != nil {
+		s.Monitor(0, rnorm)
+	}
+	if rnorm <= rtol*bnorm || rnorm <= atol {
+		return Result{Iterations: 0, Residual: rnorm, Converged: true}
+	}
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	for it := 1; it <= maxIts; it++ {
+		rhoNew := rhat.Dot(r)
+		if rhoNew == 0 {
+			return Result{Iterations: it, Residual: rnorm, Converged: false}
+		}
+		if it == 1 {
+			p.Copy(r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			// p = r + beta*(p - omega*v)
+			p.AXPY(-omega, v)
+			p.AYPX(beta, r)
+		}
+		rho = rhoNew
+
+		M.Precondition(p, ph)
+		s.A.Apply(ph, v)
+		den := rhat.Dot(v)
+		if den == 0 {
+			return Result{Iterations: it, Residual: rnorm, Converged: false}
+		}
+		alpha = rho / den
+		sv.Copy(r)
+		sv.AXPY(-alpha, v)
+
+		if sn := sv.Norm2(); sn <= rtol*bnorm || sn <= atol {
+			x.AXPY(alpha, ph)
+			if s.Monitor != nil {
+				s.Monitor(it, sn)
+			}
+			return Result{Iterations: it, Residual: sn, Converged: true}
+		}
+
+		M.Precondition(sv, sh)
+		s.A.Apply(sh, t)
+		tt := t.Dot(t)
+		if tt == 0 {
+			return Result{Iterations: it, Residual: rnorm, Converged: false}
+		}
+		omega = t.Dot(sv) / tt
+		x.AXPY(alpha, ph)
+		x.AXPY(omega, sh)
+		r.Copy(sv)
+		r.AXPY(-omega, t)
+
+		rnorm = r.Norm2()
+		if s.Monitor != nil {
+			s.Monitor(it, rnorm)
+		}
+		if rnorm <= rtol*bnorm || rnorm <= atol {
+			return Result{Iterations: it, Residual: rnorm, Converged: true}
+		}
+		if omega == 0 {
+			return Result{Iterations: it, Residual: rnorm, Converged: false}
+		}
+	}
+	return Result{Iterations: maxIts, Residual: rnorm, Converged: false}
+}

@@ -1,0 +1,226 @@
+package ksp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nccd/internal/mat"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+	"nccd/internal/simnet"
+)
+
+func runWorld(t *testing.T, n int, cfg mpi.Config, f func(c *mpi.Comm) error) *mpi.World {
+	t.Helper()
+	w := mpi.NewWorld(simnet.Uniform(n, simnet.IBDDR()), cfg)
+	if err := w.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// laplacian1D assembles the n x n tridiagonal SPD Laplacian.
+func laplacian1D(c *mpi.Comm, n int) *mat.AIJ {
+	m := mat.NewAIJ(c, n, n, petsc.ScatterDatatype)
+	rlo, rhi := m.OwnedRows()
+	for i := rlo; i < rhi; i++ {
+		m.Set(i, i, 2)
+		if i > 0 {
+			m.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			m.Set(i, i+1, -1)
+		}
+	}
+	m.Assemble()
+	return m
+}
+
+func TestCGSolvesLaplacian(t *testing.T) {
+	for _, np := range []int{1, 3, 4} {
+		runWorld(t, np, mpi.Optimized(), func(c *mpi.Comm) error {
+			n := 64
+			A := laplacian1D(c, n)
+			// Manufactured solution: x*_i = sin(pi (i+1) / (n+1)).
+			xstar := petsc.NewVec(c, n)
+			xstar.SetFromFunc(func(i int) float64 {
+				return math.Sin(math.Pi * float64(i+1) / float64(n+1))
+			})
+			b := petsc.NewVec(c, n)
+			A.Apply(xstar, b)
+
+			x := petsc.NewVec(c, n)
+			res := (&CG{A: A, Rtol: 1e-10}).Solve(b, x)
+			if !res.Converged {
+				return fmt.Errorf("np=%d: CG did not converge: %v", np, res)
+			}
+			x.AXPY(-1, xstar)
+			if e := x.NormInf(); e > 1e-7 {
+				return fmt.Errorf("np=%d: error %v", np, e)
+			}
+			return nil
+		})
+	}
+}
+
+func TestCGWithJacobiConvergesFaster(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		n := 128
+		// Badly scaled diagonal system: D_ii = i+1 plus weak coupling.
+		m := mat.NewAIJ(c, n, n, petsc.ScatterHandTuned)
+		rlo, rhi := m.OwnedRows()
+		for i := rlo; i < rhi; i++ {
+			m.Set(i, i, float64(i+1))
+			if i > 0 {
+				m.Set(i, i-1, -0.1)
+			}
+			if i < n-1 {
+				m.Set(i, i+1, -0.1)
+			}
+		}
+		m.Assemble()
+		b := petsc.NewVec(c, n)
+		b.Set(1)
+
+		d := petsc.NewVec(c, n)
+		m.Diagonal(d)
+
+		x1 := petsc.NewVec(c, n)
+		plain := (&CG{A: m, Rtol: 1e-10}).Solve(b, x1)
+		x2 := petsc.NewVec(c, n)
+		pc := (&CG{A: m, M: NewJacobi(d), Rtol: 1e-10}).Solve(b, x2)
+		if !plain.Converged || !pc.Converged {
+			return fmt.Errorf("solves did not converge: %v / %v", plain, pc)
+		}
+		if pc.Iterations >= plain.Iterations {
+			return fmt.Errorf("jacobi (%d its) should beat unpreconditioned (%d its)",
+				pc.Iterations, plain.Iterations)
+		}
+		return nil
+	})
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		A := laplacian1D(c, 16)
+		b := petsc.NewVec(c, 16)
+		x := petsc.NewVec(c, 16)
+		res := (&CG{A: A}).Solve(b, x)
+		if !res.Converged || res.Iterations != 0 {
+			return fmt.Errorf("zero rhs: %v", res)
+		}
+		return nil
+	})
+}
+
+func TestCGMonitorAndResultString(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		A := laplacian1D(c, 16)
+		b := petsc.NewVec(c, 16)
+		b.Set(1)
+		x := petsc.NewVec(c, 16)
+		calls := 0
+		res := (&CG{A: A, Monitor: func(it int, r float64) { calls++ }}).Solve(b, x)
+		if calls == 0 {
+			return fmt.Errorf("monitor never called")
+		}
+		if res.String() == "" {
+			return fmt.Errorf("empty result string")
+		}
+		return nil
+	})
+}
+
+func TestCGMaxIterations(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		A := laplacian1D(c, 256)
+		b := petsc.NewVec(c, 256)
+		b.Set(1)
+		x := petsc.NewVec(c, 256)
+		res := (&CG{A: A, Rtol: 1e-14, MaxIts: 3}).Solve(b, x)
+		if res.Converged {
+			return fmt.Errorf("3 iterations cannot converge a 256-point Laplacian to 1e-14")
+		}
+		if res.Iterations != 3 {
+			return fmt.Errorf("iterations = %d, want 3", res.Iterations)
+		}
+		return nil
+	})
+}
+
+func TestRichardsonWithJacobiOnDiagonalSystem(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		n := 32
+		m := mat.NewAIJ(c, n, n, petsc.ScatterHandTuned)
+		rlo, rhi := m.OwnedRows()
+		for i := rlo; i < rhi; i++ {
+			m.Set(i, i, float64(2+i%3))
+		}
+		m.Assemble()
+		d := petsc.NewVec(c, n)
+		m.Diagonal(d)
+		b := petsc.NewVec(c, n)
+		b.SetFromFunc(func(i int) float64 { return float64(i) })
+		x := petsc.NewVec(c, n)
+		// Jacobi-preconditioned Richardson solves a diagonal system in one
+		// iteration.
+		res := (&Richardson{A: m, M: NewJacobi(d), Rtol: 1e-12}).Solve(b, x)
+		if !res.Converged || res.Iterations > 2 {
+			return fmt.Errorf("richardson on diagonal system: %v", res)
+		}
+		return nil
+	})
+}
+
+func TestRichardsonDivergesWithoutPreconditioner(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		// A = 3I: unpreconditioned Richardson with omega=1 diverges
+		// (iteration matrix I - A has spectral radius 2).
+		n := 8
+		m := mat.NewAIJ(c, n, n, petsc.ScatterHandTuned)
+		rlo, rhi := m.OwnedRows()
+		for i := rlo; i < rhi; i++ {
+			m.Set(i, i, 3)
+		}
+		m.Assemble()
+		b := petsc.NewVec(c, n)
+		b.Set(1)
+		x := petsc.NewVec(c, n)
+		res := (&Richardson{A: m, Rtol: 1e-12, MaxIts: 30}).Solve(b, x)
+		if res.Converged {
+			return fmt.Errorf("unexpected convergence: %v", res)
+		}
+		return nil
+	})
+}
+
+func TestNonePreconditioner(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		r := petsc.NewVec(c, 4)
+		r.Set(7)
+		z := petsc.NewVec(c, 4)
+		None{}.Precondition(r, z)
+		if z.Array()[0] != 7 {
+			return fmt.Errorf("None did not copy")
+		}
+		return nil
+	})
+}
+
+func TestJacobiZeroDiagonalGuard(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		d := petsc.NewVec(c, 2)
+		d.Array()[0] = 0
+		d.Array()[1] = 4
+		j := NewJacobi(d)
+		r := petsc.NewVec(c, 2)
+		r.Set(8)
+		z := petsc.NewVec(c, 2)
+		j.Precondition(r, z)
+		if z.Array()[0] != 8 || z.Array()[1] != 2 {
+			return fmt.Errorf("jacobi apply = %v", z.Array())
+		}
+		return nil
+	})
+}

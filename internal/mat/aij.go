@@ -1,0 +1,307 @@
+// Package mat implements distributed sparse matrices in PETSc's MPIAIJ
+// format: each rank owns a contiguous block of rows, stored as two CSR
+// halves — the diagonal block (columns this rank owns) and the off-diagonal
+// block (remote columns, renumbered compactly).  MatMult gathers the remote
+// column values with a petsc.Scatter, so matrix-vector products exercise the
+// same communication backends as every other experiment in the repository.
+package mat
+
+import (
+	"fmt"
+	"sort"
+
+	"nccd/internal/floatbytes"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+)
+
+const flopSec = 0.6e-9
+
+// CSR is a compressed-sparse-row matrix block.
+type CSR struct {
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return len(m.RowPtr) - 1 }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Mult computes y = A*x for a sequential CSR block.
+func (m *CSR) Mult(x, y []float64) {
+	for i := 0; i < m.Rows(); i++ {
+		s := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.Col[p]]
+		}
+		y[i] = s
+	}
+}
+
+// MultAdd computes y += A*x.
+func (m *CSR) MultAdd(x, y []float64) {
+	for i := 0; i < m.Rows(); i++ {
+		s := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Val[p] * x[m.Col[p]]
+		}
+		y[i] += s
+	}
+}
+
+// AIJ is a distributed sparse matrix.  Row and column layouts default to
+// PETSc's uniform block distribution but may be arbitrary (e.g. matching a
+// distributed array's grid-shaped vectors) via NewAIJWithLayout.
+type AIJ struct {
+	c          *mpi.Comm
+	rowL, colL Layout
+	rows, cols int // global
+	rlo, rhi   int // owned rows
+	clo, chi   int // owned columns (layout of a compatible x vector)
+
+	// assembly state
+	triplets  map[[2]int]float64
+	assembled bool
+
+	diag CSR // columns [clo, chi), renumbered to local
+	off  CSR // remote columns, renumbered into ghostCols positions
+
+	ghostCols []int // sorted distinct remote global column indices
+	ghost     []float64
+	sc        *petsc.Scatter
+	mode      petsc.ScatterMode
+}
+
+// NewAIJ creates an empty rows x cols matrix distributed over c with the
+// uniform block layout.  mode selects the scatter backend used by MatMult's
+// ghost-column gather.  Collective.
+func NewAIJ(c *mpi.Comm, rows, cols int, mode petsc.ScatterMode) *AIJ {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	return NewAIJWithLayout(c, UniformLayout(rows, c.Size()), UniformLayout(cols, c.Size()), mode)
+}
+
+// NewAIJWithLayout creates an empty matrix with explicit row and column
+// layouts (identical on every rank).  Vectors passed to Apply must match
+// these layouts.  Collective.
+func NewAIJWithLayout(c *mpi.Comm, rowL, colL Layout, mode petsc.ScatterMode) *AIJ {
+	if rowL.Ranks() != c.Size() || colL.Ranks() != c.Size() {
+		panic("mat: layout rank count does not match communicator")
+	}
+	m := &AIJ{c: c, rowL: rowL, colL: colL, rows: rowL.Global(), cols: colL.Global(),
+		mode: mode, triplets: map[[2]int]float64{}}
+	m.rlo, m.rhi = rowL.Range(c.Rank())
+	m.clo, m.chi = colL.Range(c.Rank())
+	return m
+}
+
+// GlobalSize returns (rows, cols).
+func (m *AIJ) GlobalSize() (int, int) { return m.rows, m.cols }
+
+// OwnedRows returns the owned row range [lo, hi).
+func (m *AIJ) OwnedRows() (int, int) { return m.rlo, m.rhi }
+
+// Set assigns value v to entry (i, j).  i must be an owned row; call before
+// Assemble.
+func (m *AIJ) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.triplets[[2]int{i, j}] = v
+}
+
+// Add accumulates v into entry (i, j).  i must be an owned row; call before
+// Assemble.
+func (m *AIJ) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.triplets[[2]int{i, j}] += v
+}
+
+func (m *AIJ) check(i, j int) {
+	if m.assembled {
+		panic("mat: matrix already assembled")
+	}
+	if i < m.rlo || i >= m.rhi {
+		panic(fmt.Sprintf("mat: row %d not owned by rank %d ([%d,%d))", i, m.c.Rank(), m.rlo, m.rhi))
+	}
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: column %d out of range [0,%d)", j, m.cols))
+	}
+}
+
+// Assemble freezes the matrix: builds the diagonal/off-diagonal CSR halves
+// and the ghost-column gather plan.  Collective.
+func (m *AIJ) Assemble() {
+	if m.assembled {
+		panic("mat: double assembly")
+	}
+	m.assembled = true
+
+	// Distinct remote columns, sorted.
+	ghostSet := map[int]bool{}
+	for k := range m.triplets {
+		if j := k[1]; j < m.clo || j >= m.chi {
+			ghostSet[j] = true
+		}
+	}
+	m.ghostCols = make([]int, 0, len(ghostSet))
+	for j := range ghostSet {
+		m.ghostCols = append(m.ghostCols, j)
+	}
+	sort.Ints(m.ghostCols)
+	ghostPos := make(map[int]int, len(m.ghostCols))
+	for p, j := range m.ghostCols {
+		ghostPos[j] = p
+	}
+	m.ghost = make([]float64, len(m.ghostCols))
+
+	// Sort triplets into row-major order.
+	keys := make([][2]int, 0, len(m.triplets))
+	for k := range m.triplets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+
+	nloc := m.rhi - m.rlo
+	m.diag.RowPtr = make([]int, nloc+1)
+	m.off.RowPtr = make([]int, nloc+1)
+	for _, k := range keys {
+		i, j := k[0]-m.rlo, k[1]
+		v := m.triplets[k]
+		if j >= m.clo && j < m.chi {
+			m.diag.Col = append(m.diag.Col, j-m.clo)
+			m.diag.Val = append(m.diag.Val, v)
+			m.diag.RowPtr[i+1]++
+		} else {
+			m.off.Col = append(m.off.Col, ghostPos[j])
+			m.off.Val = append(m.off.Val, v)
+			m.off.RowPtr[i+1]++
+		}
+	}
+	for i := 0; i < nloc; i++ {
+		m.diag.RowPtr[i+1] += m.diag.RowPtr[i]
+		m.off.RowPtr[i+1] += m.off.RowPtr[i]
+	}
+	m.triplets = nil
+	m.buildGhostScatter()
+}
+
+// buildGhostScatter constructs the plan that gathers the remote column
+// values of a compatible x vector into m.ghost.  Requests are not locally
+// deducible, so every rank broadcasts its ghost-column list once.
+func (m *AIJ) buildGhostScatter() {
+	c := m.c
+	size, me := c.Size(), c.Rank()
+
+	// Share ghost-column lists (as float64 payload for simplicity).
+	counts := make([]int, size)
+	mineF := make([]float64, len(m.ghostCols))
+	for i, j := range m.ghostCols {
+		mineF[i] = float64(j)
+	}
+	countsF := make([]float64, size)
+	countsF[me] = float64(len(m.ghostCols))
+	c.Allreduce(countsF, mpi.OpSum)
+	total := 0
+	for r := 0; r < size; r++ {
+		counts[r] = int(countsF[r]) * 8
+		total += counts[r]
+	}
+	allBytes := make([]byte, total)
+	c.Allgatherv(floatbytes.Bytes(mineF), counts, allBytes)
+	all := floatbytes.Floats(allBytes)
+
+	// Receives: positions of my ghost columns, grouped by owner (the list
+	// is sorted by global column, so owner groups are contiguous).
+	recvFrom := map[int][]int{}
+	for p, j := range m.ghostCols {
+		owner := m.colL.Owner(j)
+		recvFrom[owner] = append(recvFrom[owner], p)
+	}
+
+	// Sends: for each requester, my owned columns it asked for, in its
+	// (sorted) request order.
+	sendTo := map[int][]int{}
+	off := 0
+	for r := 0; r < size; r++ {
+		n := counts[r] / 8
+		if r == me {
+			off += n
+			continue
+		}
+		for _, jf := range all[off : off+n] {
+			j := int(jf)
+			if j >= m.clo && j < m.chi {
+				sendTo[r] = append(sendTo[r], j-m.clo)
+			}
+		}
+		off += n
+	}
+
+	var plan petsc.Plan
+	for r := 0; r < size; r++ {
+		if idx, ok := sendTo[r]; ok {
+			plan.Sends = append(plan.Sends, petsc.PeerIndices{Peer: r, Local: idx})
+		}
+	}
+	for r := 0; r < size; r++ {
+		if idx, ok := recvFrom[r]; ok {
+			plan.Recvs = append(plan.Recvs, petsc.PeerIndices{Peer: r, Local: idx})
+		}
+	}
+	m.sc = petsc.NewScatterFromPlan(c, m.chi-m.clo, len(m.ghostCols), plan, m.mode)
+}
+
+// Apply computes y = A*x.  x must have the matrix's column layout and y its
+// row layout.  Collective.
+func (m *AIJ) Apply(x, y *petsc.Vec) {
+	if !m.assembled {
+		panic("mat: Apply before Assemble")
+	}
+	if x.GlobalSize() != m.cols || y.GlobalSize() != m.rows {
+		panic("mat: vector sizes do not match matrix")
+	}
+	if xlo, xhi := x.Range(); xlo != m.clo || xhi != m.chi {
+		panic("mat: x vector layout does not match matrix columns")
+	}
+	if ylo, yhi := y.Range(); ylo != m.rlo || yhi != m.rhi {
+		panic("mat: y vector layout does not match matrix rows")
+	}
+	m.sc.DoArrays(x.Array(), m.ghost)
+	m.diag.Mult(x.Array(), y.Array())
+	m.off.MultAdd(m.ghost, y.Array())
+	m.c.Compute(float64(2*(m.diag.NNZ()+m.off.NNZ())) * flopSec)
+}
+
+// Diagonal extracts the matrix diagonal into d (row layout).  Collective
+// in shape only; purely local communication-wise.
+func (m *AIJ) Diagonal(d *petsc.Vec) {
+	if !m.assembled {
+		panic("mat: Diagonal before Assemble")
+	}
+	if d.GlobalSize() != m.rows {
+		panic("mat: diagonal vector size mismatch")
+	}
+	da := d.Array()
+	for i := range da {
+		da[i] = 0
+	}
+	for i := 0; i < m.diag.Rows(); i++ {
+		gi := m.rlo + i
+		for p := m.diag.RowPtr[i]; p < m.diag.RowPtr[i+1]; p++ {
+			if m.diag.Col[p]+m.clo == gi {
+				da[i] = m.diag.Val[p]
+			}
+		}
+	}
+}
+
+// NNZ returns the locally stored entry count.
+func (m *AIJ) NNZ() int { return m.diag.NNZ() + m.off.NNZ() }

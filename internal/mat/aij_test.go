@@ -1,0 +1,220 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+	"nccd/internal/simnet"
+)
+
+func runWorld(t *testing.T, n int, cfg mpi.Config, f func(c *mpi.Comm) error) *mpi.World {
+	t.Helper()
+	w := mpi.NewWorld(simnet.Uniform(n, simnet.IBDDR()), cfg)
+	if err := w.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCSRMult(t *testing.T) {
+	// [1 2; 0 3] * [4 5]^T = [14 15]
+	m := CSR{RowPtr: []int{0, 2, 3}, Col: []int{0, 1, 1}, Val: []float64{1, 2, 3}}
+	y := make([]float64, 2)
+	m.Mult([]float64{4, 5}, y)
+	if y[0] != 14 || y[1] != 15 {
+		t.Fatalf("CSR mult = %v", y)
+	}
+	m.MultAdd([]float64{4, 5}, y)
+	if y[0] != 28 || y[1] != 30 {
+		t.Fatalf("CSR multadd = %v", y)
+	}
+	if m.Rows() != 2 || m.NNZ() != 3 {
+		t.Fatalf("shape wrong")
+	}
+}
+
+// denseRef multiplies a dense reference matrix by x.
+func denseRef(a [][]float64, x []float64) []float64 {
+	y := make([]float64, len(a))
+	for i := range a {
+		for j, v := range a[i] {
+			y[i] += v * x[j]
+		}
+	}
+	return y
+}
+
+func TestAIJMatchesDenseRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		n := 8 + rng.Intn(25)
+		np := 1 + rng.Intn(5)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+			for j := range dense[i] {
+				if rng.Float64() < 0.2 {
+					dense[i][j] = rng.NormFloat64()
+				}
+			}
+		}
+		xv := make([]float64, n)
+		for i := range xv {
+			xv[i] = rng.NormFloat64()
+		}
+		want := denseRef(dense, xv)
+
+		for _, mode := range []petsc.ScatterMode{petsc.ScatterHandTuned, petsc.ScatterDatatype} {
+			runWorld(t, np, mpi.Optimized(), func(c *mpi.Comm) error {
+				m := NewAIJ(c, n, n, mode)
+				rlo, rhi := m.OwnedRows()
+				for i := rlo; i < rhi; i++ {
+					for j := 0; j < n; j++ {
+						if dense[i][j] != 0 {
+							m.Set(i, j, dense[i][j])
+						}
+					}
+				}
+				m.Assemble()
+
+				x := petsc.NewVec(c, n)
+				x.SetFromFunc(func(i int) float64 { return xv[i] })
+				y := petsc.NewVec(c, n)
+				m.Apply(x, y)
+
+				lo, _ := y.Range()
+				for i, v := range y.Array() {
+					if math.Abs(v-want[lo+i]) > 1e-12 {
+						return fmt.Errorf("trial %d mode %v: y[%d] = %v, want %v",
+							trial, mode, lo+i, v, want[lo+i])
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAIJAddAccumulates(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		m := NewAIJ(c, 4, 4, petsc.ScatterHandTuned)
+		rlo, rhi := m.OwnedRows()
+		for i := rlo; i < rhi; i++ {
+			m.Add(i, i, 1)
+			m.Add(i, i, 2)
+		}
+		m.Assemble()
+		x := petsc.NewVec(c, 4)
+		x.Set(1)
+		y := petsc.NewVec(c, 4)
+		m.Apply(x, y)
+		for _, v := range y.Array() {
+			if v != 3 {
+				return fmt.Errorf("Add did not accumulate: %v", v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAIJDiagonal(t *testing.T) {
+	runWorld(t, 3, mpi.Optimized(), func(c *mpi.Comm) error {
+		n := 9
+		m := NewAIJ(c, n, n, petsc.ScatterHandTuned)
+		rlo, rhi := m.OwnedRows()
+		for i := rlo; i < rhi; i++ {
+			m.Set(i, i, float64(i+1))
+			if i > 0 {
+				m.Set(i, i-1, -1)
+			}
+		}
+		m.Assemble()
+		d := petsc.NewVec(c, n)
+		m.Diagonal(d)
+		lo, _ := d.Range()
+		for i, v := range d.Array() {
+			if v != float64(lo+i+1) {
+				return fmt.Errorf("diag[%d] = %v", lo+i, v)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAIJTridiagonalLaplacian(t *testing.T) {
+	// 1-D Laplacian times the linear function is zero in the interior.
+	n := 32
+	runWorld(t, 4, mpi.Baseline(), func(c *mpi.Comm) error {
+		m := NewAIJ(c, n, n, petsc.ScatterDatatype)
+		rlo, rhi := m.OwnedRows()
+		for i := rlo; i < rhi; i++ {
+			m.Set(i, i, 2)
+			if i > 0 {
+				m.Set(i, i-1, -1)
+			}
+			if i < n-1 {
+				m.Set(i, i+1, -1)
+			}
+		}
+		m.Assemble()
+		x := petsc.NewVec(c, n)
+		x.SetFromFunc(func(i int) float64 { return float64(i) })
+		y := petsc.NewVec(c, n)
+		m.Apply(x, y)
+		lo, hi := y.Range()
+		for i := lo; i < hi; i++ {
+			want := 0.0
+			if i == 0 {
+				want = -1
+			}
+			if i == n-1 {
+				want = float64(n) // 2*(n-1) - (n-2)
+			}
+			if got := y.Array()[i-lo]; math.Abs(got-want) > 1e-12 {
+				return fmt.Errorf("y[%d] = %v, want %v", i, got, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAIJValidation(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		mustPanic := func(name string, f func()) error {
+			defer func() { recover() }()
+			f()
+			return fmt.Errorf("%s: expected panic", name)
+		}
+		m := NewAIJ(c, 4, 4, petsc.ScatterHandTuned)
+		rlo, _ := m.OwnedRows()
+		otherRow := (rlo + 2) % 4
+		if err := mustPanic("foreign row", func() { m.Set(otherRow, 0, 1) }); err != nil {
+			return err
+		}
+		if err := mustPanic("bad col", func() { m.Set(rlo, 7, 1) }); err != nil {
+			return err
+		}
+		if err := mustPanic("apply before assemble", func() {
+			m.Apply(petsc.NewVec(c, 4), petsc.NewVec(c, 4))
+		}); err != nil {
+			return err
+		}
+		m.Assemble()
+		if err := mustPanic("set after assemble", func() { m.Set(rlo, 0, 1) }); err != nil {
+			return err
+		}
+		if err := mustPanic("double assemble", func() { m.Assemble() }); err != nil {
+			return err
+		}
+		if err := mustPanic("wrong vec size", func() {
+			m.Apply(petsc.NewVec(c, 5), petsc.NewVec(c, 4))
+		}); err != nil {
+			return err
+		}
+		return nil
+	})
+}

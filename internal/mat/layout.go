@@ -1,0 +1,59 @@
+package mat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layout describes how a vector's elements are distributed: rank r owns the
+// half-open range [Offsets[r], Offsets[r+1]).  It generalizes the uniform
+// block distribution so matrices can match grid-shaped layouts (DMDA
+// vectors).
+type Layout struct {
+	Offsets []int // len = ranks+1, nondecreasing, Offsets[0] == 0
+}
+
+// NewLayout builds a layout from per-rank local sizes.
+func NewLayout(sizes []int) Layout {
+	off := make([]int, len(sizes)+1)
+	for r, n := range sizes {
+		if n < 0 {
+			panic("mat: negative local size")
+		}
+		off[r+1] = off[r] + n
+	}
+	return Layout{Offsets: off}
+}
+
+// UniformLayout reproduces the standard PETSc block distribution of global
+// elements over ranks.
+func UniformLayout(global, ranks int) Layout {
+	sizes := make([]int, ranks)
+	base, rem := global/ranks, global%ranks
+	for r := range sizes {
+		sizes[r] = base
+		if r < rem {
+			sizes[r]++
+		}
+	}
+	return NewLayout(sizes)
+}
+
+// Global returns the total element count.
+func (l Layout) Global() int { return l.Offsets[len(l.Offsets)-1] }
+
+// Ranks returns the number of ranks.
+func (l Layout) Ranks() int { return len(l.Offsets) - 1 }
+
+// Range returns rank r's [lo, hi) range.
+func (l Layout) Range(r int) (int, int) { return l.Offsets[r], l.Offsets[r+1] }
+
+// Owner returns the rank owning global index i (binary search).
+func (l Layout) Owner(i int) int {
+	if i < 0 || i >= l.Global() {
+		panic(fmt.Sprintf("mat: index %d out of range [0,%d)", i, l.Global()))
+	}
+	// Smallest idx with Offsets[idx] > i is the upper boundary of the
+	// owning rank; duplicates from empty ranks sort below it.
+	return sort.SearchInts(l.Offsets, i+1) - 1
+}

@@ -1,0 +1,69 @@
+package mat
+
+import (
+	"testing"
+
+	"nccd/internal/petsc"
+)
+
+func TestLayoutBasics(t *testing.T) {
+	l := NewLayout([]int{3, 0, 2, 5})
+	if l.Global() != 10 || l.Ranks() != 4 {
+		t.Fatalf("global/ranks = %d/%d", l.Global(), l.Ranks())
+	}
+	if lo, hi := l.Range(2); lo != 3 || hi != 5 {
+		t.Fatalf("range(2) = [%d,%d)", lo, hi)
+	}
+	for i := 0; i < 10; i++ {
+		r := l.Owner(i)
+		lo, hi := l.Range(r)
+		if i < lo || i >= hi {
+			t.Fatalf("Owner(%d) = %d with range [%d,%d)", i, r, lo, hi)
+		}
+	}
+}
+
+func TestLayoutOwnerSkipsEmptyRanks(t *testing.T) {
+	l := NewLayout([]int{0, 4, 0, 0, 4})
+	if l.Owner(0) != 1 {
+		t.Fatalf("Owner(0) = %d, want 1", l.Owner(0))
+	}
+	if l.Owner(4) != 4 {
+		t.Fatalf("Owner(4) = %d, want 4", l.Owner(4))
+	}
+}
+
+func TestUniformLayoutMatchesOwnershipRange(t *testing.T) {
+	for _, tc := range []struct{ global, ranks int }{{10, 3}, {7, 7}, {3, 5}, {128, 8}} {
+		l := UniformLayout(tc.global, tc.ranks)
+		for r := 0; r < tc.ranks; r++ {
+			lo, hi := petsc.OwnershipRange(tc.global, tc.ranks, r)
+			glo, ghi := l.Range(r)
+			if lo != glo || hi != ghi {
+				t.Fatalf("g=%d ranks=%d rank=%d: [%d,%d) vs [%d,%d)",
+					tc.global, tc.ranks, r, glo, ghi, lo, hi)
+			}
+		}
+		for i := 0; i < tc.global; i++ {
+			if l.Owner(i) != petsc.Owner(tc.global, tc.ranks, i) {
+				t.Fatalf("owner mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative size": func() { NewLayout([]int{-1}) },
+		"oob owner":     func() { NewLayout([]int{2}).Owner(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

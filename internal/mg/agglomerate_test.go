@@ -1,0 +1,72 @@
+package mg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+)
+
+func TestAgglomeratedSolveMatchesFull(t *testing.T) {
+	// Agglomeration changes only where coarse cells live, never the math:
+	// solutions and cycle counts must match the unagglomerated hierarchy.
+	var sums []float64
+	var cycles []int
+	for _, minCells := range []int{0, 512} {
+		var sum float64
+		var cyc int
+		runWorld(t, 8, mpi.Optimized(), func(c *mpi.Comm) error {
+			s := NewAgglomerated(c, []int{16, 16, 16}, 3, petsc.ScatterDatatype, minCells)
+			if minCells > 0 {
+				// 4^3 = 64 coarsest cells with 512 min cells per rank ->
+				// a single active rank on the coarsest level.
+				if got := s.DA(2).Active(); got != 1 {
+					return fmt.Errorf("coarsest active ranks = %d, want 1", got)
+				}
+				if s.DA(0).Active() != 8 {
+					return fmt.Errorf("finest should stay fully distributed")
+				}
+			}
+			b := s.CreateVec()
+			setManufactured(s, b)
+			x := s.CreateVec()
+			cycles, _ := s.Solve(b, x, 1e-9, 60)
+			total := x.Sum()
+			if c.Rank() == 0 {
+				cyc, sum = cycles, total
+			}
+			return nil
+		})
+		sums = append(sums, sum)
+		cycles = append(cycles, cyc)
+	}
+	if math.Abs(sums[1]-sums[0]) > 1e-9*math.Abs(sums[0]) {
+		t.Fatalf("agglomerated solution differs: %v vs %v", sums[1], sums[0])
+	}
+	if cycles[1] != cycles[0] {
+		t.Fatalf("agglomerated cycle count differs: %d vs %d", cycles[1], cycles[0])
+	}
+}
+
+func TestAgglomerationReducesCoarseMessages(t *testing.T) {
+	// With many ranks and a small coarsest grid, agglomeration must cut
+	// the message count (fewer neighbor exchanges on coarse levels).
+	msgs := func(minCells int) int64 {
+		w := runWorld(t, 16, mpi.Optimized(), func(c *mpi.Comm) error {
+			s := NewAgglomerated(c, []int{16, 16}, 3, petsc.ScatterHandTuned, minCells)
+			b := s.CreateVec()
+			setManufactured(s, b)
+			x := s.CreateVec()
+			s.VCycle(b, x)
+			return nil
+		})
+		return w.TotalStats().MsgsSent
+	}
+	full := msgs(0)
+	agg := msgs(64)
+	if agg >= full {
+		t.Fatalf("agglomeration did not reduce messages: %d vs %d", agg, full)
+	}
+}

@@ -1,0 +1,340 @@
+package mg
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nccd/internal/ksp"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+	"nccd/internal/simnet"
+)
+
+func runWorld(t *testing.T, n int, cfg mpi.Config, f func(c *mpi.Comm) error) *mpi.World {
+	t.Helper()
+	w := mpi.NewWorld(simnet.Uniform(n, simnet.IBDDR()), cfg)
+	if err := w.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// setManufactured fills b = A x* for the product-of-sines solution at cell
+// centers and returns x*.
+func setManufactured(s *Solver, b *petsc.Vec) *petsc.Vec {
+	da := s.DA(0)
+	dim := s.dim
+	xstar := s.CreateVec()
+	a := xstar.Array()
+	own := da.OwnedBox()
+	idx := 0
+	for k := own.Lo[2]; k < own.Hi[2]; k++ {
+		for j := own.Lo[1]; j < own.Hi[1]; j++ {
+			for i := own.Lo[0]; i < own.Hi[0]; i++ {
+				v := 1.0
+				coords := [3]int{i, j, k}
+				for d := 0; d < dim; d++ {
+					x := (float64(coords[d]) + 0.5) / float64(da.GlobalSize(d))
+					v *= math.Sin(math.Pi * x)
+				}
+				a[idx] = v
+				idx++
+			}
+		}
+	}
+	s.Apply(xstar, b)
+	return xstar
+}
+
+func TestOperatorSPDProperties(t *testing.T) {
+	runWorld(t, 4, mpi.Optimized(), func(c *mpi.Comm) error {
+		s := New(c, []int{16, 16}, 1, petsc.ScatterHandTuned)
+		x := s.CreateVec()
+		y := s.CreateVec()
+		ax := s.CreateVec()
+		ay := s.CreateVec()
+		x.SetFromFunc(func(i int) float64 { return math.Sin(float64(i)) })
+		y.SetFromFunc(func(i int) float64 { return math.Cos(float64(3 * i)) })
+		s.Apply(x, ax)
+		s.Apply(y, ay)
+		// Symmetry: <Ax, y> == <x, Ay>.
+		l, r := ax.Dot(y), x.Dot(ay)
+		if math.Abs(l-r) > 1e-6*math.Abs(l) {
+			return fmt.Errorf("operator not symmetric: %v vs %v", l, r)
+		}
+		// Positive definiteness on a nonzero vector.
+		if x.Dot(ax) <= 0 {
+			return fmt.Errorf("operator not positive definite")
+		}
+		return nil
+	})
+}
+
+func TestVCycleContracts(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		np     int
+		n      []int
+		levels int
+	}{
+		{"1d", 2, []int{64}, 3},
+		{"2d", 4, []int{32, 32}, 3},
+		{"3d", 4, []int{16, 16, 16}, 2},
+		{"3d-3lv", 8, []int{24, 24, 24}, 3},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runWorld(t, tc.np, mpi.Optimized(), func(c *mpi.Comm) error {
+				s := New(c, tc.n, tc.levels, petsc.ScatterHandTuned)
+				b := s.CreateVec()
+				setManufactured(s, b)
+				x := s.CreateVec()
+
+				r := s.CreateVec()
+				s.Apply(x, r)
+				r.AYPX(-1, b)
+				prev := r.Norm2()
+				for cyc := 0; cyc < 3; cyc++ {
+					s.VCycle(b, x)
+					s.Apply(x, r)
+					r.AYPX(-1, b)
+					cur := r.Norm2()
+					if cur > 0.5*prev {
+						return fmt.Errorf("cycle %d contraction only %v -> %v", cyc, prev, cur)
+					}
+					prev = cur
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestSolveReachesTolerance(t *testing.T) {
+	runWorld(t, 4, mpi.Optimized(), func(c *mpi.Comm) error {
+		s := New(c, []int{32, 32}, 3, petsc.ScatterDatatype)
+		b := s.CreateVec()
+		xstar := setManufactured(s, b)
+		x := s.CreateVec()
+		cycles, relres := s.Solve(b, x, 1e-8, 50)
+		if relres > 1e-8 {
+			return fmt.Errorf("relres %v after %d cycles", relres, cycles)
+		}
+		x.AXPY(-1, xstar)
+		if e := x.NormInf(); e > 1e-6 {
+			return fmt.Errorf("solution error %v", e)
+		}
+		return nil
+	})
+}
+
+func TestSolveMatchesAcrossBackendsAndConfigs(t *testing.T) {
+	// The three experimental arms must produce numerically identical
+	// solutions (communication backends must not change the math).
+	type arm struct {
+		name string
+		cfg  mpi.Config
+		mode petsc.ScatterMode
+	}
+	arms := []arm{
+		{"hand-tuned", mpi.Baseline(), petsc.ScatterHandTuned},
+		{"datatype-baseline", mpi.Baseline(), petsc.ScatterDatatype},
+		{"datatype-optimized", mpi.Optimized(), petsc.ScatterDatatype},
+	}
+	var sums []float64
+	var cycleCounts []int
+	for _, a := range arms {
+		var sum float64
+		var cycles int
+		runWorld(t, 4, a.cfg, func(c *mpi.Comm) error {
+			s := New(c, []int{16, 16, 16}, 2, a.mode)
+			b := s.CreateVec()
+			setManufactured(s, b)
+			x := s.CreateVec()
+			cyc, _ := s.Solve(b, x, 1e-9, 60)
+			total := x.Sum()
+			if c.Rank() == 0 {
+				cycles, sum = cyc, total
+			}
+			return nil
+		})
+		sums = append(sums, sum)
+		cycleCounts = append(cycleCounts, cycles)
+	}
+	for i := 1; i < len(sums); i++ {
+		if math.Abs(sums[i]-sums[0]) > 1e-9*math.Abs(sums[0]) {
+			t.Fatalf("arm %d solution differs: %v vs %v", i, sums[i], sums[0])
+		}
+		if cycleCounts[i] != cycleCounts[0] {
+			t.Fatalf("arm %d cycle count differs: %d vs %d", i, cycleCounts[i], cycleCounts[0])
+		}
+	}
+}
+
+func TestMGAsPreconditionerForCG(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		s := New(c, []int{64}, 3, petsc.ScatterHandTuned)
+		b := s.CreateVec()
+		// A rough, non-eigenvector right-hand side (a pure sine would let
+		// plain CG converge in one step).
+		b.SetFromFunc(func(i int) float64 { return float64(1 + i%7) })
+
+		xmg := s.CreateVec()
+		pcg := (&ksp.CG{A: s, M: s, Rtol: 1e-8, MaxIts: 200}).Solve(b, xmg)
+
+		xplain := s.CreateVec()
+		plain := (&ksp.CG{A: s, Rtol: 1e-8, MaxIts: 2000}).Solve(b, xplain)
+
+		if !pcg.Converged {
+			return fmt.Errorf("MG-preconditioned CG did not converge: %v", pcg)
+		}
+		if plain.Converged && pcg.Iterations >= plain.Iterations {
+			return fmt.Errorf("MG-PCG (%d its) should beat plain CG (%d its)",
+				pcg.Iterations, plain.Iterations)
+		}
+		return nil
+	})
+}
+
+func TestRichardsonMGSolver(t *testing.T) {
+	// The paper's solver configuration: Richardson iteration applying one
+	// V-cycle per step.
+	runWorld(t, 4, mpi.Optimized(), func(c *mpi.Comm) error {
+		s := New(c, []int{32, 32}, 2, petsc.ScatterDatatype)
+		b := s.CreateVec()
+		setManufactured(s, b)
+		x := s.CreateVec()
+		res := (&ksp.Richardson{A: s, M: s, Rtol: 1e-8, MaxIts: 60}).Solve(b, x)
+		if !res.Converged {
+			return fmt.Errorf("richardson-MG did not converge: %v", res)
+		}
+		if res.Iterations > 25 {
+			return fmt.Errorf("richardson-MG too slow: %d cycles", res.Iterations)
+		}
+		return nil
+	})
+}
+
+func TestChebyshevSmootherConverges(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    []int
+	}{{"2d", []int{32, 32}}, {"3d", []int{16, 16, 16}}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runWorld(t, 4, mpi.Optimized(), func(c *mpi.Comm) error {
+				s := New(c, tc.n, 2, petsc.ScatterHandTuned)
+				s.Smoother = SmootherChebyshev
+				b := s.CreateVec()
+				xstar := setManufactured(s, b)
+				x := s.CreateVec()
+				cycles, relres := s.Solve(b, x, 1e-8, 40)
+				if relres > 1e-8 {
+					return fmt.Errorf("chebyshev MG: relres %v after %d cycles", relres, cycles)
+				}
+				x.AXPY(-1, xstar)
+				if e := x.NormInf(); e > 1e-6 {
+					return fmt.Errorf("solution error %v", e)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestChebyshevAtLeastAsFastAsJacobi(t *testing.T) {
+	cyclesFor := func(sm Smoother) int {
+		var cycles int
+		runWorld(t, 4, mpi.Optimized(), func(c *mpi.Comm) error {
+			s := New(c, []int{32, 32}, 3, petsc.ScatterHandTuned)
+			s.Smoother = sm
+			b := s.CreateVec()
+			setManufactured(s, b)
+			x := s.CreateVec()
+			cyc, _ := s.Solve(b, x, 1e-8, 60)
+			if c.Rank() == 0 {
+				cycles = cyc
+			}
+			return nil
+		})
+		return cycles
+	}
+	j := cyclesFor(SmootherJacobi)
+	ch := cyclesFor(SmootherChebyshev)
+	if ch > j {
+		t.Fatalf("chebyshev (%d cycles) slower than jacobi (%d cycles)", ch, j)
+	}
+}
+
+func TestSmootherString(t *testing.T) {
+	if SmootherJacobi.String() != "jacobi" || SmootherChebyshev.String() != "chebyshev" {
+		t.Fatal("bad smoother strings")
+	}
+}
+
+func TestZeroRHS(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		s := New(c, []int{16}, 2, petsc.ScatterHandTuned)
+		b := s.CreateVec()
+		x := s.CreateVec()
+		cycles, relres := s.Solve(b, x, 1e-8, 10)
+		if cycles != 0 || relres != 0 {
+			return fmt.Errorf("zero rhs: cycles=%d relres=%v", cycles, relres)
+		}
+		return nil
+	})
+}
+
+func TestValidation(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		mustPanic := func(name string, f func()) error {
+			defer func() { recover() }()
+			f()
+			return fmt.Errorf("%s: expected panic", name)
+		}
+		if err := mustPanic("indivisible", func() { New(c, []int{10}, 3, petsc.ScatterHandTuned) }); err != nil {
+			return err
+		}
+		if err := mustPanic("no levels", func() { New(c, []int{8}, 0, petsc.ScatterHandTuned) }); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+func TestPaperConfiguration100Cubed(t *testing.T) {
+	// The paper's exact application setup: 100^3 grid, one dof, three
+	// levels (100 -> 50 -> 25).  Run a couple of V-cycles on 8 ranks to
+	// validate the configuration end to end (full convergence is covered
+	// by the benchmark harness).
+	if testing.Short() {
+		t.Skip("large grid in -short mode")
+	}
+	runWorld(t, 8, mpi.Optimized(), func(c *mpi.Comm) error {
+		s := New(c, []int{100, 100, 100}, 3, petsc.ScatterDatatype)
+		if s.Levels() != 3 {
+			return fmt.Errorf("levels = %d", s.Levels())
+		}
+		if s.DA(2).GlobalSize(0) != 25 {
+			return fmt.Errorf("coarsest extent = %d, want 25", s.DA(2).GlobalSize(0))
+		}
+		b := s.CreateVec()
+		setManufactured(s, b)
+		x := s.CreateVec()
+
+		r := s.CreateVec()
+		s.Apply(x, r)
+		r.AYPX(-1, b)
+		before := r.Norm2()
+		s.VCycle(b, x)
+		s.VCycle(b, x)
+		s.Apply(x, r)
+		r.AYPX(-1, b)
+		after := r.Norm2()
+		if after > before/4 {
+			return fmt.Errorf("100^3 V-cycles barely contracted: %v -> %v", before, after)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nccd/internal/kselect"
+)
+
+// Allgatherv gathers variable-size contiguous contributions on every rank.
+// data is the local contribution, counts the per-rank byte counts (identical
+// on all ranks — part of the call signature in MPI, which is what lets the
+// paper's outlier detection run locally with no extra communication), and
+// recv the destination buffer of length sum(counts), filled in rank order.
+//
+// The algorithm is chosen per the world's Config:
+//
+//   - AGAuto (baseline MPICH2 rule): recursive doubling for short totals on
+//     power-of-two worlds, dissemination for short totals otherwise, and the
+//     ring algorithm for long totals — chosen purely by total size, which is
+//     optimal for uniform volumes but serializes a single large contribution
+//     behind N-1 sequential hops.
+//   - AGAdaptive (the paper's rule): compute the outlier ratio of the count
+//     set with Floyd–Rivest k-select; if the set is nonuniform, use
+//     recursive doubling / dissemination so large blocks move along a
+//     binomial pattern in ceil(log2 N) phases; otherwise the baseline rule.
+//   - AGRing / AGRecursiveDoubling / AGDissemination force an algorithm.
+func (c *Comm) Allgatherv(data []byte, counts []int, recv []byte) {
+	c.checkCounts(counts)
+	me := c.rank
+	if len(data) != counts[me] {
+		panic(fmt.Sprintf("mpi: allgatherv rank %d contributes %d bytes, counts says %d", me, len(data), counts[me]))
+	}
+	displs, total := prefix(counts)
+	if len(recv) < total {
+		panic(fmt.Sprintf("mpi: allgatherv recv buffer %d < total %d", len(recv), total))
+	}
+	c.skew()
+	tag := c.collTag()
+
+	n := c.Size()
+	copy(recv[displs[me]:], data)
+	if n == 1 {
+		return
+	}
+
+	algo := c.allgathervAlgo(counts, total)
+	switch algo {
+	case AGRing:
+		c.agvRing(tag, counts, displs, recv)
+	case AGRecursiveDoubling:
+		c.agvRecDbl(tag, counts, displs, recv)
+	case AGDissemination:
+		c.agvDissem(tag, counts, displs, recv)
+	default:
+		panic("mpi: unresolved allgatherv algorithm")
+	}
+}
+
+// allgathervAlgo resolves the configured policy to a concrete algorithm.
+func (c *Comm) allgathervAlgo(counts []int, total int) AllgathervAlgo {
+	n := c.Size()
+	pof2 := bits.OnesCount(uint(n)) == 1
+	cfg := &c.w.cfg
+
+	short := func() AllgathervAlgo {
+		if pof2 {
+			return AGRecursiveDoubling
+		}
+		return AGDissemination
+	}
+
+	switch cfg.Allgatherv {
+	case AGRing:
+		return AGRing
+	case AGRecursiveDoubling:
+		if !pof2 {
+			panic("mpi: recursive doubling requires a power-of-two world")
+		}
+		return AGRecursiveDoubling
+	case AGDissemination:
+		return AGDissemination
+	case AGAuto:
+		if total >= cfg.RingThresholdBytes {
+			return AGRing
+		}
+		return short()
+	case AGAdaptive:
+		vols := make([]int64, len(counts))
+		for i, v := range counts {
+			vols[i] = int64(v)
+		}
+		if kselect.IsNonuniform(vols, cfg.Outlier) {
+			return short()
+		}
+		if total >= cfg.RingThresholdBytes {
+			return AGRing
+		}
+		return short()
+	}
+	panic("mpi: unknown allgatherv policy")
+}
+
+// agvRing runs N-1 steps around a logical ring: in step s each rank
+// forwards to its right neighbor the block it received in step s-1 (its own
+// block in step 0).  A single large block therefore takes N-1 sequential
+// hops to reach every rank — the serialization of Figure 8.
+func (c *Comm) agvRing(tag int, counts, displs []int, recv []byte) {
+	n := c.Size()
+	me := c.rank
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendBlock := (me - s + n) % n
+		recvBlock := (me - s - 1 + n) % n
+		c.send(right, tag, recv[displs[sendBlock]:displs[sendBlock]+counts[sendBlock]])
+		env := c.match(left, tag)
+		c.completeRecv(env)
+		if len(env.data) != counts[recvBlock] {
+			panic("mpi: ring allgatherv block size mismatch")
+		}
+		copy(recv[displs[recvBlock]:], env.data)
+	}
+}
+
+// agvRecDbl runs log2(N) phases; in phase p rank r exchanges with r XOR 2^p
+// all blocks its aligned group currently holds.  Group blocks are contiguous
+// in the receive buffer, so each exchange is one message.  A single large
+// block reaches all ranks along a binomial pattern in log2(N) phases.
+func (c *Comm) agvRecDbl(tag int, counts, displs []int, recv []byte) {
+	n := c.Size()
+	me := c.rank
+	for mask := 1; mask < n; mask <<= 1 {
+		partner := me ^ mask
+		myGroup := me &^ (mask - 1)
+		theirGroup := partner &^ (mask - 1)
+		myLo := displs[myGroup]
+		myHi := displs[myGroup+mask-1] + counts[myGroup+mask-1]
+		theirLo := displs[theirGroup]
+		theirHi := displs[theirGroup+mask-1] + counts[theirGroup+mask-1]
+		c.send(partner, tag, recv[myLo:myHi])
+		env := c.match(partner, tag)
+		c.completeRecv(env)
+		if len(env.data) != theirHi-theirLo {
+			panic("mpi: recursive-doubling allgatherv size mismatch")
+		}
+		copy(recv[theirLo:], env.data)
+	}
+}
+
+// agvDissem runs ceil(log2 N) phases of the dissemination (Bruck-style)
+// pattern: after phase p rank r holds the min(2^(p+1), N) consecutive
+// blocks starting at its own.  In phase p rank r sends its first
+// min(2^p, N-2^p) blocks to rank r-2^p and receives the corresponding
+// blocks from rank r+2^p.  Works for any N.
+func (c *Comm) agvDissem(tag int, counts, displs []int, recv []byte) {
+	n := c.Size()
+	me := c.rank
+	total := displs[n-1] + counts[n-1]
+
+	gather := func(start, cnt int) []byte {
+		// Blocks start..start+cnt-1 (mod n) as one payload; at most two
+		// contiguous regions of recv.
+		out := make([]byte, 0)
+		first := start % n
+		if first+cnt <= n {
+			lo := displs[first]
+			hi := displs[first+cnt-1] + counts[first+cnt-1]
+			return append(out, recv[lo:hi]...)
+		}
+		out = append(out, recv[displs[first]:total]...)
+		wrap := first + cnt - n
+		out = append(out, recv[:displs[wrap-1]+counts[wrap-1]]...)
+		return out
+	}
+	scatter := func(start, cnt int, data []byte) {
+		first := start % n
+		if first+cnt <= n {
+			lo := displs[first]
+			hi := displs[first+cnt-1] + counts[first+cnt-1]
+			if len(data) != hi-lo {
+				panic("mpi: dissemination allgatherv size mismatch")
+			}
+			copy(recv[lo:hi], data)
+			return
+		}
+		head := total - displs[first]
+		copy(recv[displs[first]:total], data[:head])
+		wrap := first + cnt - n
+		tail := displs[wrap-1] + counts[wrap-1]
+		if len(data) != head+tail {
+			panic("mpi: dissemination allgatherv size mismatch")
+		}
+		copy(recv[:tail], data[head:])
+	}
+
+	for p := 1; p < n; p <<= 1 {
+		cnt := p
+		if n-p < cnt {
+			cnt = n - p
+		}
+		dst := (me - p + n) % n
+		src := (me + p) % n
+		c.send(dst, tag, gather(me, cnt))
+		env := c.match(src, tag)
+		c.completeRecv(env)
+		scatter(me+p, cnt, env.data)
+	}
+}

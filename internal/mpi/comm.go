@@ -1,0 +1,390 @@
+package mpi
+
+import (
+	"fmt"
+
+	"nccd/internal/datatype"
+)
+
+// Comm is a rank's handle on a communicator: all communication goes through
+// it.  The Comm passed to World.Run spans every rank; Split derives
+// sub-communicators.  A Comm is bound to its rank's goroutine and is not
+// safe for concurrent use.
+type Comm struct {
+	w  *World
+	me *proc
+
+	// group lists the world ranks of this communicator's members in comm
+	// rank order; nil means the world communicator (identity mapping).
+	group []int
+	// rank is this process's rank within the communicator.
+	rank int
+	// ctx is the communicator's context id; messages match only within
+	// their communicator.
+	ctx uint64
+}
+
+// Rank returns the calling rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int {
+	if c.group == nil {
+		return len(c.w.procs)
+	}
+	return len(c.group)
+}
+
+// worldRank translates a communicator rank to a world rank.
+func (c *Comm) worldRank(r int) int {
+	if c.group == nil {
+		return r
+	}
+	return c.group[r]
+}
+
+// match blocks until a message for this communicator matching src/tag
+// (wildcards allowed; src is a comm rank) arrives, and removes it.
+func (c *Comm) match(src, tag int) *envelope {
+	return c.me.match(c.w, c.ctx, src, tag)
+}
+
+// World returns the world this Comm belongs to.
+func (c *Comm) World() *World { return c.w }
+
+// Clock returns the rank's virtual clock in seconds.
+func (c *Comm) Clock() float64 { return c.me.clock }
+
+// Stats returns a copy of the rank's statistics.
+func (c *Comm) Stats() Stats { return c.me.stats }
+
+// Compute advances the virtual clock by sec seconds of nominal CPU work,
+// scaled by the rank's speed factor.
+func (c *Comm) Compute(sec float64) {
+	d := sec / c.me.speed
+	start := c.me.clock
+	c.me.clock += d
+	c.me.stats.ComputeSec += d
+	c.me.record(Event{Kind: "compute", Peer: -1, Start: start, End: c.me.clock})
+}
+
+// skew injects the deterministic per-collective jitter of the cluster model.
+func (c *Comm) skew() {
+	sk := c.w.cluster.Skew
+	if sk == nil {
+		return
+	}
+	j := sk.Jitter(c.me.rank, c.me.skewSeq)
+	c.me.skewSeq++
+	start := c.me.clock
+	c.me.clock += j
+	c.me.stats.SkewSec += j
+	c.me.record(Event{Kind: "skew", Peer: -1, Start: start, End: c.me.clock})
+}
+
+// collTag returns the reserved tag for collective traffic.  A single
+// constant tag suffices: message contexts separate communicators, each
+// member executes its communicator's collectives in program order, and
+// per-(sender, context) FIFO matching pairs the streams correctly — the
+// same reasoning MPICH relies on.  Crucially, tags stay independent of how
+// many collectives a rank has executed, so ranks that legitimately sit out
+// point-to-point-only collectives (e.g. agglomerated coarse-grid work)
+// cannot desynchronize later operations.
+func (c *Comm) collTag() int {
+	return tagCollBase
+}
+
+func (c *Comm) checkPeer(r int) {
+	if r < 0 || r >= c.Size() {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.Size()))
+	}
+}
+
+func (c *Comm) checkUserTag(tag int) {
+	if tag < 0 || tag >= tagCollBase {
+		panic(fmt.Sprintf("mpi: user tag %d out of range [0,%d)", tag, tagCollBase))
+	}
+}
+
+// Send transmits a contiguous buffer to dst.  The send is eager: it
+// deposits the message and returns without waiting for the receiver.  The
+// payload is copied, so the caller may reuse data immediately.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.checkPeer(dst)
+	c.checkUserTag(tag)
+	c.send(dst, tag, data)
+}
+
+// send implements Send for both user and internal tags.  dst is a comm
+// rank.
+func (c *Comm) send(dst, tag int, data []byte) {
+	p := c.me
+	prm := &c.w.cluster.Params
+	opStart := p.clock
+	p.clock += prm.SendOverhead / p.speed
+	wire := append([]byte(nil), data...)
+	wireDone := p.clock + prm.WireTime(len(wire))
+	arrival := wireDone + prm.Latency
+	if dst == c.rank {
+		arrival = p.clock
+	} else if prm.RendezvousBytes > 0 && len(wire) > prm.RendezvousBytes {
+		// Rendezvous protocol: the sender blocks until the data is out.
+		p.clock = wireDone
+	}
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(len(wire))
+	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
+	c.w.deliver(c.worldRank(dst), &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
+}
+
+// SendType packs count instances of t from buf and transmits them to dst
+// using the configured pack engine, pipelining packing with transmission.
+func (c *Comm) SendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
+	c.checkPeer(dst)
+	c.checkUserTag(tag)
+	c.sendType(dst, tag, t, count, buf)
+}
+
+func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
+	p := c.me
+	prm := &c.w.cluster.Params
+	opt := c.w.cfg.Datatype.WithDefaults()
+
+	// Fully contiguous sends skip the pack engine entirely.
+	if t.Contig() && t.Size() == t.Extent() {
+		n := t.Size() * count
+		c.send(dst, tag, buf[:n])
+		return
+	}
+
+	opStart := p.clock
+	packer := datatype.NewPacker(c.w.cfg.Engine, t, count, buf, opt)
+	wire := make([]byte, 0, packer.TotalBytes())
+	scratch := p.scratchBuf(opt.Pipeline)
+
+	// Multi-chunk messages run the pipelined rendezvous protocol.  The
+	// pipeline is memory-bounded (one intermediate buffer) but modeled as
+	// time-serialized — pack a granule, put it on the wire, pack the next —
+	// which is how much overlap the CH3-era protocol achieved in practice
+	// and what makes PETSc's hand-tuned pack-everything-then-send path
+	// slightly faster than the datatype path, as the paper measures.
+	pipelined := packer.TotalBytes() > int64(opt.Pipeline)
+
+	p.clock += prm.SendOverhead / p.speed
+	wireDone := p.clock
+	var prev datatype.Metrics
+	for {
+		chunk, ok := packer.NextChunk(scratch)
+		if !ok {
+			break
+		}
+		m := packer.Metrics()
+
+		// Charge CPU for the work this chunk performed.
+		packSec := (prm.PackPerByte*float64(m.PackedBytes-prev.PackedBytes) +
+			prm.SegOverhead*float64(m.PackedSegments-prev.PackedSegments) +
+			prm.GatherSegOverhead*float64(m.DirectSegments-prev.DirectSegments) +
+			prm.ScanPerSeg*float64(m.ScannedSegments-prev.ScannedSegments)) / p.speed
+		searchSec := prm.SearchPerSeg * float64(m.SearchSegments-prev.SearchSegments) / p.speed
+		p.clock += packSec + searchSec
+		p.stats.PackSec += packSec
+		p.stats.SearchSec += searchSec
+		prev = m
+
+		start := p.clock
+		if wireDone > start {
+			start = wireDone
+		}
+		wireDone = start + prm.WireTime(chunk.Bytes)
+		if pipelined && dst != c.rank {
+			p.clock = wireDone
+		}
+
+		if chunk.Direct {
+			for _, s := range chunk.Segs {
+				wire = append(wire, buf[s.Off:s.Off+s.Len]...)
+			}
+		} else {
+			wire = append(wire, chunk.Data...)
+		}
+	}
+	arrival := wireDone + prm.Latency
+	if dst == c.rank {
+		arrival = p.clock
+	} else if prm.RendezvousBytes > 0 && len(wire) > prm.RendezvousBytes {
+		// Rendezvous: the sender returns once the last byte has drained.
+		p.clock = wireDone
+	}
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(len(wire))
+	p.stats.Datatype.Add(prev)
+	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
+	c.w.deliver(c.worldRank(dst), &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
+}
+
+// Recv blocks until a message matching src/tag (wildcards allowed) arrives
+// and returns its payload and source rank.
+func (c *Comm) Recv(src, tag int) ([]byte, int) {
+	env := c.match(src, tag)
+	c.completeRecv(env)
+	return env.data, env.src
+}
+
+// RecvInto receives a contiguous message into buf and returns the byte
+// count and source.  It panics if the message exceeds len(buf).
+func (c *Comm) RecvInto(src, tag int, buf []byte) (int, int) {
+	env := c.match(src, tag)
+	if len(env.data) > len(buf) {
+		panic(fmt.Sprintf("mpi: message of %d bytes overflows %d-byte buffer", len(env.data), len(buf)))
+	}
+	c.completeRecv(env)
+	copy(buf, env.data)
+	return len(env.data), env.src
+}
+
+// RecvType receives a message and scatters it into count instances of t in
+// buf.  The payload size must match the type map exactly.
+func (c *Comm) RecvType(src, tag int, t *datatype.Type, count int, buf []byte) int {
+	env := c.match(src, tag)
+	c.completeRecv(env)
+	c.unpackInto(env.data, t, count, buf)
+	return env.src
+}
+
+// completeRecv advances the clock to the arrival time and charges the
+// receive overhead.
+func (c *Comm) completeRecv(env *envelope) {
+	p := c.me
+	prm := &c.w.cluster.Params
+	opStart := p.clock
+	if env.arrival > p.clock {
+		p.stats.WaitSec += env.arrival - p.clock
+		p.clock = env.arrival
+	}
+	p.clock += prm.RecvOverhead / p.speed
+	p.stats.MsgsRecv++
+	p.stats.BytesRecv += int64(len(env.data))
+	p.record(Event{Kind: "recv", Peer: env.src, Tag: env.tag, Bytes: len(env.data), Start: opStart, End: p.clock})
+}
+
+// unpackInto scatters payload into the receive type map, charging unpack
+// cost for noncontiguous layouts.  Contiguous receives land directly
+// (rendezvous-style) at no CPU cost.
+func (c *Comm) unpackInto(payload []byte, t *datatype.Type, count int, buf []byte) {
+	want := t.Size() * count
+	if len(payload) != want {
+		panic(fmt.Sprintf("mpi: type map of %d bytes but payload is %d bytes", want, len(payload)))
+	}
+	if t.Contig() && t.Size() == t.Extent() {
+		copy(buf, payload)
+		return
+	}
+	p := c.me
+	prm := &c.w.cluster.Params
+	u := datatype.NewUnpacker(t, count, buf)
+	u.Consume(payload)
+	m := u.Metrics()
+	packSec := (prm.PackPerByte*float64(m.PackedBytes) +
+		prm.SegOverhead*float64(m.PackedSegments)) / p.speed
+	p.clock += packSec
+	p.stats.PackSec += packSec
+	p.stats.Datatype.Add(m)
+}
+
+// ChargeHandPack charges virtual CPU time for an application-level
+// hand-tuned pack or unpack loop (bytes copied through elems indexed
+// elements), accounted as pack time.  PETSc's default scatter path uses
+// this instead of the MPI datatype engine.
+func (c *Comm) ChargeHandPack(bytes, elems int64) {
+	prm := &c.w.cluster.Params
+	sec := (prm.PackPerByte*float64(bytes) + prm.HandSegOverhead*float64(elems)) / c.me.speed
+	c.me.clock += sec
+	c.me.stats.PackSec += sec
+}
+
+// Sendrecv sends a contiguous buffer to dst and receives one from src in a
+// deadlock-free exchange, returning the received payload.
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	c.checkPeer(dst)
+	c.send(dst, sendTag, data)
+	out, _ := c.Recv(src, recvTag)
+	return out
+}
+
+// Request represents a pending nonblocking operation.
+type Request struct {
+	c    *Comm
+	done bool
+
+	// receive parameters (nil t means contiguous into buf)
+	isRecv bool
+	src    int
+	tag    int
+	t      *datatype.Type
+	count  int
+	buf    []byte
+
+	// result for contiguous receives
+	n       int
+	recvSrc int
+}
+
+// Isend starts a nonblocking contiguous send.  The payload is captured
+// immediately; the returned request completes instantly.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.checkPeer(dst)
+	c.checkUserTag(tag)
+	c.send(dst, tag, data)
+	return &Request{c: c, done: true}
+}
+
+// IsendType starts a nonblocking typed send; packing happens now (eager).
+func (c *Comm) IsendType(dst, tag int, t *datatype.Type, count int, buf []byte) *Request {
+	c.checkPeer(dst)
+	c.checkUserTag(tag)
+	c.sendType(dst, tag, t, count, buf)
+	return &Request{c: c, done: true}
+}
+
+// Irecv posts a nonblocking contiguous receive into buf.
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	return &Request{c: c, isRecv: true, src: src, tag: tag, buf: buf}
+}
+
+// IrecvType posts a nonblocking typed receive.
+func (c *Comm) IrecvType(src, tag int, t *datatype.Type, count int, buf []byte) *Request {
+	return &Request{c: c, isRecv: true, src: src, tag: tag, t: t, count: count, buf: buf}
+}
+
+// Wait blocks until the request completes.  For receives it returns the
+// payload size in bytes and the source rank.
+func (r *Request) Wait() (int, int) {
+	if r.done {
+		return r.n, r.recvSrc
+	}
+	r.done = true
+	c := r.c
+	env := c.match(r.src, r.tag)
+	c.completeRecv(env)
+	if r.t != nil {
+		c.unpackInto(env.data, r.t, r.count, r.buf)
+		r.n = len(env.data)
+	} else {
+		if len(env.data) > len(r.buf) {
+			panic("mpi: message overflows receive buffer")
+		}
+		copy(r.buf, env.data)
+		r.n = len(env.data)
+	}
+	r.recvSrc = env.src
+	return r.n, r.recvSrc
+}
+
+// Waitall completes every request in rs.
+func (c *Comm) Waitall(rs []*Request) {
+	for _, r := range rs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestRMAPutVisibleAfterFence(t *testing.T) {
+	run(t, 4, Optimized(), func(c *Comm) error {
+		n := c.Size()
+		me := c.Rank()
+		local := make([]float64, n) // slot r holds the value put by rank r
+		w := c.WinCreate(local)
+		// Everyone puts its rank+1 into its slot of every window.
+		for r := 0; r < n; r++ {
+			w.Put(r, me, []float64{float64(me + 1)})
+		}
+		w.Fence()
+		for r := 0; r < n; r++ {
+			if local[r] != float64(r+1) {
+				return fmt.Errorf("slot %d = %v, want %d", r, local[r], r+1)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRMAAccumulateSums(t *testing.T) {
+	run(t, 5, Optimized(), func(c *Comm) error {
+		local := []float64{100}
+		w := c.WinCreate(local)
+		// Everyone accumulates 1 into rank 0's single slot.
+		w.AccumulateIndexed(0, []int{0}, []float64{1})
+		w.Fence()
+		if c.Rank() == 0 && local[0] != 105 {
+			return fmt.Errorf("accumulated %v, want 105", local[0])
+		}
+		return nil
+	})
+}
+
+func TestRMAGet(t *testing.T) {
+	run(t, 3, Optimized(), func(c *Comm) error {
+		me := c.Rank()
+		local := []float64{float64(10 * (me + 1)), float64(10*(me+1) + 1)}
+		w := c.WinCreate(local)
+		out := make([]float64, 2)
+		src := (me + 1) % c.Size()
+		w.GetIndexed(src, []int{1, 0}, out)
+		w.Fence()
+		if out[0] != float64(10*(src+1)+1) || out[1] != float64(10*(src+1)) {
+			return fmt.Errorf("get from %d returned %v", src, out)
+		}
+		return nil
+	})
+}
+
+func TestRMAIndexedScatterPattern(t *testing.T) {
+	// The one-sided version of a vector scatter: every rank puts its
+	// elements directly into the reversed rank's window at odd slots.
+	run(t, 4, Optimized(), func(c *Comm) error {
+		n := c.Size()
+		me := c.Rank()
+		m := 8
+		local := make([]float64, m)
+		w := c.WinCreate(local)
+		dst := n - 1 - me
+		idx := make([]int, m/2)
+		vals := make([]float64, m/2)
+		for k := range idx {
+			idx[k] = 2*k + 1
+			vals[k] = float64(me*100 + k)
+		}
+		w.PutIndexed(dst, idx, vals)
+		w.Fence()
+		src := n - 1 - me
+		for k := 0; k < m/2; k++ {
+			if local[2*k+1] != float64(src*100+k) {
+				return fmt.Errorf("slot %d = %v", 2*k+1, local[2*k+1])
+			}
+		}
+		return nil
+	})
+}
+
+func TestRMAMultipleEpochs(t *testing.T) {
+	run(t, 3, Optimized(), func(c *Comm) error {
+		local := make([]float64, 4)
+		w := c.WinCreate(local)
+		for epoch := 1; epoch <= 3; epoch++ {
+			w.AccumulateIndexed((c.Rank()+1)%c.Size(), []int{0}, []float64{1})
+			w.Fence()
+		}
+		// After 3 epochs every window's slot 0 accumulated 3.
+		if local[0] != 3 {
+			return fmt.Errorf("after 3 epochs: %v", local[0])
+		}
+		// An empty epoch is legal.
+		w.Fence()
+		return nil
+	})
+}
+
+func TestRMAIsolatedFromP2P(t *testing.T) {
+	// RMA traffic must not interfere with ordinary sends in flight.
+	run(t, 2, Optimized(), func(c *Comm) error {
+		local := make([]float64, 1)
+		w := c.WinCreate(local)
+		if c.Rank() == 0 {
+			c.Send(1, 9, []byte("p2p"))
+		}
+		w.Put(1-c.Rank(), 0, []float64{7})
+		w.Fence()
+		if c.Rank() == 1 {
+			d, _ := c.Recv(0, 9)
+			if string(d) != "p2p" {
+				return fmt.Errorf("p2p payload corrupted: %q", d)
+			}
+		}
+		if local[0] != 7 {
+			return fmt.Errorf("window = %v", local[0])
+		}
+		return nil
+	})
+}
+
+func TestRMARandomizedOracle(t *testing.T) {
+	// Random puts from all ranks to disjoint slots match a locally
+	// computed oracle.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 4 + rng.Intn(8)
+		seed := rng.Int63()
+		run(t, n, Optimized(), func(c *Comm) error {
+			me := c.Rank()
+			local := make([]float64, n*m) // rank r owns slots [r*m, (r+1)*m) logically
+			w := c.WinCreate(local)
+			lr := rand.New(rand.NewSource(seed + int64(me)))
+			// Put m values into my reserved slots of every window.
+			for r := 0; r < n; r++ {
+				idx := make([]int, m)
+				vals := make([]float64, m)
+				for k := 0; k < m; k++ {
+					idx[k] = me*m + k
+					vals[k] = float64(lr.Intn(1000))
+				}
+				w.PutIndexed(r, idx, vals)
+			}
+			w.Fence()
+			// Oracle: my window's slots [r*m, (r+1)*m) hold the me-th
+			// batch of rank r's deterministic value stream.
+			for r := 0; r < n; r++ {
+				gen := rand.New(rand.NewSource(seed + int64(r)))
+				batch := make([]float64, m)
+				for q := 0; q <= me; q++ {
+					for k := range batch {
+						batch[k] = float64(gen.Intn(1000))
+					}
+				}
+				for k := 0; k < m; k++ {
+					if local[r*m+k] != batch[k] {
+						return fmt.Errorf("slot (%d,%d) = %v, want %v", r, k, local[r*m+k], batch[k])
+					}
+				}
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"nccd/internal/datatype"
+	"nccd/internal/simnet"
+)
+
+func TestRunPropagatesErrors(t *testing.T) {
+	w := testWorld(3, Baseline())
+	sentinel := errors.New("boom")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRunMultipleErrorsJoined(t *testing.T) {
+	w := testWorld(3, Baseline())
+	err := w.Run(func(c *Comm) error {
+		return fmt.Errorf("rank-%d-failed", c.Rank())
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for r := 0; r < 3; r++ {
+		if want := fmt.Sprintf("rank-%d-failed", r); !containsStr(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPanicDuringCollectiveUnblocksPeers(t *testing.T) {
+	// A rank dying inside a barrier must not deadlock the world.
+	w := testWorld(4, Baseline())
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("dead rank")
+		}
+		defer func() { recover() }() // the world-failure panic in match
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from dead rank")
+	}
+}
+
+func TestWorldReuseAcrossRuns(t *testing.T) {
+	// Clocks and stats persist across Run calls until ResetClocks; message
+	// state must not leak between runs.
+	w := testWorld(2, Baseline())
+	for round := 0; round < 3; round++ {
+		if err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, round, []byte{byte(round)})
+				return nil
+			}
+			d, _ := c.Recv(0, round)
+			if d[0] != byte(round) {
+				return fmt.Errorf("round %d got %d", round, d[0])
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.TotalStats().MsgsSent != 3 {
+		t.Fatalf("stats not accumulated across runs: %+v", w.TotalStats())
+	}
+	w.ResetClocks()
+	if w.TotalStats().MsgsSent != 0 {
+		t.Fatal("ResetClocks kept stats")
+	}
+}
+
+func TestClockMonotoneUnderRandomTraffic(t *testing.T) {
+	// Property: a rank's clock never decreases, whatever mix of operations
+	// runs.
+	rng := rand.New(rand.NewSource(77))
+	seed := rng.Int63()
+	w := testWorld(4, Optimized())
+	err := w.Run(func(c *Comm) error {
+		local := rand.New(rand.NewSource(seed)) // same schedule on all ranks
+		n := c.Size()
+		prev := c.Clock()
+		check := func(what string) error {
+			if c.Clock() < prev {
+				return fmt.Errorf("%s: clock went backwards: %v -> %v", what, prev, c.Clock())
+			}
+			prev = c.Clock()
+			return nil
+		}
+		for i := 0; i < 60; i++ {
+			switch local.Intn(5) {
+			case 0:
+				c.Barrier()
+				if err := check("barrier"); err != nil {
+					return err
+				}
+			case 1:
+				v := []float64{float64(c.Rank())}
+				c.Allreduce(v, OpSum)
+				if err := check("allreduce"); err != nil {
+					return err
+				}
+			case 2:
+				size := local.Intn(1 << 12)
+				recv := make([]byte, size*n)
+				c.Allgather(make([]byte, size), recv)
+				if err := check("allgather"); err != nil {
+					return err
+				}
+			case 3:
+				// Ring sendrecv with a strided type.
+				ty := datatype.Vector(16, 1, 2, datatype.Double)
+				buf := make([]byte, ty.Extent())
+				dst := (c.Rank() + 1) % n
+				src := (c.Rank() - 1 + n) % n
+				c.SendType(dst, 5, ty, 1, buf)
+				c.RecvType(src, 5, ty, 1, buf)
+				if err := check("typed ring"); err != nil {
+					return err
+				}
+			default:
+				c.Compute(float64(local.Intn(100)) * 1e-9)
+				if err := check("compute"); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageNeverArrivesBeforeSent(t *testing.T) {
+	// Causality invariant under random payloads: receive completion time
+	// >= sender's clock at send + latency.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		size := rng.Intn(1 << 16)
+		w := testWorld(2, Baseline())
+		var sendClock, recvClock float64
+		err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Compute(float64(rng.Intn(1000)) * 1e-8)
+				c.Send(1, 0, make([]byte, size))
+				sendClock = c.Clock()
+				return nil
+			}
+			c.Recv(0, 0)
+			recvClock = c.Clock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := w.Cluster().Latency
+		if recvClock < lat {
+			t.Fatalf("size %d: recv at %v before wire latency %v", size, recvClock, lat)
+		}
+		_ = sendClock
+	}
+}
+
+func TestManyRanksSmoke(t *testing.T) {
+	// 256 goroutine ranks, beyond the paper's testbed, still work.
+	w := NewWorld(simnet.Uniform(256, simnet.IBDDR()), Optimized())
+	err := w.Run(func(c *Comm) error {
+		x := c.AllreduceScalar(1, OpSum)
+		if x != 256 {
+			return fmt.Errorf("allreduce = %v", x)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedMessageSizeMismatchPanics(t *testing.T) {
+	w := testWorld(2, Baseline())
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 24))
+			return nil
+		}
+		defer func() { recover() }()
+		// Receiver expects 16 bytes, sender sent 24.
+		buf := make([]byte, 64)
+		c.RecvType(0, 0, datatype.Contiguous(16, datatype.Byte), 1, buf)
+		return fmt.Errorf("expected panic")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvIntoOverflowPanics(t *testing.T) {
+	w := testWorld(2, Baseline())
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 10))
+			return nil
+		}
+		defer func() { recover() }()
+		c.RecvInto(0, 0, make([]byte, 4))
+		return fmt.Errorf("expected panic")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserTagRangeEnforced(t *testing.T) {
+	run(t, 1, Baseline(), func(c *Comm) error {
+		defer func() { recover() }()
+		c.checkUserTag(tagCollBase)
+		return fmt.Errorf("expected panic for reserved tag")
+	})
+}

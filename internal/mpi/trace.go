@@ -1,0 +1,61 @@
+package mpi
+
+import "sort"
+
+// Event is one traced operation on a rank's virtual timeline.
+type Event struct {
+	Rank  int     // world rank
+	Kind  string  // "send", "recv", "compute", "skew"
+	Peer  int     // comm rank of the peer for send/recv, -1 otherwise
+	Tag   int     // message tag for send/recv
+	Bytes int     // payload size for send/recv
+	Start float64 // virtual seconds
+	End   float64
+}
+
+// EnableTrace starts recording per-rank events.  Tracing costs some memory
+// per operation; call before Run.
+func (w *World) EnableTrace() {
+	for _, p := range w.procs {
+		p.traceOn = true
+	}
+}
+
+// DisableTrace stops recording (existing events are kept).
+func (w *World) DisableTrace() {
+	for _, p := range w.procs {
+		p.traceOn = false
+	}
+}
+
+// ClearTrace drops all recorded events.
+func (w *World) ClearTrace() {
+	for _, p := range w.procs {
+		p.events = nil
+	}
+}
+
+// Trace returns all recorded events sorted by start time.  Must not race
+// with a Run in progress.
+func (w *World) Trace() []Event {
+	var out []Event
+	for _, p := range w.procs {
+		out = append(out, p.events...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// record appends an event if tracing is on.
+func (p *proc) record(e Event) {
+	if !p.traceOn {
+		return
+	}
+	e.Rank = p.rank
+	p.events = append(p.events, e)
+}

@@ -1,0 +1,243 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"nccd/internal/datatype"
+	"nccd/internal/simnet"
+)
+
+// World hosts a fixed set of ranks on a simulated cluster.  Create one with
+// NewWorld, then call Run one or more times; clocks and statistics persist
+// across Run calls until ResetClocks.
+type World struct {
+	cluster *simnet.Cluster
+	cfg     Config
+	procs   []*proc
+
+	mu     sync.Mutex
+	failed bool // a rank panicked; wakes blocked receivers
+}
+
+// proc is the per-rank state: virtual clock, mailbox and statistics.
+type proc struct {
+	rank  int
+	speed float64
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*envelope
+
+	clock   float64
+	stats   Stats
+	skewSeq uint64
+	commGen uint64 // monotone communicator-creation generation (see Split)
+
+	scratch []byte // pipeline buffer reused across SendType calls
+
+	traceOn bool
+	events  []Event
+}
+
+// envelope is one in-flight message.
+type envelope struct {
+	ctx      uint64 // communicator context id
+	src, tag int    // src is the sender's rank within the communicator
+	data     []byte
+	arrival  float64 // virtual time at which the payload is fully available
+}
+
+// Tag wildcard values for Recv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// internal tag space for collectives; user tags must stay below this.
+const tagCollBase = 1 << 20
+
+// NewWorld creates a world with one rank per cluster slot.
+func NewWorld(cluster *simnet.Cluster, cfg Config) *World {
+	n := cluster.Size()
+	if n < 1 {
+		panic("mpi: cluster must have at least one rank")
+	}
+	w := &World{cluster: cluster, cfg: cfg.withDefaults()}
+	w.procs = make([]*proc, n)
+	for i := range w.procs {
+		p := &proc{rank: i, speed: cluster.SpeedOf(i)}
+		p.cond = sync.NewCond(&p.mu)
+		w.procs[i] = p
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Config returns the configuration the world runs with.
+func (w *World) Config() Config { return w.cfg }
+
+// Cluster returns the cluster model the world runs on.
+func (w *World) Cluster() *simnet.Cluster { return w.cluster }
+
+// Run starts one goroutine per rank executing f and waits for all of them.
+// A panic in any rank is recovered, unblocks the other ranks, and is
+// reported as an error.  Errors returned by f are joined and returned.
+func (w *World) Run(f func(c *Comm) error) error {
+	n := len(w.procs)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("rank %d panicked: %v", rank, p)
+					w.fail()
+				}
+			}()
+			errs[rank] = f(&Comm{w: w, me: w.procs[rank], rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	var first error
+	for r, e := range errs {
+		if e != nil {
+			if first == nil {
+				first = fmt.Errorf("rank %d: %w", r, e)
+			} else {
+				first = fmt.Errorf("%v; rank %d: %v", first, r, e)
+			}
+		}
+	}
+	if first != nil {
+		return first
+	}
+	if w.isFailed() {
+		return fmt.Errorf("mpi: world failed")
+	}
+	return nil
+}
+
+func (w *World) fail() {
+	w.mu.Lock()
+	w.failed = true
+	w.mu.Unlock()
+	for _, p := range w.procs {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+func (w *World) isFailed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// Clock returns rank r's virtual clock in seconds.
+func (w *World) Clock(r int) float64 { return w.procs[r].clock }
+
+// MaxClock returns the largest virtual clock across ranks — the completion
+// time of the last rank.
+func (w *World) MaxClock() float64 {
+	m := 0.0
+	for _, p := range w.procs {
+		if p.clock > m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
+// Stats returns a copy of rank r's statistics.
+func (w *World) Stats(r int) Stats { return w.procs[r].stats }
+
+// TotalStats returns statistics summed over all ranks.
+func (w *World) TotalStats() Stats {
+	var t Stats
+	for _, p := range w.procs {
+		t.Add(p.stats)
+	}
+	return t
+}
+
+// ResetClocks zeroes every rank's clock and statistics.  Call between
+// measurement windows; it must not race with a Run in progress.
+func (w *World) ResetClocks() {
+	for _, p := range w.procs {
+		p.clock = 0
+		p.stats = Stats{}
+	}
+}
+
+// deliver appends env to dst's mailbox.
+func (w *World) deliver(dst int, env *envelope) {
+	p := w.procs[dst]
+	p.mu.Lock()
+	p.queue = append(p.queue, env)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// match removes and returns the first queued envelope for communicator ctx
+// matching src/tag, blocking until one arrives.  src and tag accept the
+// Any* wildcards; src is a comm rank.
+func (p *proc) match(w *World, ctx uint64, src, tag int) *envelope {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for i, env := range p.queue {
+			if env.ctx == ctx && (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag) {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				return env
+			}
+		}
+		if w.isFailed() {
+			panic("mpi: peer rank failed while receiving")
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *proc) scratchBuf(n int) []byte {
+	if cap(p.scratch) < n {
+		p.scratch = make([]byte, n)
+	}
+	return p.scratch[:n]
+}
+
+// Stats aggregates per-rank virtual-time and work accounting.  Times are in
+// seconds of virtual time.
+type Stats struct {
+	PackSec    float64 // packing/unpacking data copies (incl. look-ahead scans)
+	SearchSec  float64 // baseline re-search walks
+	ComputeSec float64 // user Compute time
+	SkewSec    float64 // injected jitter
+	WaitSec    float64 // time blocked waiting for message arrival
+
+	MsgsSent  int64
+	MsgsRecv  int64
+	BytesSent int64
+	BytesRecv int64
+
+	Datatype datatype.Metrics
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PackSec += other.PackSec
+	s.SearchSec += other.SearchSec
+	s.ComputeSec += other.ComputeSec
+	s.SkewSec += other.SkewSec
+	s.WaitSec += other.WaitSec
+	s.MsgsSent += other.MsgsSent
+	s.MsgsRecv += other.MsgsRecv
+	s.BytesSent += other.BytesSent
+	s.BytesRecv += other.BytesRecv
+	s.Datatype.Add(other.Datatype)
+}

@@ -1,0 +1,73 @@
+package petsc
+
+import "fmt"
+
+// IS is an index set: an ordered list of global indices, as used to define
+// scatters.  PETSc's three main flavors are provided: general, strided, and
+// block.
+type IS struct {
+	idx []int
+}
+
+// ISGeneral wraps an explicit index list.  The list is copied.
+func ISGeneral(idx []int) *IS {
+	return &IS{idx: append([]int(nil), idx...)}
+}
+
+// ISStride returns the index set {first + i*step : 0 <= i < n}.
+func ISStride(n, first, step int) *IS {
+	if n < 0 {
+		panic("petsc: negative index set length")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = first + i*step
+	}
+	return &IS{idx: idx}
+}
+
+// ISBlock expands block indices into element indices: each entry b of
+// blocks contributes the bs consecutive indices [b*bs, (b+1)*bs).
+func ISBlock(bs int, blocks []int) *IS {
+	if bs <= 0 {
+		panic("petsc: block size must be positive")
+	}
+	idx := make([]int, 0, bs*len(blocks))
+	for _, b := range blocks {
+		for j := 0; j < bs; j++ {
+			idx = append(idx, b*bs+j)
+		}
+	}
+	return &IS{idx: idx}
+}
+
+// Len returns the number of indices.
+func (is *IS) Len() int { return len(is.idx) }
+
+// Indices returns the underlying index list (not a copy).
+func (is *IS) Indices() []int { return is.idx }
+
+// At returns the i-th index.
+func (is *IS) At(i int) int { return is.idx[i] }
+
+// Validate panics unless every index lies in [0, n).
+func (is *IS) Validate(n int) {
+	for k, i := range is.idx {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("petsc: index set entry %d = %d out of range [0,%d)", k, i, n))
+		}
+	}
+}
+
+// Concat returns the concatenation of index sets.
+func Concat(sets ...*IS) *IS {
+	total := 0
+	for _, s := range sets {
+		total += s.Len()
+	}
+	idx := make([]int, 0, total)
+	for _, s := range sets {
+		idx = append(idx, s.idx...)
+	}
+	return &IS{idx: idx}
+}

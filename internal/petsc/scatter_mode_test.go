@@ -1,0 +1,118 @@
+package petsc
+
+import (
+	"fmt"
+	"testing"
+
+	"nccd/internal/mpi"
+)
+
+func TestScatterReverseRoundTrip(t *testing.T) {
+	// Forward scatter x -> y, then reverse y -> x2; x2 must equal x on all
+	// source positions.
+	for _, arm := range allModes() {
+		runWorld(t, 3, arm.cfg, func(c *mpi.Comm) error {
+			n := 12
+			x := NewVec(c, n)
+			y := NewVec(c, n)
+			x.SetFromFunc(func(i int) float64 { return float64(i + 1) })
+			ix := ISStride(n, 0, 1)
+			iy := ISGeneral(reversedIdx(n))
+			sc := NewScatter(x, ix, y, iy, arm.mode)
+			sc.Do(x, y)
+
+			rev := sc.Reverse()
+			x2 := NewVec(c, n)
+			rev.DoMode(y, x2, Insert)
+			x2.AXPY(-1, x)
+			if nrm := x2.Norm2(); nrm != 0 {
+				return fmt.Errorf("%s: reverse round trip norm %v", arm.name, nrm)
+			}
+			return nil
+		})
+	}
+}
+
+func reversedIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = n - 1 - i
+	}
+	return idx
+}
+
+func TestScatterAddAccumulates(t *testing.T) {
+	// Two elements scatter onto the SAME destination via two scatters with
+	// Add; destination must hold the sum plus its prior value.
+	for _, arm := range allModes() {
+		runWorld(t, 2, arm.cfg, func(c *mpi.Comm) error {
+			n := 8
+			x := NewVec(c, n)
+			y := NewVec(c, n)
+			x.SetFromFunc(func(i int) float64 { return float64(i) })
+			y.Set(100)
+			sc := NewScatter(x, ISStride(n, 0, 1), y, ISStride(n, 0, 1), arm.mode)
+			sc.DoMode(x, y, Add)
+			sc.DoMode(x, y, Add)
+			lo, _ := y.Range()
+			for i, v := range y.Array() {
+				want := 100 + 2*float64(lo+i)
+				if v != want {
+					return fmt.Errorf("%s: y[%d] = %v, want %v", arm.name, lo+i, v, want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestScatterAddCrossRank(t *testing.T) {
+	// Rank-crossing Add: x block-distributed, scattered reversed with Add
+	// into a preset y.
+	for _, arm := range allModes() {
+		runWorld(t, 4, arm.cfg, func(c *mpi.Comm) error {
+			n := 16
+			x := NewVec(c, n)
+			y := NewVec(c, n)
+			x.SetFromFunc(func(i int) float64 { return float64(i) })
+			y.SetFromFunc(func(i int) float64 { return 1000 * float64(i) })
+			sc := NewScatter(x, ISStride(n, 0, 1), y, ISGeneral(reversedIdx(n)), arm.mode)
+			sc.DoMode(x, y, Add)
+			lo, _ := y.Range()
+			for i, v := range y.Array() {
+				g := lo + i
+				want := 1000*float64(g) + float64(n-1-g)
+				if v != want {
+					return fmt.Errorf("%s: y[%d] = %v, want %v", arm.name, g, v, want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestInsertModeString(t *testing.T) {
+	if Insert.String() != "insert" || Add.String() != "add" {
+		t.Fatal("bad InsertMode strings")
+	}
+}
+
+func TestReverseOfReverseMatchesForward(t *testing.T) {
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		n := 10
+		x := NewVec(c, n)
+		y := NewVec(c, n)
+		x.SetFromFunc(func(i int) float64 { return float64(i * i) })
+		sc := NewScatter(x, ISStride(n, 0, 1), y, ISGeneral(reversedIdx(n)), ScatterDatatype)
+		rr := sc.Reverse().Reverse()
+		rr.Do(x, y)
+		lo, _ := y.Range()
+		for i, v := range y.Array() {
+			g := lo + i
+			if v != float64((n-1-g)*(n-1-g)) {
+				return fmt.Errorf("y[%d] = %v", g, v)
+			}
+		}
+		return nil
+	})
+}

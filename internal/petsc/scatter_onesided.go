@@ -1,0 +1,139 @@
+package petsc
+
+import (
+	"nccd/internal/floatbytes"
+	"nccd/internal/mpi"
+)
+
+// One-sided scatter backend: the origin rank drives the entire transfer by
+// Putting values directly into the destination rank's exposed window —
+// there is no receive matching and no per-pair synchronization beyond the
+// fence, the communication model the paper's related work explores for
+// RDMA-capable networks.
+
+// onesided holds the ScatterOneSided backend state.
+type onesided struct {
+	win     *mpi.Win
+	staging []float64
+	// targetIdx[i] are the destination-local indices where my i-th send
+	// peer's data lands (learned from the receivers at construction).
+	targetIdx [][]int
+	sendVals  [][]float64
+}
+
+// setupOneSided exchanges target index lists and creates the window.
+// Collective.
+func (s *Scatter) setupOneSided() {
+	c := s.c
+	me := c.Rank()
+	o := &onesided{staging: make([]float64, s.yLocal)}
+	o.win = c.WinCreate(o.staging)
+
+	// Receivers tell their senders where the data must land.
+	const setupTag = 0x05ed
+	for _, r := range s.plan.Recvs {
+		if r.Peer == me {
+			continue
+		}
+		idx := make([]float64, len(r.Local))
+		for k, v := range r.Local {
+			idx[k] = float64(v)
+		}
+		c.Send(r.Peer, setupTag, floatbytes.Bytes(idx))
+	}
+	o.targetIdx = make([][]int, len(s.plan.Sends))
+	o.sendVals = make([][]float64, len(s.plan.Sends))
+	for i, snd := range s.plan.Sends {
+		if snd.Peer == me {
+			continue
+		}
+		data, _ := c.Recv(snd.Peer, setupTag)
+		vals := floatbytes.Floats(data)
+		idx := make([]int, len(vals))
+		for k, v := range vals {
+			idx[k] = int(v)
+		}
+		if len(idx) != len(snd.Local) {
+			panic("petsc: one-sided setup index count mismatch")
+		}
+		o.targetIdx[i] = idx
+		o.sendVals[i] = make([]float64, len(idx))
+	}
+	s.os = o
+}
+
+// doOneSided executes the scatter: pack, Put (or Accumulate), fence, and
+// locally land the staged values.
+func (s *Scatter) doOneSided(x, y []float64, mode InsertMode) {
+	c := s.c
+	me := c.Rank()
+	o := s.os
+
+	// For Add semantics the staging window must start from y's values at
+	// the landing positions so remote accumulates add onto them.
+	for _, r := range s.plan.Recvs {
+		if r.Peer == me {
+			continue
+		}
+		for _, di := range r.Local {
+			if mode == Add {
+				o.staging[di] = y[di]
+			} else {
+				o.staging[di] = 0
+			}
+		}
+	}
+
+	for i, snd := range s.plan.Sends {
+		if snd.Peer == me || len(snd.Local) == 0 {
+			continue
+		}
+		vals := o.sendVals[i]
+		for k, li := range snd.Local {
+			vals[k] = x[li]
+		}
+		c.ChargeHandPack(int64(8*len(vals)), int64(s.sendRuns[i]))
+		if mode == Add {
+			o.win.AccumulateIndexed(snd.Peer, o.targetIdx[i], vals)
+		} else {
+			o.win.PutIndexed(snd.Peer, o.targetIdx[i], vals)
+		}
+	}
+
+	// Local part.
+	var selfSrc []int
+	for _, snd := range s.plan.Sends {
+		if snd.Peer == me {
+			selfSrc = snd.Local
+		}
+	}
+	for i, r := range s.plan.Recvs {
+		if r.Peer != me {
+			continue
+		}
+		if len(selfSrc) != len(r.Local) {
+			panic("petsc: self scatter plan mismatch")
+		}
+		for k, di := range r.Local {
+			if mode == Add {
+				y[di] += x[selfSrc[k]]
+			} else {
+				y[di] = x[selfSrc[k]]
+			}
+		}
+		c.ChargeHandPack(int64(8*len(r.Local)), int64(s.recvRuns[i]))
+	}
+
+	o.win.Fence()
+
+	// Land remote contributions from the staging window.
+	for i, r := range s.plan.Recvs {
+		if r.Peer == me {
+			continue
+		}
+		for _, di := range r.Local {
+			y[di] = o.staging[di]
+		}
+		c.ChargeHandPack(int64(8*len(r.Local)), int64(s.recvRuns[i]))
+	}
+}

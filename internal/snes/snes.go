@@ -1,0 +1,147 @@
+// Package snes implements the nonlinear-solver layer of the mini-PETSc
+// stack (the SNES box of the paper's Figure 1): a Jacobian-free
+// Newton–Krylov method with backtracking line search.  The Jacobian action
+// is approximated by finite differences of the residual function, so users
+// only supply F(x); each Newton step solves J d = -F with GMRES, and every
+// residual evaluation drives whatever ghost communication the application's
+// function performs.
+package snes
+
+import (
+	"math"
+
+	"nccd/internal/ksp"
+	"nccd/internal/petsc"
+)
+
+// Function evaluates the nonlinear residual f = F(x).  It may perform
+// collective communication (ghost exchanges); all ranks call it together.
+type Function func(x, f *petsc.Vec)
+
+// Newton is a Jacobian-free Newton–Krylov solver for F(x) = 0.
+type Newton struct {
+	// F is the residual function.
+	F Function
+	// Rtol is the relative decrease of ‖F‖ required for convergence
+	// (default 1e-8); Atol the absolute floor (default 1e-50).
+	Rtol, Atol float64
+	// MaxIts caps Newton iterations (default 50).
+	MaxIts int
+	// LinearRtol is the inner GMRES tolerance (default 1e-4 — inexact
+	// Newton); LinearMaxIts its iteration cap (default 200).
+	LinearRtol   float64
+	LinearMaxIts int
+	// MaxBacktracks bounds the line search halvings (default 12).
+	MaxBacktracks int
+	// Monitor, when non-nil, receives (iteration, ‖F‖).
+	Monitor func(it int, fnorm float64)
+}
+
+// jfOperator applies the finite-difference Jacobian action
+// J(x) v ≈ (F(x + εv) − F(x)) / ε.
+type jfOperator struct {
+	f     Function
+	x, fx *petsc.Vec // current point and residual
+	xnorm float64
+	xp    *petsc.Vec // work: perturbed point
+	fp    *petsc.Vec // work: perturbed residual
+}
+
+func (j *jfOperator) Apply(v, out *petsc.Vec) {
+	vnorm := v.Norm2()
+	if vnorm == 0 {
+		out.Set(0)
+		return
+	}
+	eps := math.Sqrt(1e-14) * (1 + j.xnorm) / vnorm
+	j.xp.Copy(j.x)
+	j.xp.AXPY(eps, v)
+	j.f(j.xp, j.fp)
+	out.Copy(j.fp)
+	out.AXPY(-1, j.fx)
+	out.Scale(1 / eps)
+}
+
+// Solve runs Newton iteration from the initial guess in x, overwriting x
+// with the solution.  Collective.
+func (s *Newton) Solve(x *petsc.Vec) ksp.Result {
+	rtol, atol := s.Rtol, s.Atol
+	if rtol == 0 {
+		rtol = 1e-8
+	}
+	if atol == 0 {
+		atol = 1e-50
+	}
+	maxIts := s.MaxIts
+	if maxIts == 0 {
+		maxIts = 50
+	}
+	linRtol := s.LinearRtol
+	if linRtol == 0 {
+		linRtol = 1e-4
+	}
+	linMax := s.LinearMaxIts
+	if linMax == 0 {
+		linMax = 200
+	}
+	maxBt := s.MaxBacktracks
+	if maxBt == 0 {
+		maxBt = 12
+	}
+
+	fx := x.Duplicate()
+	d := x.Duplicate()
+	rhs := x.Duplicate()
+	trial := x.Duplicate()
+	ftrial := x.Duplicate()
+	op := &jfOperator{f: s.F, x: x, fx: fx, xp: x.Duplicate(), fp: x.Duplicate()}
+
+	s.F(x, fx)
+	fnorm := fx.Norm2()
+	f0 := fnorm
+	if f0 == 0 {
+		return ksp.Result{Iterations: 0, Residual: 0, Converged: true}
+	}
+
+	for it := 0; it <= maxIts; it++ {
+		if s.Monitor != nil {
+			s.Monitor(it, fnorm)
+		}
+		if fnorm <= rtol*f0 || fnorm <= atol {
+			return ksp.Result{Iterations: it, Residual: fnorm, Converged: true}
+		}
+		if it == maxIts {
+			break
+		}
+
+		// Solve J d = -F(x) inexactly.
+		op.xnorm = x.Norm2()
+		rhs.Copy(fx)
+		rhs.Scale(-1)
+		d.Set(0)
+		(&ksp.GMRES{A: op, Rtol: linRtol, MaxIts: linMax}).Solve(rhs, d)
+
+		// Backtracking line search on ‖F‖.
+		lambda := 1.0
+		accepted := false
+		for bt := 0; bt < maxBt; bt++ {
+			trial.Copy(x)
+			trial.AXPY(lambda, d)
+			s.F(trial, ftrial)
+			tnorm := ftrial.Norm2()
+			if tnorm < (1-1e-4*lambda)*fnorm {
+				x.Copy(trial)
+				fx.Copy(ftrial)
+				fnorm = tnorm
+				accepted = true
+				break
+			}
+			lambda /= 2
+		}
+		if !accepted {
+			// Stagnation: no step reduces the residual.
+			return ksp.Result{Iterations: it, Residual: fnorm, Converged: false}
+		}
+	}
+	return ksp.Result{Iterations: maxIts, Residual: fnorm, Converged: false}
+}

@@ -1,0 +1,196 @@
+package snes
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nccd/internal/dmda"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+	"nccd/internal/simnet"
+)
+
+func runWorld(t *testing.T, n int, cfg mpi.Config, f func(c *mpi.Comm) error) *mpi.World {
+	t.Helper()
+	w := mpi.NewWorld(simnet.Uniform(n, simnet.IBDDR()), cfg)
+	if err := w.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewtonScalarQuadratic(t *testing.T) {
+	// F(x)_i = x_i^2 - a_i has the root sqrt(a_i); Newton from x=1 must
+	// converge quadratically.
+	runWorld(t, 2, mpi.Optimized(), func(c *mpi.Comm) error {
+		n := 8
+		F := func(x, f *petsc.Vec) {
+			xa, fa := x.Array(), f.Array()
+			lo, _ := x.Range()
+			for i := range xa {
+				a := float64(lo + i + 2)
+				fa[i] = xa[i]*xa[i] - a
+			}
+		}
+		x := petsc.NewVec(c, n)
+		x.Set(1)
+		var norms []float64
+		res := (&Newton{F: F, Rtol: 1e-12,
+			Monitor: func(it int, fn float64) { norms = append(norms, fn) }}).Solve(x)
+		if !res.Converged {
+			return fmt.Errorf("newton did not converge: %v", res)
+		}
+		lo, _ := x.Range()
+		for i, v := range x.Array() {
+			want := math.Sqrt(float64(lo + i + 2))
+			if math.Abs(v-want) > 1e-7 {
+				return fmt.Errorf("x[%d] = %v, want %v", lo+i, v, want)
+			}
+		}
+		// Quadratic-ish convergence: the last step should square the error.
+		k := len(norms)
+		if k >= 3 && norms[k-1] > norms[k-2] {
+			return fmt.Errorf("residuals not decreasing: %v", norms)
+		}
+		return nil
+	})
+}
+
+// bratuResidual builds F(u) = -∇²u - λ e^u on a DA (Dirichlet boundaries),
+// the classic SNES test problem.
+func bratuResidual(da *dmda.DA, lambda float64) Function {
+	n0 := da.GlobalSize(0)
+	n1 := da.GlobalSize(1)
+	h0 := 1.0 / float64(n0+1)
+	h1 := 1.0 / float64(n1+1)
+	l := da.CreateLocalArray()
+	return func(x, f *petsc.Vec) {
+		da.GlobalToLocal(x, l)
+		own := da.OwnedBox()
+		ghost := da.GhostBox()
+		gnx := ghost.Hi[0] - ghost.Lo[0]
+		fa := f.Array()
+		idx := 0
+		for j := own.Lo[1]; j < own.Hi[1]; j++ {
+			for i := own.Lo[0]; i < own.Hi[0]; i++ {
+				li := da.LocalIndex(i, j, 0, 0)
+				u := l[li]
+				uxx := 2 * u / (h0 * h0)
+				if i > 0 {
+					uxx -= l[li-1] / (h0 * h0)
+				}
+				if i < n0-1 {
+					uxx -= l[li+1] / (h0 * h0)
+				}
+				uyy := 2 * u / (h1 * h1)
+				if j > 0 {
+					uyy -= l[li-gnx] / (h1 * h1)
+				}
+				if j < n1-1 {
+					uyy -= l[li+gnx] / (h1 * h1)
+				}
+				fa[idx] = uxx + uyy - lambda*math.Exp(u)
+				idx++
+			}
+		}
+	}
+}
+
+func TestNewtonBratu2D(t *testing.T) {
+	for _, np := range []int{1, 4} {
+		runWorld(t, np, mpi.Optimized(), func(c *mpi.Comm) error {
+			da := dmda.New(c, []int{16, 16}, 1, dmda.StencilStar, 1, petsc.ScatterDatatype)
+			F := bratuResidual(da, 6.0)
+			u := da.CreateGlobalVec()
+			res := (&Newton{F: F, Rtol: 1e-10}).Solve(u)
+			if !res.Converged {
+				return fmt.Errorf("np=%d: bratu newton: %v", np, res)
+			}
+			// The lower Bratu branch is positive in the interior and
+			// bounded; sanity-check the solution's range.
+			if mx := u.Max(); mx <= 0 || mx > 2 {
+				return fmt.Errorf("np=%d: bratu max %v out of (0, 2]", np, mx)
+			}
+			return nil
+		})
+	}
+}
+
+func TestNewtonBratuRankInvariance(t *testing.T) {
+	// The converged solution must not depend on the decomposition.
+	var sums []float64
+	for _, np := range []int{1, 3} {
+		var sum float64
+		runWorld(t, np, mpi.Optimized(), func(c *mpi.Comm) error {
+			da := dmda.New(c, []int{12, 12}, 1, dmda.StencilStar, 1, petsc.ScatterHandTuned)
+			u := da.CreateGlobalVec()
+			res := (&Newton{F: bratuResidual(da, 5.0), Rtol: 1e-11}).Solve(u)
+			if !res.Converged {
+				return fmt.Errorf("not converged: %v", res)
+			}
+			s := u.Sum()
+			if c.Rank() == 0 {
+				sum = s
+			}
+			return nil
+		})
+		sums = append(sums, sum)
+	}
+	if math.Abs(sums[1]-sums[0]) > 1e-7*math.Abs(sums[0]) {
+		t.Fatalf("solution depends on decomposition: %v vs %v", sums[0], sums[1])
+	}
+}
+
+func TestNewtonZeroResidualStart(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		F := func(x, f *petsc.Vec) { f.Copy(x) } // root at 0
+		x := petsc.NewVec(c, 4)
+		res := (&Newton{F: F}).Solve(x)
+		if !res.Converged || res.Iterations != 0 {
+			return fmt.Errorf("zero start: %v", res)
+		}
+		return nil
+	})
+}
+
+func TestNewtonStagnationReported(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		// F(x) = x^2 + 1 has no real root; Newton must stop unconverged
+		// rather than loop forever.
+		F := func(x, f *petsc.Vec) {
+			fa, xa := f.Array(), x.Array()
+			for i := range fa {
+				fa[i] = xa[i]*xa[i] + 1
+			}
+		}
+		x := petsc.NewVec(c, 2)
+		x.Set(3)
+		res := (&Newton{F: F, MaxIts: 30}).Solve(x)
+		if res.Converged {
+			return fmt.Errorf("converged on a rootless problem: %v", res)
+		}
+		return nil
+	})
+}
+
+func TestNewtonMonitorAndMaxIts(t *testing.T) {
+	runWorld(t, 1, mpi.Optimized(), func(c *mpi.Comm) error {
+		F := func(x, f *petsc.Vec) {
+			fa, xa := f.Array(), x.Array()
+			for i := range fa {
+				fa[i] = math.Tanh(xa[i]) // root at 0, slow far away
+			}
+		}
+		x := petsc.NewVec(c, 3)
+		x.Set(1.0)
+		calls := 0
+		res := (&Newton{F: F, Rtol: 1e-13, MaxIts: 3,
+			Monitor: func(int, float64) { calls++ }}).Solve(x)
+		if calls == 0 {
+			return fmt.Errorf("monitor never called")
+		}
+		_ = res
+		return nil
+	})
+}

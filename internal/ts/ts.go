@@ -1,0 +1,109 @@
+// Package ts implements the time-stepping layer of the mini-PETSc stack
+// (the TS box of the paper's Figure 1): explicit integrators for
+// du/dt = f(t, u) over distributed vectors.  The right-hand-side callback
+// typically performs a DMDA ghost exchange, so each stage evaluation
+// exercises the communication stack like any other application kernel.
+package ts
+
+import (
+	"fmt"
+
+	"nccd/internal/petsc"
+)
+
+// RHS evaluates udot = f(t, u).  It may perform collective communication;
+// all ranks call it together.
+type RHS func(t float64, u, udot *petsc.Vec)
+
+// Scheme selects the integrator.
+type Scheme uint8
+
+const (
+	// Euler is the explicit (forward) Euler method, first order.
+	Euler Scheme = iota
+	// RK4 is the classical fourth-order Runge–Kutta method.
+	RK4
+)
+
+func (s Scheme) String() string {
+	if s == Euler {
+		return "euler"
+	}
+	return "rk4"
+}
+
+// Integrator advances du/dt = f(t, u) with fixed steps.
+type Integrator struct {
+	Scheme Scheme
+	Dt     float64
+	RHS    RHS
+
+	// Monitor, when non-nil, is called after every step with (step, t, u).
+	Monitor func(step int, t float64, u *petsc.Vec)
+
+	k1, k2, k3, k4, tmp *petsc.Vec
+}
+
+func (in *Integrator) ensureWork(u *petsc.Vec) {
+	if in.k1 == nil {
+		in.k1 = u.Duplicate()
+		in.k2 = u.Duplicate()
+		in.k3 = u.Duplicate()
+		in.k4 = u.Duplicate()
+		in.tmp = u.Duplicate()
+	}
+}
+
+// Step advances u from time t by one Dt and returns t+Dt.  Collective.
+func (in *Integrator) Step(t float64, u *petsc.Vec) float64 {
+	if in.Dt <= 0 {
+		panic("ts: time step must be positive")
+	}
+	if in.RHS == nil {
+		panic("ts: RHS not set")
+	}
+	in.ensureWork(u)
+	h := in.Dt
+	switch in.Scheme {
+	case Euler:
+		in.RHS(t, u, in.k1)
+		u.AXPY(h, in.k1)
+	case RK4:
+		in.RHS(t, u, in.k1)
+
+		in.tmp.Copy(u)
+		in.tmp.AXPY(h/2, in.k1)
+		in.RHS(t+h/2, in.tmp, in.k2)
+
+		in.tmp.Copy(u)
+		in.tmp.AXPY(h/2, in.k2)
+		in.RHS(t+h/2, in.tmp, in.k3)
+
+		in.tmp.Copy(u)
+		in.tmp.AXPY(h, in.k3)
+		in.RHS(t+h, in.tmp, in.k4)
+
+		u.AXPY(h/6, in.k1)
+		u.AXPY(h/3, in.k2)
+		u.AXPY(h/3, in.k3)
+		u.AXPY(h/6, in.k4)
+	default:
+		panic(fmt.Sprintf("ts: unknown scheme %d", in.Scheme))
+	}
+	return t + h
+}
+
+// Integrate advances u from t0 until the first time >= t1, in fixed Dt
+// steps, and returns the final time and step count.  Collective.
+func (in *Integrator) Integrate(t0, t1 float64, u *petsc.Vec) (float64, int) {
+	t := t0
+	steps := 0
+	for t < t1-1e-15 {
+		t = in.Step(t, u)
+		steps++
+		if in.Monitor != nil {
+			in.Monitor(steps, t, u)
+		}
+	}
+	return t, steps
+}

@@ -1,0 +1,143 @@
+package ts
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"nccd/internal/dmda"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+	"nccd/internal/simnet"
+)
+
+func runWorld(t *testing.T, n int, f func(c *mpi.Comm) error) *mpi.World {
+	t.Helper()
+	w := mpi.NewWorld(simnet.Uniform(n, simnet.IBDDR()), mpi.Optimized())
+	if err := w.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// decayError integrates du/dt = -u from u=1 over [0,1] and returns the
+// error against e^{-1}.
+func decayError(t *testing.T, scheme Scheme, dt float64) float64 {
+	t.Helper()
+	var e float64
+	runWorld(t, 2, func(c *mpi.Comm) error {
+		u := petsc.NewVec(c, 6)
+		u.Set(1)
+		in := &Integrator{Scheme: scheme, Dt: dt, RHS: func(_ float64, u, udot *petsc.Vec) {
+			udot.Copy(u)
+			udot.Scale(-1)
+		}}
+		in.Integrate(0, 1, u)
+		diff := math.Abs(u.Max() - math.Exp(-1))
+		if c.Rank() == 0 {
+			e = diff
+		}
+		return nil
+	})
+	return e
+}
+
+func TestEulerFirstOrder(t *testing.T) {
+	e1 := decayError(t, Euler, 0.01)
+	e2 := decayError(t, Euler, 0.005)
+	ratio := e1 / e2
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("euler order wrong: halving dt gave ratio %.2f, want ~2", ratio)
+	}
+}
+
+func TestRK4FourthOrder(t *testing.T) {
+	e1 := decayError(t, RK4, 0.1)
+	e2 := decayError(t, RK4, 0.05)
+	ratio := e1 / e2
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("rk4 order wrong: halving dt gave ratio %.2f, want ~16", ratio)
+	}
+}
+
+func TestRK4MuchMoreAccurateThanEuler(t *testing.T) {
+	if eE, eR := decayError(t, Euler, 0.05), decayError(t, RK4, 0.05); eR > eE/100 {
+		t.Fatalf("rk4 error %v not ≪ euler error %v", eR, eE)
+	}
+}
+
+func TestHeatEquationOnDA(t *testing.T) {
+	// du/dt = ∇²u on a 1-D DA: total heat with Neumann-free (Dirichlet 0)
+	// boundaries decays monotonically, and the profile stays bounded.
+	runWorld(t, 3, func(c *mpi.Comm) error {
+		n := 32
+		da := dmda.New(c, []int{n}, 1, dmda.StencilStar, 1, petsc.ScatterDatatype)
+		l := da.CreateLocalArray()
+		h := 1.0 / float64(n)
+		rhs := func(_ float64, u, udot *petsc.Vec) {
+			da.GlobalToLocal(u, l)
+			own := da.OwnedBox()
+			ua := udot.Array()
+			idx := 0
+			for i := own.Lo[0]; i < own.Hi[0]; i++ {
+				li := da.LocalIndex(i, 0, 0, 0)
+				left, right := 0.0, 0.0
+				if i > 0 {
+					left = l[li-1]
+				}
+				if i < n-1 {
+					right = l[li+1]
+				}
+				ua[idx] = (left + right - 2*l[li]) / (h * h)
+				idx++
+			}
+		}
+		u := da.CreateGlobalVec()
+		lo, _ := u.Range()
+		for i := range u.Array() {
+			if g := lo + i; g > n/3 && g < 2*n/3 {
+				u.Array()[i] = 1
+			}
+		}
+		heat0 := u.Sum()
+		in := &Integrator{Scheme: RK4, Dt: 0.2 * h * h, RHS: rhs}
+		steps := 0
+		in.Monitor = func(s int, _ float64, _ *petsc.Vec) { steps = s }
+		in.Integrate(0, 50*0.2*h*h, u)
+		if steps != 50 {
+			return fmt.Errorf("steps = %d, want 50", steps)
+		}
+		heat1 := u.Sum()
+		if heat1 >= heat0 || heat1 <= 0 {
+			return fmt.Errorf("heat did not decay sanely: %v -> %v", heat0, heat1)
+		}
+		if mx := u.Max(); mx > 1 {
+			return fmt.Errorf("maximum principle violated: %v", mx)
+		}
+		return nil
+	})
+}
+
+func TestValidationPanics(t *testing.T) {
+	runWorld(t, 1, func(c *mpi.Comm) error {
+		u := petsc.NewVec(c, 2)
+		mustPanic := func(name string, f func()) error {
+			defer func() { recover() }()
+			f()
+			return fmt.Errorf("%s: expected panic", name)
+		}
+		if err := mustPanic("no dt", func() { (&Integrator{RHS: func(float64, *petsc.Vec, *petsc.Vec) {}}).Step(0, u) }); err != nil {
+			return err
+		}
+		if err := mustPanic("no rhs", func() { (&Integrator{Dt: 0.1}).Step(0, u) }); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+
+func TestSchemeString(t *testing.T) {
+	if Euler.String() != "euler" || RK4.String() != "rk4" {
+		t.Fatal("bad scheme strings")
+	}
+}
