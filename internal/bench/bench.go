@@ -81,10 +81,10 @@ func (e *Experiment) Print(w io.Writer) {
 			txt := "-"
 			if ok {
 				unit := e.Unit
-				if strings.Contains(s, "improvement") {
+				if strings.Contains(s, "improvement") || strings.Contains(s, "%") {
 					unit = "%"
 				}
-				if strings.Contains(s, "cycles") {
+				if strings.Contains(s, "cycles") || strings.Contains(s, "count") {
 					unit = ""
 				}
 				txt = formatValue(v, unit)

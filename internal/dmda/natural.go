@@ -1,0 +1,89 @@
+package dmda
+
+import (
+	"fmt"
+
+	"nccd/internal/floatbytes"
+	"nccd/internal/petsc"
+)
+
+// NaturalCount returns the length of a natural-order global array: every
+// grid point in canonical (z, y, x-fastest) order with dof interlaced,
+// independent of the decomposition.
+func (da *DA) NaturalCount() int {
+	return da.n[0] * da.n[1] * da.n[2] * da.dof
+}
+
+// naturalIndex returns the natural-order index of cell (i,j,k) component 0.
+func (da *DA) naturalIndex(i, j, k int) int {
+	return ((k*da.n[1]+j)*da.n[0] + i) * da.dof
+}
+
+// GatherNatural gathers the distributed vector g into a replicated
+// natural-order array on every rank.  Built on Allgatherv — with
+// agglomerated levels some ranks contribute zero values, so the call rides
+// the nonuniform-volume path the paper studies — which also means it
+// degrades gracefully after rank failures: a dead rank's (empty)
+// contribution is skipped and the survivors still obtain the array.  The
+// replication is what makes the result usable as a checkpoint: any
+// surviving subset of ranks holds the complete state.  Collective.
+func (da *DA) GatherNatural(g *petsc.Vec) []float64 {
+	if g.LocalSize() != da.OwnedCount() {
+		panic("dmda: global vector does not match DA layout")
+	}
+	counts := da.localSizes()
+	byteCounts := make([]int, len(counts))
+	total := 0
+	for r, n := range counts {
+		byteCounts[r] = n * 8
+		total += n
+	}
+	packed := make([]float64, total)
+	da.c.Allgatherv(floatbytes.Bytes(g.Array()), byteCounts, floatbytes.Bytes(packed))
+
+	// Each rank's block arrives in its own canonical box order; place it.
+	nat := make([]float64, da.NaturalCount())
+	off := 0
+	for r := 0; r < da.c.Size(); r++ {
+		da.placeBox(da.ownedBoxOfRank(r), packed[off:off+counts[r]], nat)
+		off += counts[r]
+	}
+	return nat
+}
+
+// placeBox copies a box's values (canonical box order) into their
+// natural-order positions.
+func (da *DA) placeBox(b Box, vals, nat []float64) {
+	rowN := (b.Hi[0] - b.Lo[0]) * da.dof
+	src := 0
+	for k := b.Lo[2]; k < b.Hi[2]; k++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			copy(nat[da.naturalIndex(b.Lo[0], j, k):], vals[src:src+rowN])
+			src += rowN
+		}
+	}
+}
+
+// ScatterNatural fills this rank's part of the distributed vector g from a
+// replicated natural-order array, the inverse of GatherNatural.  Purely
+// local — which is the point: after a failure, a new DA over the shrunk
+// communicator restores its decomposition from the replicated checkpoint
+// without any communication.
+func (da *DA) ScatterNatural(nat []float64, g *petsc.Vec) {
+	if len(nat) != da.NaturalCount() {
+		panic(fmt.Sprintf("dmda: natural array %d does not match grid %d", len(nat), da.NaturalCount()))
+	}
+	if g.LocalSize() != da.OwnedCount() {
+		panic("dmda: global vector does not match DA layout")
+	}
+	ga := g.Array()
+	b := da.own
+	rowN := (b.Hi[0] - b.Lo[0]) * da.dof
+	dst := 0
+	for k := b.Lo[2]; k < b.Hi[2]; k++ {
+		for j := b.Lo[1]; j < b.Hi[1]; j++ {
+			copy(ga[dst:dst+rowN], nat[da.naturalIndex(b.Lo[0], j, k):])
+			dst += rowN
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package ksp
+
+import "sync"
+
+// Checkpoint is a decomposition-independent snapshot of solver state: the
+// iterate in natural (global grid) order plus where the solve was.  For the
+// stationary solvers used here (Richardson, multigrid V-cycles) the iterate
+// is the whole state — restarting from it as the initial guess loses no
+// convergence history — and for CG a restart merely re-enters steepest
+// descent from a much better guess.
+type Checkpoint struct {
+	Iteration int
+	Residual  float64
+	X         []float64 // natural-order iterate, replicated on every rank
+}
+
+// CheckpointStore holds the most recent checkpoint of a solve.  In this
+// in-process runtime all ranks share the store, so the checkpoint survives
+// any subset of rank crashes; a distributed implementation would back it
+// with replicated storage (the natural-order X is already gathered onto
+// every rank for exactly that reason).  Safe for concurrent use.
+type CheckpointStore struct {
+	mu sync.Mutex
+	cp Checkpoint
+	ok bool
+}
+
+// Put records cp if it is at least as far along as the stored one.  Every
+// rank of a solve calls Put with an identical snapshot; the monotonicity
+// test makes the store idempotent under those racing writes and under a
+// restarted solve re-saving an earlier iteration.
+func (st *CheckpointStore) Put(cp Checkpoint) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ok && cp.Iteration < st.cp.Iteration {
+		return
+	}
+	x := make([]float64, len(cp.X))
+	copy(x, cp.X)
+	cp.X = x
+	st.cp, st.ok = cp, true
+}
+
+// Latest returns the most recent checkpoint, if any.  The returned X must
+// not be modified.
+func (st *CheckpointStore) Latest() (Checkpoint, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.cp, st.ok
+}
+
+// Clear drops the stored checkpoint (between unrelated solves).
+func (st *CheckpointStore) Clear() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cp, st.ok = Checkpoint{}, false
+}

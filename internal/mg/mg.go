@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"nccd/internal/dmda"
+	"nccd/internal/ksp"
 	"nccd/internal/mpi"
 	"nccd/internal/petsc"
 )
@@ -57,6 +58,12 @@ type Solver struct {
 	Omega float64
 	// Smoother selects the relaxation scheme; default damped Jacobi.
 	Smoother Smoother
+
+	// Checkpoints, when non-nil, receives a decomposition-independent
+	// snapshot of the finest-level iterate every CheckpointEvery V-cycles
+	// of Solve, enabling restart on a different (e.g. shrunk) communicator.
+	Checkpoints     *ksp.CheckpointStore
+	CheckpointEvery int
 
 	// coarseComm, when non-nil on active ranks, confines the coarsest
 	// solve's inner products to the ranks that actually hold coarse cells
@@ -625,6 +632,26 @@ func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int
 			cycles++
 			break
 		}
+		if s.Checkpoints != nil && s.CheckpointEvery > 0 && (cycles+1)%s.CheckpointEvery == 0 {
+			s.Checkpoints.Put(ksp.Checkpoint{
+				Iteration: cycles + 1,
+				Residual:  relres,
+				X:         lv.da.GatherNatural(x),
+			})
+		}
 	}
 	return cycles, relres
+}
+
+// Restore loads the latest checkpoint into x (the finest-level layout of
+// this solver's — possibly re-decomposed — DA) and returns the iteration it
+// was taken at.  Purely local: the checkpoint is replicated.  Returns -1
+// when the store holds nothing.
+func (s *Solver) Restore(st *ksp.CheckpointStore, x *petsc.Vec) int {
+	cp, ok := st.Latest()
+	if !ok {
+		return -1
+	}
+	s.levels[0].da.ScatterNatural(cp.X, x)
+	return cp.Iteration
 }

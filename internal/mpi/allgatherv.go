@@ -35,7 +35,7 @@ func (c *Comm) Allgatherv(data []byte, counts []int, recv []byte) {
 	if len(recv) < total {
 		panic(fmt.Sprintf("mpi: allgatherv recv buffer %d < total %d", len(recv), total))
 	}
-	c.skew()
+	c.collStart("Allgatherv")
 	tag := c.collTag()
 
 	n := c.Size()
@@ -44,14 +44,59 @@ func (c *Comm) Allgatherv(data []byte, counts []int, recv []byte) {
 		return
 	}
 
-	algo := c.allgathervAlgo(counts, total)
+	// Graceful degradation: when members have failed but each contributes
+	// zero volume, the collective projects onto the surviving sub-group —
+	// the output layout is unchanged (dead blocks are empty) and the dead
+	// members drop out of outlier detection and the message pattern.  The
+	// projected traffic runs under a context derived from the survivor
+	// set, so residue a dead rank left mid-collective can never alias it.
+	// A dead member owing real data makes the gather impossible: fail
+	// fast.  Cleanly exited members are NOT projected out — a fast rank
+	// may have completed this collective (its messages already queued)
+	// before a slow one entered it.  The survivors must share the same
+	// view of the failure set, which recovery code gets from Agree/Shrink.
+	eff, effCounts, effDispls := c, counts, displs
+	if c.w.anyDown.Load() {
+		var liveIdx []int
+		h := c.ctx ^ 0xa90ddcf7c4b6e59b
+		for r := 0; r < n; r++ {
+			if c.w.deadRank(c.worldRank(r)) {
+				if counts[r] != 0 {
+					throwErr(&RankFailedError{Rank: c.worldRank(r), Call: "Allgatherv"})
+				}
+				h = splitmixCtx(h ^ uint64(r)*0xbf58476d1ce4e5b9)
+				continue
+			}
+			liveIdx = append(liveIdx, r)
+		}
+		if len(liveIdx) < n {
+			if len(liveIdx) <= 1 {
+				return
+			}
+			group := make([]int, len(liveIdx))
+			effCounts = make([]int, len(liveIdx))
+			effDispls = make([]int, len(liveIdx))
+			myIdx := -1
+			for i, r := range liveIdx {
+				group[i] = c.worldRank(r)
+				effCounts[i] = counts[r]
+				effDispls[i] = displs[r]
+				if r == me {
+					myIdx = i
+				}
+			}
+			eff = &Comm{w: c.w, me: c.me, group: group, rank: myIdx, ctx: splitmixCtx(h)}
+		}
+	}
+
+	algo := eff.allgathervAlgo(effCounts, total)
 	switch algo {
 	case AGRing:
-		c.agvRing(tag, counts, displs, recv)
+		eff.agvRing(tag, effCounts, effDispls, recv)
 	case AGRecursiveDoubling:
-		c.agvRecDbl(tag, counts, displs, recv)
+		eff.agvRecDbl(tag, effCounts, effDispls, recv)
 	case AGDissemination:
-		c.agvDissem(tag, counts, displs, recv)
+		eff.agvDissem(tag, effCounts, effDispls, recv)
 	default:
 		panic("mpi: unresolved allgatherv algorithm")
 	}

@@ -47,10 +47,13 @@ func (c *Comm) Alltoallw(sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs
 	if len(sends) != n || len(recvs) != n {
 		panic(fmt.Sprintf("mpi: alltoallw needs %d specs, got %d/%d", n, len(sends), len(recvs)))
 	}
-	c.skew()
+	c.collStart("Alltoallw")
 	tag := c.collTag()
 	switch c.w.cfg.Alltoallw {
 	case ATRoundRobin:
+		// The baseline couples every pair; it cannot route around a dead
+		// peer, so it fails fast instead.
+		c.requireLive()
 		c.a2awRoundRobin(tag, sendbuf, sends, recvbuf, recvs)
 	case ATBinned:
 		c.a2awBinned(tag, sendbuf, sends, recvbuf, recvs)
@@ -96,11 +99,18 @@ func (c *Comm) a2awRoundRobin(tag int, sendbuf []byte, sends []TypeSpec, recvbuf
 }
 
 // a2awBinned is the paper's design: zero-volume peers are skipped, the
-// rest are processed small-bin first.
+// rest are processed small-bin first.  Dead peers degrade gracefully: they
+// are treated as zero-volume — nothing is sent to them, their receive
+// regions are left untouched, and they never enter a bin — so the exchange
+// completes among the survivors.
 func (c *Comm) a2awBinned(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs []TypeSpec) {
 	n := c.Size()
 	me := c.rank
 	thresh := c.w.cfg.BinThresholdBytes
+	anyDown := c.w.anyDown.Load()
+	dead := func(r int) bool {
+		return anyDown && r != me && c.w.deadRank(c.worldRank(r))
+	}
 
 	// Local exchange needs no wire.
 	if sends[me].Bytes() > 0 || recvs[me].Bytes() > 0 {
@@ -114,6 +124,11 @@ func (c *Comm) a2awBinned(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []b
 		if src == me || recvs[src].Bytes() == 0 {
 			continue
 		}
+		// A dead peer contributes nothing — unless its message already
+		// arrived before it died, in which case it is received normally.
+		if dead(src) && !c.queued(src, tag) {
+			continue
+		}
 		s := recvs[src]
 		if s.Type.Contig() && s.Type.Size() == s.Type.Extent() {
 			reqs = append(reqs, c.Irecv(src, tag, recvbuf[s.Displ:s.Displ+s.Bytes()]))
@@ -125,7 +140,7 @@ func (c *Comm) a2awBinned(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []b
 	// Send bins: small ascending-by-rank first, then large.
 	var small, large []int
 	for dst := 0; dst < n; dst++ {
-		if dst == me {
+		if dst == me || dead(dst) {
 			continue
 		}
 		b := sends[dst].Bytes()

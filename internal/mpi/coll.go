@@ -14,7 +14,8 @@ import (
 // Barrier synchronizes all ranks with a dissemination barrier: ceil(log2 N)
 // rounds of zero-byte exchanges.
 func (c *Comm) Barrier() {
-	c.skew()
+	c.collStart("Barrier")
+	c.requireLive()
 	n := c.Size()
 	if n == 1 {
 		return
@@ -34,7 +35,8 @@ func (c *Comm) Barrier() {
 // returns the payload (on root, data itself).
 func (c *Comm) Bcast(root int, data []byte) []byte {
 	c.checkPeer(root)
-	c.skew()
+	c.collStart("Bcast")
+	c.requireLive()
 	n := c.Size()
 	if n == 1 {
 		return data
@@ -108,7 +110,8 @@ func (c *Comm) reduceFlops(n int) {
 // The reduction runs over a binomial tree.
 func (c *Comm) Reduce(root int, vec []float64, op Op) {
 	c.checkPeer(root)
-	c.skew()
+	c.collStart("Reduce")
+	c.requireLive()
 	n := c.Size()
 	if n == 1 {
 		return
@@ -159,7 +162,8 @@ func (c *Comm) AllreduceScalar(x float64, op Op) float64 {
 func (c *Comm) Gatherv(root int, data []byte, counts []int) []byte {
 	c.checkPeer(root)
 	c.checkCounts(counts)
-	c.skew()
+	c.collStart("Gatherv")
+	c.requireLive()
 	n := c.Size()
 	me := c.rank
 	if me != root {

@@ -15,7 +15,8 @@ import (
 // the concatenation in rank order, others receive nil.
 func (c *Comm) Gather(root int, data []byte) []byte {
 	c.checkPeer(root)
-	c.skew()
+	c.collStart("Gather")
+	c.requireLive()
 	n := c.Size()
 	tag := c.collTag()
 	me := c.rank
@@ -59,7 +60,8 @@ func (c *Comm) Gather(root int, data []byte) []byte {
 func (c *Comm) Scatterv(root int, data []byte, counts []int) []byte {
 	c.checkPeer(root)
 	c.checkCounts(counts)
-	c.skew()
+	c.collStart("Scatterv")
+	c.requireLive()
 	tag := c.collTag()
 	me := c.rank
 	if me == root {
@@ -125,7 +127,8 @@ func (c *Comm) AllreduceRD(vec []float64, op Op) {
 		c.Allreduce(vec, op)
 		return
 	}
-	c.skew()
+	c.collStart("Allreduce")
+	c.requireLive()
 	tag := c.collTag()
 	me := c.rank
 	for mask := 1; mask < n; mask <<= 1 {

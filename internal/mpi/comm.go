@@ -22,6 +22,9 @@ type Comm struct {
 	// ctx is the communicator's context id; messages match only within
 	// their communicator.
 	ctx uint64
+	// agreeSeq counts Agree/Shrink calls on this communicator; members
+	// execute them collectively, so equal seq identifies the same call.
+	agreeSeq uint64
 }
 
 // Rank returns the calling rank within this communicator.
@@ -44,9 +47,15 @@ func (c *Comm) worldRank(r int) int {
 }
 
 // match blocks until a message for this communicator matching src/tag
-// (wildcards allowed; src is a comm rank) arrives, and removes it.
+// (wildcards allowed; src is a comm rank) arrives, and removes it.  A
+// failure of the awaited peer — or a watchdog-detected deadlock — aborts
+// the wait with a typed communication error (see matchE and Guard).
 func (c *Comm) match(src, tag int) *envelope {
-	return c.me.match(c.w, c.ctx, src, tag)
+	env, err := c.matchE(src, tag, 0)
+	if err != nil {
+		throwErr(err)
+	}
+	return env
 }
 
 // World returns the world this Comm belongs to.
@@ -61,6 +70,7 @@ func (c *Comm) Stats() Stats { return c.me.stats }
 // Compute advances the virtual clock by sec seconds of nominal CPU work,
 // scaled by the rank's speed factor.
 func (c *Comm) Compute(sec float64) {
+	c.maybeCrash()
 	d := sec / c.me.speed
 	start := c.me.clock
 	c.me.clock += d
@@ -112,6 +122,7 @@ func (c *Comm) checkUserTag(tag int) {
 func (c *Comm) Send(dst, tag int, data []byte) {
 	c.checkPeer(dst)
 	c.checkUserTag(tag)
+	c.me.call = "Send"
 	c.send(dst, tag, data)
 }
 
@@ -120,10 +131,12 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 func (c *Comm) send(dst, tag int, data []byte) {
 	p := c.me
 	prm := &c.w.cluster.Params
+	c.maybeCrash()
 	opStart := p.clock
 	p.clock += prm.SendOverhead / p.speed
 	wire := append([]byte(nil), data...)
-	wireDone := p.clock + prm.WireTime(len(wire))
+	wireSec := prm.WireTime(len(wire))
+	wireDone := p.clock + wireSec
 	arrival := wireDone + prm.Latency
 	if dst == c.rank {
 		arrival = p.clock
@@ -133,8 +146,8 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	}
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(len(wire))
+	c.dispatch(dst, tag, wire, arrival, wireSec)
 	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
-	c.w.deliver(c.worldRank(dst), &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
 }
 
 // SendType packs count instances of t from buf and transmits them to dst
@@ -142,6 +155,7 @@ func (c *Comm) send(dst, tag int, data []byte) {
 func (c *Comm) SendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	c.checkPeer(dst)
 	c.checkUserTag(tag)
+	c.me.call = "SendType"
 	c.sendType(dst, tag, t, count, buf)
 }
 
@@ -157,6 +171,7 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 		return
 	}
 
+	c.maybeCrash()
 	opStart := p.clock
 	packer := datatype.NewPacker(c.w.cfg.Engine, t, count, buf, opt)
 	wire := make([]byte, 0, packer.TotalBytes())
@@ -218,13 +233,14 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(len(wire))
 	p.stats.Datatype.Add(prev)
+	c.dispatch(dst, tag, wire, arrival, prm.WireTime(len(wire)))
 	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
-	c.w.deliver(c.worldRank(dst), &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
 }
 
 // Recv blocks until a message matching src/tag (wildcards allowed) arrives
 // and returns its payload and source rank.
 func (c *Comm) Recv(src, tag int) ([]byte, int) {
+	c.me.call = "Recv"
 	env := c.match(src, tag)
 	c.completeRecv(env)
 	return env.data, env.src
@@ -233,6 +249,7 @@ func (c *Comm) Recv(src, tag int) ([]byte, int) {
 // RecvInto receives a contiguous message into buf and returns the byte
 // count and source.  It panics if the message exceeds len(buf).
 func (c *Comm) RecvInto(src, tag int, buf []byte) (int, int) {
+	c.me.call = "RecvInto"
 	env := c.match(src, tag)
 	if len(env.data) > len(buf) {
 		panic(fmt.Sprintf("mpi: message of %d bytes overflows %d-byte buffer", len(env.data), len(buf)))
@@ -245,6 +262,7 @@ func (c *Comm) RecvInto(src, tag int, buf []byte) (int, int) {
 // RecvType receives a message and scatters it into count instances of t in
 // buf.  The payload size must match the type map exactly.
 func (c *Comm) RecvType(src, tag int, t *datatype.Type, count int, buf []byte) int {
+	c.me.call = "RecvType"
 	env := c.match(src, tag)
 	c.completeRecv(env)
 	c.unpackInto(env.data, t, count, buf)
@@ -265,6 +283,8 @@ func (c *Comm) completeRecv(env *envelope) {
 	p.stats.MsgsRecv++
 	p.stats.BytesRecv += int64(len(env.data))
 	p.record(Event{Kind: "recv", Peer: env.src, Tag: env.tag, Bytes: len(env.data), Start: opStart, End: p.clock})
+	// A scheduled crash inside the wait fires once the clock crosses it.
+	c.maybeCrash()
 }
 
 // unpackInto scatters payload into the receive type map, charging unpack
@@ -306,6 +326,7 @@ func (c *Comm) ChargeHandPack(bytes, elems int64) {
 // deadlock-free exchange, returning the received payload.
 func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
 	c.checkPeer(dst)
+	c.me.call = "Sendrecv"
 	c.send(dst, sendTag, data)
 	out, _ := c.Recv(src, recvTag)
 	return out
@@ -364,6 +385,7 @@ func (r *Request) Wait() (int, int) {
 	}
 	r.done = true
 	c := r.c
+	c.me.call = "Wait"
 	env := c.match(r.src, r.tag)
 	c.completeRecv(env)
 	if r.t != nil {

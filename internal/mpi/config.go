@@ -11,6 +11,9 @@
 package mpi
 
 import (
+	"fmt"
+	"time"
+
 	"nccd/internal/datatype"
 	"nccd/internal/kselect"
 )
@@ -94,13 +97,81 @@ type Config struct {
 	// BinThresholdBytes is the Alltoallw boundary between the small and
 	// large bins.  Default 1 KiB.
 	BinThresholdBytes int
+	// Reliability tunes the retransmission layer used when the cluster has
+	// a FaultPlan.
+	Reliability ReliabilityConfig
+	// Watchdog tunes the deadlock detector.
+	Watchdog WatchdogConfig
+}
+
+// ReliabilityConfig parameterizes the ack/retransmission protocol that
+// masks message loss when fault injection is active.  Zero fields take
+// defaults; see Config.Validate for the accepted ranges.
+type ReliabilityConfig struct {
+	// AckTimeout is the virtual-time wait (seconds) before the first
+	// retransmission of an unacknowledged message.  Default 50 µs.
+	AckTimeout float64
+	// Backoff multiplies the timeout after every failed attempt.
+	// Default 2.
+	Backoff float64
+	// MaxRetries bounds total transmission attempts per message; when
+	// exhausted the sender raises ErrTimeout.  Default 16.
+	MaxRetries int
+}
+
+// WatchdogConfig parameterizes the deadlock detector that watches a running
+// world.  The watchdog only ever acts when every live rank has been blocked
+// with zero progress for Patience consecutive intervals and no queued
+// message can satisfy any of them — a state the closed system can never
+// leave — so it has no effect on live runs.
+type WatchdogConfig struct {
+	// Disable turns the watchdog off.
+	Disable bool
+	// Interval is the wall-clock check period.  Default 250 ms.
+	Interval time.Duration
+	// Patience is how many consecutive zero-progress intervals must pass
+	// before the watchdog declares a deadlock.  Default 2.
+	Patience int
 }
 
 // Defaults used when Config fields are zero.
 const (
 	DefaultRingThreshold = 32 * 1024
 	DefaultBinThreshold  = 1024
+
+	DefaultAckTimeout       = 50e-6
+	DefaultBackoff          = 2.0
+	DefaultMaxRetries       = 16
+	DefaultWatchdogInterval = 250 * time.Millisecond
+	DefaultWatchdogPatience = 2
 )
+
+// Validate rejects configurations the runtime cannot honor: negative
+// timeouts, zero or negative retry budgets when retransmission is tuned,
+// sub-unit backoff factors, and negative watchdog knobs.  NewWorld calls it
+// (after applying defaults to untouched fields) and panics on error.
+func (c Config) Validate() error {
+	r := c.Reliability
+	if r.AckTimeout < 0 {
+		return fmt.Errorf("mpi: negative ack timeout %v", r.AckTimeout)
+	}
+	if r.MaxRetries < 0 {
+		return fmt.Errorf("mpi: negative max retries %d", r.MaxRetries)
+	}
+	if r.MaxRetries == 0 && (r.AckTimeout > 0 || r.Backoff > 0) {
+		return fmt.Errorf("mpi: retransmission tuned (timeout %v, backoff %v) but max retries is zero", r.AckTimeout, r.Backoff)
+	}
+	if r.Backoff != 0 && r.Backoff < 1 {
+		return fmt.Errorf("mpi: backoff factor %v < 1 would shrink timeouts", r.Backoff)
+	}
+	if c.Watchdog.Interval < 0 {
+		return fmt.Errorf("mpi: negative watchdog interval %v", c.Watchdog.Interval)
+	}
+	if c.Watchdog.Patience < 0 {
+		return fmt.Errorf("mpi: negative watchdog patience %d", c.Watchdog.Patience)
+	}
+	return nil
+}
 
 func (c Config) withDefaults() Config {
 	if c.RingThresholdBytes <= 0 {
@@ -108,6 +179,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BinThresholdBytes <= 0 {
 		c.BinThresholdBytes = DefaultBinThreshold
+	}
+	if c.Reliability.AckTimeout == 0 {
+		c.Reliability.AckTimeout = DefaultAckTimeout
+	}
+	if c.Reliability.Backoff == 0 {
+		c.Reliability.Backoff = DefaultBackoff
+	}
+	if c.Reliability.MaxRetries == 0 {
+		c.Reliability.MaxRetries = DefaultMaxRetries
+	}
+	if c.Watchdog.Interval == 0 {
+		c.Watchdog.Interval = DefaultWatchdogInterval
+	}
+	if c.Watchdog.Patience == 0 {
+		c.Watchdog.Patience = DefaultWatchdogPatience
 	}
 	if c.Outlier.Fract == 0 {
 		c.Outlier.Fract = kselect.DefaultOutlierParams.Fract

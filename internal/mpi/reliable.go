@@ -1,0 +1,268 @@
+package mpi
+
+import (
+	"errors"
+	"hash/crc32"
+	"math"
+	"time"
+)
+
+// The reliability layer.  When the cluster carries a FaultPlan with link
+// faults, every non-local message travels with a sequence number and a
+// CRC-32 checksum, and the sender runs an ack/retransmission protocol:
+// each failed attempt (dropped on the wire, or delivered but rejected by
+// the receiver's checksum) costs the sender one ack timeout of virtual
+// time — exponentially backed off — before the retransmission.  The
+// protocol outcome is simulated at the sender from the deterministic fault
+// plan (the ack messages themselves are modeled, not delivered), but the
+// receiver-side defenses are real: corrupted copies are genuinely
+// delivered and rejected by checksum, duplicated copies are genuinely
+// delivered and rejected by sequence-number dedup.  A clean run with
+// faults disabled takes the short path and behaves exactly as before.
+
+// maybeCrash kills the rank if its scheduled FaultPlan crash time has
+// arrived.  Called at operation boundaries, where the virtual clock moves.
+func (c *Comm) maybeCrash() {
+	p := c.me
+	if p.clock >= p.crashAt {
+		p.crashAt = math.Inf(1)
+		c.w.setState(p.rank, stateDead)
+		panic(crashPanic{rank: p.rank})
+	}
+}
+
+// callOr returns the operation name for diagnostics.
+func (c *Comm) callOr(def string) string {
+	if c.me.call != "" {
+		return c.me.call
+	}
+	return def
+}
+
+// dispatch delivers wire to comm rank dst with the given base arrival
+// time, applying the fault plan and the reliability protocol.  wireSec is
+// the payload's wire serialization time, used to re-derive arrival times
+// for retransmissions.  It raises ErrRankFailed if dst is down and
+// ErrTimeout if the retry budget is exhausted.
+func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
+	w := c.w
+	worldDst := c.worldRank(dst)
+	if w.isRevoked(c.ctx) {
+		throwErr(&RevokedError{Call: c.callOr("Send")})
+	}
+	// Sending to a failed rank raises; sending to a cleanly exited rank
+	// keeps the old fire-and-forget semantics (the message is discarded
+	// with the mailbox, like an eager send the receiver never matched).
+	if dst != c.rank && w.anyDown.Load() && w.deadRank(worldDst) {
+		throwErr(&RankFailedError{Rank: worldDst, Call: c.callOr("Send")})
+	}
+	fp := w.cluster.Faults
+	if dst == c.rank || !fp.Lossy() {
+		w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
+		return
+	}
+
+	p := c.me
+	rel := w.cfg.Reliability
+	seq := p.sendSeq[worldDst]
+	p.sendSeq[worldDst]++
+	sum := crc32.ChecksumIEEE(wire)
+	timeout := rel.AckTimeout
+	lat := w.cluster.Latency
+	for attempt := 0; ; attempt++ {
+		drop, dup, corrupt, delay := fp.Attempt(p.rank, worldDst, seq, attempt)
+		if corrupt && len(wire) == 0 {
+			// An empty payload has no bytes to damage; treat as loss.
+			drop, corrupt = true, false
+		}
+		if corrupt && !drop {
+			bad := append([]byte(nil), wire...)
+			bad[fp.CorruptByte(p.rank, worldDst, seq, attempt, len(bad))] ^= 0xFF
+			w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: bad,
+				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
+			p.stats.CorruptSent++
+		}
+		if !drop && !corrupt {
+			w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
+				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
+			if dup {
+				w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
+					arrival: arrival + delay + lat, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
+				p.stats.DupsSent++
+			}
+			return
+		}
+		if attempt+1 >= rel.MaxRetries {
+			throwErr(&TimeoutError{Rank: worldDst, Call: c.callOr("Send"), Attempts: attempt + 1})
+		}
+		// No ack: wait out the timeout, back off, retransmit from now.
+		p.clock += timeout
+		p.stats.RetransSec += timeout
+		p.stats.Retransmits++
+		timeout *= rel.Backoff
+		arrival = p.clock + wireSec + lat
+	}
+}
+
+// matchE blocks until a message for this communicator matching src/tag
+// (wildcards allowed; src is a comm rank) arrives, and removes it.  wall,
+// when positive, bounds the wall-clock wait (RecvDeadline).  It returns
+// ErrRankFailed when the awaited peer — or, for AnySource, every peer — is
+// down with no matching message queued, ErrTimeout when the deadline
+// expires, and ErrDeadlock when the watchdog aborts the wait.
+func (c *Comm) matchE(src, tag int, wall time.Duration) (*envelope, error) {
+	p := c.me
+	w := c.w
+	worldSrc := -1
+	if src != AnySource {
+		worldSrc = c.worldRank(src)
+	}
+	call := c.callOr("Recv")
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	timedOut := false
+	if wall > 0 {
+		timer := time.AfterFunc(wall, func() {
+			p.mu.Lock()
+			timedOut = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	for {
+		if w.isRevoked(c.ctx) {
+			p.wait = blockedWait{}
+			return nil, &RevokedError{Call: call}
+		}
+		for i, env := range p.queue {
+			if env.ctx == c.ctx && (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag) {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				p.wait = blockedWait{}
+				w.progress.Add(1)
+				return env, nil
+			}
+		}
+		if err := p.wait.err; err != nil {
+			p.wait = blockedWait{}
+			return nil, err
+		}
+		if timedOut {
+			p.wait = blockedWait{}
+			return nil, &TimeoutError{Rank: worldSrc, Call: call}
+		}
+		if w.anyDown.Load() {
+			if down := c.downPeer(worldSrc); down >= 0 {
+				p.wait = blockedWait{}
+				return nil, &RankFailedError{Rank: down, Call: call}
+			}
+		}
+		p.wait = blockedWait{active: true, deadline: wall > 0, call: call,
+			ctx: c.ctx, src: src, srcWorld: worldSrc, tag: tag}
+		p.cond.Wait()
+		p.wait.active = false
+	}
+}
+
+// downPeer returns a down world rank that dooms a wait for worldSrc (-1 =
+// AnySource), or -1 while the wait can still be satisfied.
+func (c *Comm) downPeer(worldSrc int) int {
+	if worldSrc >= 0 {
+		if c.w.down(worldSrc) {
+			return worldSrc
+		}
+		return -1
+	}
+	// AnySource is hopeless only once every other member is down.
+	first := -1
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		wr := c.worldRank(r)
+		if !c.w.down(wr) {
+			return -1
+		}
+		if first < 0 {
+			first = wr
+		}
+	}
+	return first
+}
+
+// RecvDeadline is Recv with a failure bound: it returns ErrRankFailed as
+// soon as the awaited peer is known to be down, and ErrTimeout if no
+// matching message arrives within one watchdog interval of wall-clock time
+// (messages in this runtime are deposited synchronously, so a message that
+// has not arrived by then is not coming without external recovery).  On
+// timeout the virtual clock is charged `timeout` seconds of wait time.  On
+// success it behaves exactly like Recv.
+func (c *Comm) RecvDeadline(src, tag int, timeout float64) ([]byte, int, error) {
+	if src != AnySource {
+		c.checkPeer(src)
+	}
+	if tag != AnyTag {
+		c.checkUserTag(tag)
+	}
+	c.me.call = "RecvDeadline"
+	env, err := c.matchE(src, tag, c.w.cfg.Watchdog.Interval)
+	if err != nil {
+		if errors.Is(err, ErrTimeout) {
+			c.me.clock += timeout
+			c.me.stats.WaitSec += timeout
+		}
+		return nil, -1, err
+	}
+	c.completeRecv(env)
+	return env.data, env.src, nil
+}
+
+// Live reports whether comm rank r is still running.
+func (c *Comm) Live(r int) bool {
+	c.checkPeer(r)
+	return !c.w.down(c.worldRank(r))
+}
+
+// collStart begins a collective operation: it names the call for watchdog
+// and error diagnostics, fires any due injected crash, and injects the
+// cluster's skew model.
+func (c *Comm) collStart(name string) {
+	c.me.call = name
+	c.maybeCrash()
+	c.skew()
+}
+
+// requireLive fails a collective fast — with ErrRankFailed naming the first
+// failed member — instead of letting it hang on a peer that will never
+// send.  Cleanly exited members don't trip it: a fast rank may finish its
+// whole program (its collective contributions already queued) before a
+// slow rank enters the collective.
+func (c *Comm) requireLive() {
+	if !c.w.anyDown.Load() {
+		return
+	}
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		if wr := c.worldRank(r); c.w.deadRank(wr) {
+			throwErr(&RankFailedError{Rank: wr, Call: c.callOr("collective")})
+		}
+	}
+}
+
+// queued reports whether a message matching (src, tag) on this
+// communicator is already in the mailbox.  Used to distinguish a down peer
+// whose contribution arrived before it went down from one that never sent.
+func (c *Comm) queued(src, tag int) bool {
+	p := c.me
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, env := range p.queue {
+		if env.ctx == c.ctx && (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag) {
+			return true
+		}
+	}
+	return false
+}

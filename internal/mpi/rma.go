@@ -129,6 +129,7 @@ func (w *Win) Fence() {
 
 	// Tell every target how many one-sided messages to expect from me.
 	expect := w.exchangeCounts()
+	c.me.call = "Fence"
 
 	// Drain and apply incoming puts/accumulates/get-requests.
 	saveCtx := c.ctx

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"nccd/internal/datatype"
@@ -33,34 +34,42 @@ func TestRunMultipleErrorsJoined(t *testing.T) {
 		t.Fatal("expected error")
 	}
 	for r := 0; r < 3; r++ {
-		if want := fmt.Sprintf("rank-%d-failed", r); !containsStr(err.Error(), want) {
+		if want := fmt.Sprintf("rank-%d-failed", r); !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q missing %q", err, want)
 		}
 	}
 }
 
-func containsStr(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
-}
-
 func TestPanicDuringCollectiveUnblocksPeers(t *testing.T) {
-	// A rank dying inside a barrier must not deadlock the world.
+	// A rank dying inside a barrier must not deadlock the world: every
+	// peer's Barrier aborts with a typed ErrRankFailed naming rank 2,
+	// which Run converts into that rank's returned error.
 	w := testWorld(4, Baseline())
 	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 2 {
 			panic("dead rank")
 		}
-		defer func() { recover() }() // the world-failure panic in match
 		c.Barrier()
 		return nil
 	})
 	if err == nil {
 		t.Fatal("expected error from dead rank")
+	}
+	if !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("peers did not observe ErrRankFailed: %v", err)
+	}
+	var rf *RankFailedError
+	if !errors.As(err, &rf) {
+		t.Fatalf("no typed RankFailedError in %v", err)
+	}
+	// The first peer to fail must have observed rank 2, the original death;
+	// later peers may instead observe the cascade (a peer that already
+	// aborted on rank 2's behalf).
+	if !strings.Contains(err.Error(), "rank 2 failed") {
+		t.Fatalf("no peer names the dead rank 2: %v", err)
+	}
+	if !strings.Contains(err.Error(), "panicked: dead rank") {
+		t.Fatalf("rank 2's own panic not reported: %v", err)
 	}
 }
 

@@ -6,7 +6,8 @@ import "nccd/internal/floatbytes"
 // vec holds op(vec_0, ..., vec_r).  Implemented with the standard
 // binomial-style algorithm in ceil(log2 N) rounds.
 func (c *Comm) Scan(vec []float64, op Op) {
-	c.skew()
+	c.collStart("Scan")
+	c.requireLive()
 	n := c.Size()
 	if n == 1 {
 		return
@@ -33,7 +34,8 @@ func (c *Comm) Scan(vec []float64, op Op) {
 // op(vec_0, ..., vec_{r-1}); rank 0's vec is left unchanged (callers treat
 // it as undefined, as in MPI).
 func (c *Comm) Exscan(vec []float64, op Op) {
-	c.skew()
+	c.collStart("Exscan")
+	c.requireLive()
 	n := c.Size()
 	if n == 1 {
 		return

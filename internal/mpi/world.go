@@ -1,8 +1,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"nccd/internal/datatype"
 	"nccd/internal/simnet"
@@ -16,9 +20,42 @@ type World struct {
 	cfg     Config
 	procs   []*proc
 
-	mu     sync.Mutex
-	failed bool // a rank panicked; wakes blocked receivers
+	// states holds each rank's lifecycle (running/exited/dead) during a
+	// Run; anyDown short-circuits liveness checks on the happy path.
+	states  []atomic.Int32
+	anyDown atomic.Bool
+	// progress counts deliveries, successful matches and state changes.
+	// The watchdog declares a deadlock only after it stays frozen.
+	progress atomic.Uint64
+
+	// Receiver-side reliability counters (incremented on the sender's
+	// goroutine during delivery, hence atomic rather than per-rank stats).
+	checksumRejects  atomic.Int64
+	duplicateRejects atomic.Int64
+
+	mu      sync.Mutex
+	crashed []int // ranks whose scheduled FaultPlan crash fired, death order
+
+	// Agreement slots (see Comm.Agree).  agreeCond is broadcast on every
+	// event that can seal a slot: a join, a rank death, a watchdog abort.
+	agreeMu    sync.Mutex
+	agreeCond  *sync.Cond
+	agreeSlots map[agreeID]*agreeSlot
+
+	// revoked holds context ids killed by Comm.Revoke (ctx → struct{}).
+	// A sync.Map so matchE can check it while holding a proc mutex.
+	revoked    sync.Map
+	anyRevoked atomic.Bool
+
+	wd *watchdog // live while a Run is in flight
 }
+
+// Rank lifecycle states.
+const (
+	stateRunning int32 = iota
+	stateExited        // f returned nil; the rank is gone but not failed
+	stateDead          // crashed, panicked or returned an error
+)
 
 // proc is the per-rank state: virtual clock, mailbox and statistics.
 type proc struct {
@@ -28,16 +65,49 @@ type proc struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []*envelope
+	// wait describes the in-progress blocking receive (valid under mu
+	// while blocked); the watchdog reads it to build deadlock reports.
+	wait blockedWait
+	// seen records delivered reliable (src, seq) pairs for duplicate
+	// suppression.  Guarded by mu; written on the sender's goroutine.
+	seen map[dedupKey]struct{}
+
+	// call names the blocking operation in progress, for diagnostics.
+	// Written only by the owning goroutine; cross-goroutine readers see it
+	// through the wait snapshot taken under mu.
+	call string
 
 	clock   float64
 	stats   Stats
 	skewSeq uint64
 	commGen uint64 // monotone communicator-creation generation (see Split)
+	// sendSeq numbers reliable messages per destination world rank.
+	sendSeq []uint64
+	// crashAt is the scheduled FaultPlan crash time (+Inf = never).
+	crashAt float64
 
 	scratch []byte // pipeline buffer reused across SendType calls
 
 	traceOn bool
 	events  []Event
+}
+
+// blockedWait records what a blocked rank is waiting for.
+type blockedWait struct {
+	active   bool
+	deadline bool   // a RecvDeadline wait; self-recovering, never a deadlock
+	call     string // blocking operation name
+	ctx      uint64
+	src      int // comm rank awaited (AnySource for wildcard)
+	srcWorld int // world rank awaited, -1 for wildcard
+	tag      int
+	err      error // set by the watchdog to abort the wait
+}
+
+// dedupKey identifies one reliable message end-to-end.
+type dedupKey struct {
+	src int // sender world rank
+	seq uint64
 }
 
 // envelope is one in-flight message.
@@ -46,6 +116,15 @@ type envelope struct {
 	src, tag int    // src is the sender's rank within the communicator
 	data     []byte
 	arrival  float64 // virtual time at which the payload is fully available
+
+	// Reliability metadata, set when fault injection is active on the link.
+	// The sequence space is per (sender world rank, receiver), so the
+	// comm-rank src alone would collide across communicators; reliable
+	// envelopes therefore carry the sender's world rank explicitly.
+	reliable bool
+	wsrc     int    // sender world rank
+	seq      uint64 // per (sender, receiver) sequence number
+	sum      uint32 // CRC-32 of data; mismatches are dropped at delivery
 }
 
 // Tag wildcard values for Recv.
@@ -57,17 +136,25 @@ const (
 // internal tag space for collectives; user tags must stay below this.
 const tagCollBase = 1 << 20
 
-// NewWorld creates a world with one rank per cluster slot.
+// NewWorld creates a world with one rank per cluster slot.  It panics if
+// cfg fails Validate.
 func NewWorld(cluster *simnet.Cluster, cfg Config) *World {
 	n := cluster.Size()
 	if n < 1 {
 		panic("mpi: cluster must have at least one rank")
 	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	w := &World{cluster: cluster, cfg: cfg.withDefaults()}
+	w.agreeCond = sync.NewCond(&w.agreeMu)
+	w.agreeSlots = make(map[agreeID]*agreeSlot)
 	w.procs = make([]*proc, n)
+	w.states = make([]atomic.Int32, n)
 	for i := range w.procs {
-		p := &proc{rank: i, speed: cluster.SpeedOf(i)}
+		p := &proc{rank: i, speed: cluster.SpeedOf(i), crashAt: math.Inf(1)}
 		p.cond = sync.NewCond(&p.mu)
+		p.sendSeq = make([]uint64, n)
 		w.procs[i] = p
 	}
 	return w
@@ -83,10 +170,17 @@ func (w *World) Config() Config { return w.cfg }
 func (w *World) Cluster() *simnet.Cluster { return w.cluster }
 
 // Run starts one goroutine per rank executing f and waits for all of them.
-// A panic in any rank is recovered, unblocks the other ranks, and is
-// reported as an error.  Errors returned by f are joined and returned.
+// Errors returned by f are joined and returned, each wrapped with its rank.
+// A rank that panics — or that aborts on an uncaught typed communication
+// error (ErrRankFailed, ErrTimeout, ErrDeadlock) — is marked dead, which
+// unblocks every peer waiting on it with ErrRankFailed instead of hanging
+// the world.  A crash scheduled by the cluster's FaultPlan terminates its
+// rank the same way but is reported through CrashedRanks, not as an error:
+// the injected fault is part of the experiment, and whether the surviving
+// ranks cope with it is what the return value measures.
 func (w *World) Run(f func(c *Comm) error) error {
 	n := len(w.procs)
+	w.startRun()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -94,50 +188,128 @@ func (w *World) Run(f func(c *Comm) error) error {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
+				state := stateExited
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("rank %d panicked: %v", rank, p)
-					w.fail()
+					state = stateDead
+					switch v := p.(type) {
+					case crashPanic:
+						w.recordCrash(rank)
+					case commPanic:
+						errs[rank] = v.err
+					default:
+						errs[rank] = fmt.Errorf("panicked: %v", p)
+					}
+				} else if errs[rank] != nil {
+					state = stateDead
 				}
+				w.setState(rank, state)
 			}()
 			errs[rank] = f(&Comm{w: w, me: w.procs[rank], rank: rank})
 		}(r)
 	}
 	wg.Wait()
-	var first error
+	w.stopRun()
+	var joined []error
 	for r, e := range errs {
 		if e != nil {
-			if first == nil {
-				first = fmt.Errorf("rank %d: %w", r, e)
-			} else {
-				first = fmt.Errorf("%v; rank %d: %v", first, r, e)
-			}
+			joined = append(joined, fmt.Errorf("rank %d: %w", r, e))
 		}
 	}
-	if first != nil {
-		return first
-	}
-	if w.isFailed() {
-		return fmt.Errorf("mpi: world failed")
-	}
-	return nil
+	return errors.Join(joined...)
 }
 
-func (w *World) fail() {
+// startRun resets per-run failure state and starts the watchdog.
+func (w *World) startRun() {
+	fp := w.cluster.Faults
+	for r := range w.states {
+		w.states[r].Store(stateRunning)
+		w.procs[r].crashAt = fp.CrashTime(r)
+	}
+	w.anyDown.Store(false)
+	// Revocations and agreement slots describe failures of one Run; a new
+	// Run starts from a clean failure state, like the rank states above.
+	w.revoked.Range(func(k, _ any) bool { w.revoked.Delete(k); return true })
+	w.anyRevoked.Store(false)
+	w.agreeMu.Lock()
+	w.agreeSlots = make(map[agreeID]*agreeSlot)
+	w.agreeMu.Unlock()
 	w.mu.Lock()
-	w.failed = true
+	w.crashed = nil
 	w.mu.Unlock()
+	w.progress.Add(1)
+	if !w.cfg.Watchdog.Disable {
+		w.wd = newWatchdog(w)
+	}
+}
+
+func (w *World) stopRun() {
+	if w.wd != nil {
+		w.wd.halt()
+		w.wd = nil
+	}
+}
+
+// setState transitions rank r and wakes every blocked rank so waits on r
+// can fail over.
+func (w *World) setState(r int, s int32) {
+	w.states[r].Store(s)
+	if s != stateRunning {
+		w.anyDown.Store(true)
+	}
+	w.progress.Add(1)
 	for _, p := range w.procs {
 		p.mu.Lock()
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
+	// A death can complete an in-flight agreement (the dead member no
+	// longer owes a contribution).
+	w.agreeMu.Lock()
+	w.agreeCond.Broadcast()
+	w.agreeMu.Unlock()
 }
 
-func (w *World) isFailed() bool {
+// down reports whether world rank r can no longer participate.  An exited
+// rank is down — it will never send again — but because sends are
+// synchronous deposits, everything it did send is already queued, so
+// receivers check their queue before giving up on it.
+func (w *World) down(r int) bool {
+	return w.states[r].Load() != stateRunning
+}
+
+// deadRank reports whether world rank r failed (crashed, panicked or
+// returned an error), as opposed to exiting cleanly.  Fail-fast paths key
+// on this: a cleanly exited rank may simply have finished early, with its
+// final messages still queued for slower peers.
+func (w *World) deadRank(r int) bool {
+	return w.states[r].Load() == stateDead
+}
+
+// Alive reports whether world rank r is still running (has neither
+// finished, failed, nor crashed) in the current or most recent Run.
+func (w *World) Alive(r int) bool { return !w.down(r) }
+
+func (w *World) recordCrash(r int) {
+	w.mu.Lock()
+	w.crashed = append(w.crashed, r)
+	w.mu.Unlock()
+}
+
+// CrashedRanks returns the ranks whose scheduled FaultPlan crash fired
+// during the most recent Run, in death order.
+func (w *World) CrashedRanks() []int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.failed
+	return append([]int(nil), w.crashed...)
 }
+
+// ChecksumRejects returns how many delivered copies were discarded for
+// failing checksum verification.
+func (w *World) ChecksumRejects() int64 { return w.checksumRejects.Load() }
+
+// DuplicateRejects returns how many delivered copies were discarded as
+// duplicates of an already-accepted message.
+func (w *World) DuplicateRejects() int64 { return w.duplicateRejects.Load() }
 
 // Clock returns rank r's virtual clock in seconds.
 func (w *World) Clock(r int) float64 { return w.procs[r].clock }
@@ -175,33 +347,34 @@ func (w *World) ResetClocks() {
 	}
 }
 
-// deliver appends env to dst's mailbox.
+// deliver appends env to dst's mailbox, enforcing the reliability layer's
+// receiver side: copies with checksum mismatches and duplicates of already
+// accepted sequence numbers are discarded (the sender's modeled ack
+// timeout covers retransmission).
 func (w *World) deliver(dst int, env *envelope) {
 	p := w.procs[dst]
 	p.mu.Lock()
+	if env.reliable {
+		if crc32.ChecksumIEEE(env.data) != env.sum {
+			p.mu.Unlock()
+			w.checksumRejects.Add(1)
+			return
+		}
+		key := dedupKey{src: env.wsrc, seq: env.seq}
+		if p.seen == nil {
+			p.seen = make(map[dedupKey]struct{})
+		}
+		if _, dup := p.seen[key]; dup {
+			p.mu.Unlock()
+			w.duplicateRejects.Add(1)
+			return
+		}
+		p.seen[key] = struct{}{}
+	}
 	p.queue = append(p.queue, env)
 	p.cond.Broadcast()
 	p.mu.Unlock()
-}
-
-// match removes and returns the first queued envelope for communicator ctx
-// matching src/tag, blocking until one arrives.  src and tag accept the
-// Any* wildcards; src is a comm rank.
-func (p *proc) match(w *World, ctx uint64, src, tag int) *envelope {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for {
-		for i, env := range p.queue {
-			if env.ctx == ctx && (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag) {
-				p.queue = append(p.queue[:i], p.queue[i+1:]...)
-				return env
-			}
-		}
-		if w.isFailed() {
-			panic("mpi: peer rank failed while receiving")
-		}
-		p.cond.Wait()
-	}
+	w.progress.Add(1)
 }
 
 func (p *proc) scratchBuf(n int) []byte {
@@ -219,11 +392,16 @@ type Stats struct {
 	ComputeSec float64 // user Compute time
 	SkewSec    float64 // injected jitter
 	WaitSec    float64 // time blocked waiting for message arrival
+	RetransSec float64 // ack timeouts spent before retransmissions
 
 	MsgsSent  int64
 	MsgsRecv  int64
 	BytesSent int64
 	BytesRecv int64
+
+	Retransmits int64 // transmission attempts beyond the first
+	DupsSent    int64 // duplicated deliveries injected by the fault plan
+	CorruptSent int64 // corrupted deliveries injected by the fault plan
 
 	Datatype datatype.Metrics
 }
@@ -235,9 +413,13 @@ func (s *Stats) Add(other Stats) {
 	s.ComputeSec += other.ComputeSec
 	s.SkewSec += other.SkewSec
 	s.WaitSec += other.WaitSec
+	s.RetransSec += other.RetransSec
 	s.MsgsSent += other.MsgsSent
 	s.MsgsRecv += other.MsgsRecv
 	s.BytesSent += other.BytesSent
 	s.BytesRecv += other.BytesRecv
+	s.Retransmits += other.Retransmits
+	s.DupsSent += other.DupsSent
+	s.CorruptSent += other.CorruptSent
 	s.Datatype.Add(other.Datatype)
 }

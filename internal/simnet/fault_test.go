@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	p := &FaultPlan{Seed: 42, Drop: 0.3, Duplicate: 0.2, Corrupt: 0.1, DelayMean: 1e-6}
+	q := &FaultPlan{Seed: 42, Drop: 0.3, Duplicate: 0.2, Corrupt: 0.1, DelayMean: 1e-6}
+	for seq := uint64(0); seq < 200; seq++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			d1, u1, c1, l1 := p.Attempt(1, 2, seq, attempt)
+			d2, u2, c2, l2 := q.Attempt(1, 2, seq, attempt)
+			if d1 != d2 || u1 != u2 || c1 != c2 || l1 != l2 {
+				t.Fatalf("seq %d attempt %d: plans with equal seeds disagree", seq, attempt)
+			}
+		}
+	}
+	// A different seed must give a different decision stream.
+	r := &FaultPlan{Seed: 43, Drop: 0.3, Duplicate: 0.2, Corrupt: 0.1}
+	same := true
+	for seq := uint64(0); seq < 200 && same; seq++ {
+		d1, u1, c1, _ := p.Attempt(1, 2, seq, 0)
+		d2, u2, c2, _ := r.Attempt(1, 2, seq, 0)
+		same = d1 == d2 && u1 == u2 && c1 == c2
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-message outcome streams")
+	}
+}
+
+func TestFaultPlanRates(t *testing.T) {
+	p := &FaultPlan{Seed: 7, Drop: 0.1, Duplicate: 0.05}
+	const n = 50000
+	drops, dups := 0, 0
+	for seq := uint64(0); seq < n; seq++ {
+		d, u, _, _ := p.Attempt(0, 1, seq, 0)
+		if d {
+			drops++
+		}
+		if u {
+			dups++
+		}
+	}
+	if f := float64(drops) / n; math.Abs(f-0.1) > 0.01 {
+		t.Fatalf("drop rate %.4f far from 0.1", f)
+	}
+	if f := float64(dups) / n; math.Abs(f-0.05) > 0.01 {
+		t.Fatalf("dup rate %.4f far from 0.05", f)
+	}
+}
+
+func TestFaultPlanLinkFilter(t *testing.T) {
+	p := &FaultPlan{Seed: 1, Drop: 1.0, Links: []Link{{Src: 0, Dst: 1}}}
+	if d, _, _, _ := p.Attempt(0, 1, 0, 0); !d {
+		t.Fatal("listed link not faulty despite Drop=1")
+	}
+	if d, _, _, _ := p.Attempt(1, 0, 0, 0); d {
+		t.Fatal("unlisted link suffered a drop")
+	}
+}
+
+func TestFaultPlanCrashTime(t *testing.T) {
+	p := &FaultPlan{CrashAt: map[int]float64{3: 1.5}}
+	if got := p.CrashTime(3); got != 1.5 {
+		t.Fatalf("CrashTime(3) = %v", got)
+	}
+	if got := p.CrashTime(0); !math.IsInf(got, 1) {
+		t.Fatalf("CrashTime(0) = %v, want +Inf", got)
+	}
+	var nilPlan *FaultPlan
+	if got := nilPlan.CrashTime(0); !math.IsInf(got, 1) {
+		t.Fatalf("nil plan CrashTime = %v", got)
+	}
+	if d, u, c, l := nilPlan.Attempt(0, 1, 0, 0); d || u || c || l != 0 {
+		t.Fatal("nil plan produced faults")
+	}
+}
+
+func TestCorruptByteInRange(t *testing.T) {
+	p := &FaultPlan{Seed: 9}
+	for length := 1; length < 64; length++ {
+		for seq := uint64(0); seq < 32; seq++ {
+			if off := p.CorruptByte(0, 1, seq, 0, length); off < 0 || off >= length {
+				t.Fatalf("offset %d out of [0,%d)", off, length)
+			}
+		}
+	}
+}

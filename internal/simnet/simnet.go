@@ -84,6 +84,11 @@ type Cluster struct {
 	// collective operation, modeling OS noise and the imbalance between
 	// heterogeneous cluster halves.  Nil means no skew.
 	Skew *SkewModel
+	// Faults, when non-nil, injects deterministic link faults (drop,
+	// duplication, corruption, delay) and scheduled rank crashes.  The mpi
+	// runtime reacts by enabling its reliability layer: checksums, ack
+	// timeouts with exponential backoff, and retransmission.
+	Faults *FaultPlan
 }
 
 // Size returns the number of ranks the cluster hosts.
