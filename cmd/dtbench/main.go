@@ -1,0 +1,27 @@
+// Command dtbench runs the datatype pack/unpack microbenchmark: the
+// interpreted streaming engines raced against the compiled-plan layer in
+// wall-clock time, plus the plan-cache behavior of a repeated VecScatter.
+// Results are printed as a table and written as JSON for tracking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nccd/internal/bench"
+)
+
+func main() {
+	jsonPath := flag.String("json", "BENCH_datatype.json", "output JSON path (empty to skip)")
+	flag.Parse()
+	d := bench.RunDatatypeBench()
+	d.Print(os.Stdout)
+	if *jsonPath != "" {
+		if err := d.WriteJSONFile(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dtbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -84,7 +85,7 @@ func (e *Experiment) Print(w io.Writer) {
 				if strings.Contains(s, "improvement") || strings.Contains(s, "%") {
 					unit = "%"
 				}
-				if strings.Contains(s, "cycles") || strings.Contains(s, "count") {
+				if strings.Contains(s, "cycles") || strings.Contains(s, "count") || strings.Contains(s, "alloc") {
 					unit = ""
 				}
 				txt = formatValue(v, unit)
@@ -131,6 +132,32 @@ func TimeSection(c *mpi.Comm, iters int, body func(it int)) float64 {
 	}
 	elapsed := c.Clock() - t0
 	return c.AllreduceScalar(elapsed, mpi.OpMax) / float64(iters)
+}
+
+// TimeSectionAllocs is TimeSection plus a heap-allocation figure: the mean
+// number of allocations per iteration, measured on rank 0's goroutine across
+// the whole world (Go heap counters are global, so concurrent ranks'
+// allocations are included — the figure is per-iteration for the world, not
+// per rank) and shared with every rank via a max-reduce.  Collective setup
+// should be warmed before calling so one-time plan compilation and buffer
+// growth are not charged to the steady state.
+func TimeSectionAllocs(c *mpi.Comm, iters int, body func(it int)) (sec, allocsPerIter float64) {
+	c.Barrier()
+	var m0, m1 runtime.MemStats
+	if c.Rank() == 0 {
+		runtime.ReadMemStats(&m0)
+	}
+	t0 := c.Clock()
+	for it := 0; it < iters; it++ {
+		body(it)
+	}
+	elapsed := c.Clock() - t0
+	if c.Rank() == 0 {
+		runtime.ReadMemStats(&m1)
+	}
+	sec = c.AllreduceScalar(elapsed, mpi.OpMax) / float64(iters)
+	allocsPerIter = c.AllreduceScalar(float64(m1.Mallocs-m0.Mallocs)/float64(iters), mpi.OpMax)
+	return sec, allocsPerIter
 }
 
 // SortedKeys returns the sorted keys of a series map (test helper).

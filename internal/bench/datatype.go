@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"nccd/internal/core"
+	"nccd/internal/datatype"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+)
+
+// The datatype microbenchmark measures the pack/unpack hot path in real
+// (wall-clock) time, unlike the figure runners which operate in virtual
+// time: the compiled-plan layer is a genuine implementation optimization,
+// so its effect is on the host CPU, not on the simulated network.
+
+// DatatypeBenchRow is one (operation, engine, workload) measurement.
+type DatatypeBenchRow struct {
+	Name        string  `json:"name"`
+	Op          string  `json:"op"`     // "pack" or "unpack"
+	Engine      string  `json:"engine"` // single-context | dual-context | compiled-plan
+	Bytes       int     `json:"bytes"`
+	Segments    int     `json:"segments"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// PlanCacheReport summarizes plan-cache traffic for the JSON report.
+type PlanCacheReport struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// DatatypeBench is the full microbenchmark report, serializable as
+// BENCH_datatype.json.
+type DatatypeBench struct {
+	Rows         []DatatypeBenchRow `json:"benchmarks"`
+	ScatterCache PlanCacheReport    `json:"vecscatter_plan_cache"`
+}
+
+// dtWorkload is one noncontiguous layout the engines are raced over.
+type dtWorkload struct {
+	name string
+	ty   *datatype.Type
+}
+
+func dtWorkloads() []dtWorkload {
+	return []dtWorkload{
+		// Strided 16-byte blocks, the scatter hot-path shape, below the
+		// parallel cutoff (serial tight loop).
+		{"strided-64KiB", datatype.Vector(4096, 2, 4, datatype.Double)},
+		{"strided-256KiB", datatype.Vector(16384, 2, 4, datatype.Double)},
+		// The paper's Figure 6 nested transpose type; large enough to cross
+		// the parallel cutoffs.
+		{"transpose-256", TransposeType(256)},
+		// Worst-case sparsity: 8-byte segments, 2 MiB of data, parallel.
+		{"sparse-2MiB", datatype.Vector(1<<18, 1, 2, datatype.Double)},
+	}
+}
+
+// measureReal times f in wall-clock terms, returning ns/op, MB/s and heap
+// allocations per op.  f is warmed once before measurement.
+func measureReal(nbytes int, f func()) (nsPerOp, mbPerSec, allocsPerOp float64) {
+	f() // warm: pools, plan compilation, page faults
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		dt := time.Since(start)
+		if dt > 20*time.Millisecond || iters >= 1<<16 {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			runtime.ReadMemStats(&m1)
+			ns := float64(dt.Nanoseconds()) / float64(iters)
+			return ns, float64(nbytes) / ns * 1e3, float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+		}
+		iters *= 2
+	}
+}
+
+// RunDatatypeBench races the interpreted streaming engines against the
+// compiled-plan layer on pack and unpack over representative layouts, then
+// measures plan-cache behavior of a repeated compiled-engine VecScatter.
+func RunDatatypeBench() *DatatypeBench {
+	out := &DatatypeBench{}
+	scratch := make([]byte, 1<<20)
+	for _, wl := range dtWorkloads() {
+		ty := wl.ty
+		plan := datatype.PlanFor(ty, 1)
+		src := make([]byte, datatype.RequiredBytes(ty, 1))
+		for i := range src {
+			src[i] = byte(i*131 + 17)
+		}
+		stream := make([]byte, plan.Bytes())
+
+		engines := []struct {
+			name string
+			pack func()
+		}{
+			{"single-context", func() { drainEngineInto(datatype.SingleContext, ty, src, stream, scratch) }},
+			{"dual-context", func() { drainEngineInto(datatype.DualContext, ty, src, stream, scratch) }},
+			{"compiled-plan", func() { plan.Pack(src, stream) }},
+		}
+		for _, eng := range engines {
+			ns, mb, al := measureReal(plan.Bytes(), eng.pack)
+			out.Rows = append(out.Rows, DatatypeBenchRow{
+				Name: "pack/" + eng.name + "/" + wl.name, Op: "pack", Engine: eng.name,
+				Bytes: plan.Bytes(), Segments: plan.NumSegments(),
+				NsPerOp: ns, MBPerSec: mb, AllocsPerOp: al,
+			})
+		}
+
+		unpackers := []struct {
+			name   string
+			unpack func()
+		}{
+			{"single-context", func() {
+				u := datatype.NewUnpacker(ty, 1, src)
+				pipe := datatype.DefaultOptions.Pipeline
+				for o := 0; o < len(stream); o += pipe {
+					end := o + pipe
+					if end > len(stream) {
+						end = len(stream)
+					}
+					u.Consume(stream[o:end])
+				}
+			}},
+			{"compiled-plan", func() { plan.Unpack(src, stream) }},
+		}
+		for _, eng := range unpackers {
+			ns, mb, al := measureReal(plan.Bytes(), eng.unpack)
+			out.Rows = append(out.Rows, DatatypeBenchRow{
+				Name: "unpack/" + eng.name + "/" + wl.name, Op: "unpack", Engine: eng.name,
+				Bytes: plan.Bytes(), Segments: plan.NumSegments(),
+				NsPerOp: ns, MBPerSec: mb, AllocsPerOp: al,
+			})
+		}
+	}
+	out.ScatterCache = measureScatterCache()
+	return out
+}
+
+// drainEngineInto packs ty from src into dst with a streaming engine,
+// resolving direct chunks the way the send path does.
+func drainEngineInto(kind datatype.EngineKind, ty *datatype.Type, src, dst, scratch []byte) {
+	p := datatype.NewPacker(kind, ty, 1, src, datatype.Options{})
+	n := 0
+	for {
+		c, ok := p.NextChunk(scratch)
+		if !ok {
+			return
+		}
+		if c.Direct {
+			for _, s := range c.Segs {
+				copy(dst[n:], src[s.Off:s.Off+s.Len])
+				n += s.Len
+			}
+		} else {
+			copy(dst[n:], c.Data)
+			n += len(c.Data)
+		}
+	}
+}
+
+// measureScatterCache runs a repeated compiled-engine VecScatter and
+// reports the package plan-cache counters: after the first iteration
+// compiles, every further scatter must be a cache hit.
+func measureScatterCache() PlanCacheReport {
+	datatype.ResetPlanCache()
+	const n, iters = 4, 16
+	m := 1 << 13
+	w := core.NewPaperWorld(n, mpi.Compiled())
+	err := w.Run(func(c *mpi.Comm) error {
+		me := c.Rank()
+		dst := n - 1 - me
+		evens := make([]int, m/2)
+		odds := make([]int, m/2)
+		for k := range evens {
+			evens[k] = 2 * k
+			odds[k] = 2*k + 1
+		}
+		plan := petsc.Plan{
+			Sends: []petsc.PeerIndices{{Peer: dst, Local: evens}},
+			Recvs: []petsc.PeerIndices{{Peer: dst, Local: odds}},
+		}
+		sc := petsc.NewScatterFromPlan(c, m, m, plan, petsc.ScatterDatatype)
+		x := make([]float64, m)
+		y := make([]float64, m)
+		for it := 0; it < iters; it++ {
+			sc.DoArrays(x, y)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := datatype.PlanCacheStats()
+	r := PlanCacheReport{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions}
+	if total := s.Hits + s.Misses; total > 0 {
+		r.HitRate = float64(s.Hits) / float64(total)
+	}
+	return r
+}
+
+// Print renders the microbenchmark as an aligned table.
+func (d *DatatypeBench) Print(w io.Writer) {
+	fmt.Fprintln(w, "DATATYPE: pack/unpack engines, wall-clock")
+	fmt.Fprintf(w, "  %-38s %12s %12s %12s %10s\n", "benchmark", "bytes", "ns/op", "MB/s", "allocs/op")
+	for _, r := range d.Rows {
+		fmt.Fprintf(w, "  %-38s %12d %12.0f %12.0f %10.1f\n", r.Name, r.Bytes, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
+	}
+	fmt.Fprintf(w, "  vecscatter plan cache: %d hits / %d misses (hit rate %.0f%%)\n\n",
+		d.ScatterCache.Hits, d.ScatterCache.Misses, 100*d.ScatterCache.HitRate)
+}
+
+// WriteJSON emits the report as indented JSON.
+func (d *DatatypeBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// WriteJSONFile writes the report to path (e.g. BENCH_datatype.json).
+func (d *DatatypeBench) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

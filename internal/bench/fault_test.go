@@ -24,20 +24,18 @@ func runWorkload(t *testing.T, n int, cfg mpi.Config, fp *simnet.FaultPlan, f fu
 	return outs
 }
 
-// TestEWorkloadsBytewiseUnderFaults checks the acceptance property on the
-// paper's own workloads: the E3/E4 outlier Allgatherv, the E5 ring
-// Alltoallw, the E6 vector scatter and the E7 multigrid solve all produce
-// bytewise-identical data under ~1% message loss + duplication.  (The RMA
-// scatter backend is excluded: its AnySource matching makes arrival order,
-// not data, part of the observable trace.)
-func TestEWorkloadsBytewiseUnderFaults(t *testing.T) {
-	const n = 8
-	fp := &simnet.FaultPlan{Seed: 42, Drop: 0.01, Duplicate: 0.01}
+// eWorkload is one of the paper's experiment workloads, returning each
+// rank's observable output bytes for bytewise comparison across runtime
+// configurations (fault injection, engine choice).
+type eWorkload struct {
+	name string
+	f    func(*mpi.Comm) []byte
+}
 
-	workloads := []struct {
-		name string
-		f    func(*mpi.Comm) []byte
-	}{
+// eWorkloadSet returns the E3–E7 workloads for an n-rank world: outlier
+// Allgatherv, ring Alltoallw, vector scatter, multigrid solve.
+func eWorkloadSet(n int) []eWorkload {
+	return []eWorkload{
 		{"E3-allgatherv-outlier", func(c *mpi.Comm) []byte {
 			counts := make([]int, n)
 			for i := range counts {
@@ -127,8 +125,19 @@ func TestEWorkloadsBytewiseUnderFaults(t *testing.T) {
 			return out
 		}},
 	}
+}
 
-	for _, wl := range workloads {
+// TestEWorkloadsBytewiseUnderFaults checks the acceptance property on the
+// paper's own workloads: the E3/E4 outlier Allgatherv, the E5 ring
+// Alltoallw, the E6 vector scatter and the E7 multigrid solve all produce
+// bytewise-identical data under ~1% message loss + duplication.  (The RMA
+// scatter backend is excluded: its AnySource matching makes arrival order,
+// not data, part of the observable trace.)
+func TestEWorkloadsBytewiseUnderFaults(t *testing.T) {
+	const n = 8
+	fp := &simnet.FaultPlan{Seed: 42, Drop: 0.01, Duplicate: 0.01}
+
+	for _, wl := range eWorkloadSet(n) {
 		t.Run(wl.name, func(t *testing.T) {
 			clean := runWorkload(t, n, mpi.Optimized(), nil, wl.f)
 			faulty := runWorkload(t, n, mpi.Optimized(), fp, wl.f)

@@ -29,9 +29,24 @@ var DefaultVecScatterParams = VecScatterParams{PerRankDoubles: 1 << 16, Iters: 5
 // strided (noncontiguous) message to one peer and nothing to everyone else
 // — the extreme nonuniform-volume case.
 func RunVecScatter(n int, p VecScatterParams, arm core.Arm) float64 {
+	r := RunVecScatterStats(n, p, arm)
+	return r.Latency
+}
+
+// VecScatterResult carries the scatter latency together with the mean heap
+// allocations per scatter iteration (whole world; see TimeSectionAllocs).
+type VecScatterResult struct {
+	Latency     float64
+	AllocsPerOp float64
+}
+
+// RunVecScatterStats is RunVecScatter plus an allocation count for the
+// steady-state loop: the first scatter (plan compilation, buffer growth) is
+// warmed before counting starts.
+func RunVecScatterStats(n int, p VecScatterParams, arm core.Arm) VecScatterResult {
 	w := core.NewPaperWorld(n, arm.Config)
 	m := p.PerRankDoubles
-	var out float64
+	var out VecScatterResult
 	err := w.Run(func(c *mpi.Comm) error {
 		me := c.Rank()
 		dst := n - 1 - me
@@ -52,7 +67,8 @@ func RunVecScatter(n int, p VecScatterParams, arm core.Arm) float64 {
 		for i := range x {
 			x[i] = float64(me*m + i)
 		}
-		lat := TimeSection(c, p.Iters, func(int) {
+		sc.DoArrays(x, y) // warm: compile plans, size staging buffers
+		lat, allocs := TimeSectionAllocs(c, p.Iters, func(int) {
 			sc.DoArrays(x, y)
 		})
 		// Sanity: the first received element must be the peer's first
@@ -61,7 +77,7 @@ func RunVecScatter(n int, p VecScatterParams, arm core.Arm) float64 {
 			return fmt.Errorf("scatter produced wrong data: y[1]=%v want %v", y[1], float64(dst*m))
 		}
 		if me == 0 {
-			out = lat
+			out = VecScatterResult{Latency: lat, AllocsPerOp: allocs}
 		}
 		return nil
 	})
@@ -82,17 +98,23 @@ func Fig16(procs []int, p VecScatterParams) *Experiment {
 		Series: []string{
 			"MVAPICH2-0.9.5", "MVAPICH2-New", "hand-tuned",
 			"improvement(New)", "improvement(hand)",
+			"allocs(New)", "allocs(hand)",
 		},
 		Expect: "baseline degrades sharply with process count; optimized improvement >95% at 128; hand-tuned ~4% ahead of optimized",
 	}
 	for _, n := range procs {
 		vals := map[string]float64{}
+		var allocs = map[string]float64{}
 		for _, arm := range core.Arms() {
-			vals[arm.Name] = RunVecScatter(n, p, arm) * 1e3
+			r := RunVecScatterStats(n, p, arm)
+			vals[arm.Name] = r.Latency * 1e3
+			allocs[arm.Name] = r.AllocsPerOp
 		}
 		base := vals["MVAPICH2-0.9.5"]
 		vals["improvement(New)"] = Improvement(base, vals["MVAPICH2-New"])
 		vals["improvement(hand)"] = Improvement(base, vals["hand-tuned"])
+		vals["allocs(New)"] = allocs["MVAPICH2-New"]
+		vals["allocs(hand)"] = allocs["hand-tuned"]
 		e.Add(fmt.Sprintf("%d", n), vals)
 	}
 	return e

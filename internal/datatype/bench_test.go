@@ -1,0 +1,92 @@
+package datatype
+
+import "testing"
+
+// Benchmarks racing the compiled-plan layer against the interpreted
+// streaming engines on the scatter hot-path shape: 16-byte blocks on a
+// 32-byte stride.  SetBytes makes `go test -bench` report MB/s directly.
+
+func strided256K() *Type { return Vector(16384, 2, 4, Double) }
+
+func benchPackEngine(b *testing.B, kind EngineKind) {
+	ty := strided256K()
+	buf := mkbuf(ty, 1)
+	dst := make([]byte, ty.Size())
+	scratch := make([]byte, 1<<16)
+	b.SetBytes(int64(ty.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacker(kind, ty, 1, buf, Options{})
+		n := 0
+		for {
+			c, ok := p.NextChunk(scratch)
+			if !ok {
+				break
+			}
+			if c.Direct {
+				for _, s := range c.Segs {
+					copy(dst[n:], buf[s.Off:s.Off+s.Len])
+					n += s.Len
+				}
+			} else {
+				copy(dst[n:], c.Data)
+				n += len(c.Data)
+			}
+		}
+	}
+}
+
+func BenchmarkPackSingleContext256K(b *testing.B) { benchPackEngine(b, SingleContext) }
+func BenchmarkPackDualContext256K(b *testing.B)   { benchPackEngine(b, DualContext) }
+
+func BenchmarkPackCompiledPlan256K(b *testing.B) {
+	ty := strided256K()
+	buf := mkbuf(ty, 1)
+	p := PlanFor(ty, 1)
+	dst := make([]byte, p.Bytes())
+	b.SetBytes(int64(p.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Pack(buf, dst)
+	}
+}
+
+func BenchmarkUnpackCompiledPlan256K(b *testing.B) {
+	ty := strided256K()
+	buf := mkbuf(ty, 1)
+	p := PlanFor(ty, 1)
+	stream := make([]byte, p.Bytes())
+	p.Pack(buf, stream)
+	b.SetBytes(int64(p.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Unpack(buf, stream)
+	}
+}
+
+func BenchmarkPackCompiledPlanParallel2M(b *testing.B) {
+	ty := Vector(1<<18, 1, 2, Double) // 2 MiB in 8-byte segments
+	buf := mkbuf(ty, 1)
+	p := PlanFor(ty, 1)
+	dst := make([]byte, p.Bytes())
+	p.Pack(buf, dst) // start the worker pool outside the timed region
+	b.SetBytes(int64(p.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Pack(buf, dst)
+	}
+}
+
+func BenchmarkPlanForCacheHit(b *testing.B) {
+	ty := strided256K()
+	PlanFor(ty, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PlanFor(ty, 1)
+	}
+}

@@ -30,13 +30,23 @@ const (
 	SingleContext EngineKind = iota
 	// DualContext is the paper's dual-context look-ahead engine.
 	DualContext
+	// CompiledPlans packs from a cached compiled Plan (see plan.go): the
+	// type tree is flattened once per (type, count), density is classified
+	// once per plan instead of per chunk, and steady-state chunks are tight
+	// copy loops with no traversal, no look-ahead scans and no searches.
+	CompiledPlans
 )
 
 func (k EngineKind) String() string {
-	if k == SingleContext {
+	switch k {
+	case SingleContext:
 		return "single-context"
+	case DualContext:
+		return "dual-context"
+	case CompiledPlans:
+		return "compiled-plan"
 	}
-	return "dual-context"
+	return "unknown-engine"
 }
 
 // Options tunes a pack engine.  The zero value selects the defaults below.
@@ -117,46 +127,68 @@ type Chunk struct {
 // Packer turns count instances of a datatype laid out in buf into a chunk
 // stream.  Create one per message; a Packer is not safe for concurrent use.
 type Packer struct {
-	kind EngineKind
-	opt  Options
-	buf  []byte
-	cur  *Cursor
-	m    Metrics
+	kind  EngineKind
+	opt   Options
+	buf   []byte
+	cur   *Cursor // streaming engines; nil on the compiled-plan path
+	total int64
+	m     Metrics
 
 	scratchSegs []Segment
+
+	// compiled-plan path state: a shared immutable plan plus this packer's
+	// position in it (segment index, offset within that segment).
+	plan      *Plan
+	planIdx   int
+	planOff   int
+	planDone  int64
+	planDense bool
 }
 
 // NewPacker returns a Packer over count instances of t stored in buf.
-// buf must be at least count*t.Extent() bytes (zero-size types excepted).
+// buf must cover the type map's span (extent-spaced instances plus the last
+// instance's true span; zero-size types excepted).
 func NewPacker(kind EngineKind, t *Type, count int, buf []byte, opt Options) *Packer {
 	opt = opt.withDefaults()
-	if need := requiredBytes(t, count); len(buf) < need {
+	if need := RequiredBytes(t, count); len(buf) < need {
 		panic("datatype: buffer smaller than type map extent")
 	}
-	return &Packer{
-		kind: kind,
-		opt:  opt,
-		buf:  buf,
-		cur:  NewCursor(t, count),
+	p := &Packer{
+		kind:  kind,
+		opt:   opt,
+		buf:   buf,
+		total: int64(t.size) * int64(count),
 	}
+	if kind == CompiledPlans {
+		p.plan = PlanFor(t, count)
+		p.planDense = p.plan.AvgSegment() >= float64(opt.DenseThreshold)
+	} else {
+		p.cur = NewCursor(t, count)
+	}
+	return p
 }
 
-func requiredBytes(t *Type, count int) int {
+// RequiredBytes returns the minimum buffer length holding count instances of
+// t: count-1 extent-spaced instances plus the final instance's true span.
+// Size, extent and span are memoized on the Type at construction, so this
+// never walks the tree.
+func RequiredBytes(t *Type, count int) int {
 	if count == 0 || t.size == 0 {
 		return 0
 	}
-	// The final instance needs only its true span, but extent-spacing is
-	// the common case and the simple bound is fine for validation.
-	return (count-1)*t.extent + t.extent
+	return (count-1)*t.extent + t.span
 }
 
 // Remaining reports whether more chunks are available.
-func (p *Packer) Remaining() bool { return !p.cur.Done() }
+func (p *Packer) Remaining() bool {
+	if p.plan != nil {
+		return p.planDone < p.total
+	}
+	return !p.cur.Done()
+}
 
 // TotalBytes returns the total data size of the message.
-func (p *Packer) TotalBytes() int64 {
-	return int64(p.cur.root.size) * int64(p.cur.count)
-}
+func (p *Packer) TotalBytes() int64 { return p.total }
 
 // Metrics returns the work counters accumulated so far.
 func (p *Packer) Metrics() Metrics { return p.m }
@@ -165,7 +197,7 @@ func (p *Packer) Metrics() Metrics { return p.m }
 // Options.Pipeline bytes; packed chunks alias it.  ok is false when the
 // type map is exhausted.
 func (p *Packer) NextChunk(scratch []byte) (c Chunk, ok bool) {
-	if p.cur.Done() {
+	if !p.Remaining() {
 		return Chunk{}, false
 	}
 	if len(scratch) < p.opt.Pipeline {
@@ -178,8 +210,51 @@ func (p *Packer) NextChunk(scratch []byte) (c Chunk, ok bool) {
 		return p.nextSingle(scratch), true
 	case DualContext:
 		return p.nextDual(scratch), true
+	case CompiledPlans:
+		return p.nextPlan(scratch), true
 	}
 	panic("datatype: unknown engine kind")
+}
+
+// nextPlan serves chunks from the compiled segment list.  The dense/sparse
+// classification was hoisted out of the loop at plan compile time: dense
+// plans emit whole-segment windows straight out of the shared segment slice
+// (zero copy, zero allocation), sparse plans run the tight gather loop.
+func (p *Packer) nextPlan(scratch []byte) Chunk {
+	segs := p.plan.segs
+	if p.planDense && p.planOff == 0 {
+		end := p.planIdx + p.opt.LookAhead
+		if end > len(segs) {
+			end = len(segs)
+		}
+		out := segs[p.planIdx:end]
+		bytes := p.plan.dstOff[end-1] + segs[end-1].Len - p.plan.dstOff[p.planIdx]
+		p.planIdx = end
+		p.planDone += int64(bytes)
+		p.m.DirectBytes += int64(bytes)
+		p.m.DirectSegments += int64(len(out))
+		return Chunk{Segs: out, Direct: true, Bytes: bytes}
+	}
+	budget := p.opt.Pipeline
+	n := 0
+	for n < budget && p.planIdx < len(segs) {
+		s := segs[p.planIdx]
+		l := s.Len - p.planOff
+		if l > budget-n {
+			l = budget - n
+		}
+		copy(scratch[n:n+l], p.buf[s.Off+p.planOff:s.Off+p.planOff+l])
+		n += l
+		p.planOff += l
+		if p.planOff == s.Len {
+			p.planIdx++
+			p.planOff = 0
+		}
+		p.m.PackedSegments++
+	}
+	p.planDone += int64(n)
+	p.m.PackedBytes += int64(n)
+	return Chunk{Data: scratch[:n], Bytes: n}
 }
 
 // nextSingle is the baseline: look-ahead consumes the only context; the
@@ -264,7 +339,7 @@ type Unpacker struct {
 
 // NewUnpacker returns an Unpacker writing into count instances of t in buf.
 func NewUnpacker(t *Type, count int, buf []byte) *Unpacker {
-	if need := requiredBytes(t, count); len(buf) < need {
+	if need := RequiredBytes(t, count); len(buf) < need {
 		panic("datatype: buffer smaller than type map extent")
 	}
 	return &Unpacker{buf: buf, cur: NewCursor(t, count)}
@@ -303,10 +378,21 @@ func (u *Unpacker) BytesWritten() int64 { return u.cur.BytesEmitted() }
 func (u *Unpacker) Metrics() Metrics { return u.m }
 
 // Pack is a convenience that packs count instances of t from buf into a
-// single contiguous byte slice using the dual-context engine.
+// single contiguous byte slice.  It goes through the compiled-plan layer
+// (cached per layout); use NewPacker with an explicit engine kind to
+// exercise the streaming engines.
 func Pack(t *Type, count int, buf []byte) []byte {
+	p := PlanFor(t, count)
+	out := make([]byte, p.Bytes())
+	p.Pack(buf, out)
+	return out
+}
+
+// PackEngine packs count instances of t from buf with the given streaming
+// engine — the interpreted oracle plan-based packing is tested against.
+func PackEngine(kind EngineKind, t *Type, count int, buf []byte) []byte {
 	out := make([]byte, 0, int64(t.Size())*int64(count))
-	p := NewPacker(DualContext, t, count, buf, Options{})
+	p := NewPacker(kind, t, count, buf, Options{})
 	scratch := make([]byte, DefaultOptions.Pipeline)
 	for {
 		c, ok := p.NextChunk(scratch)
@@ -325,11 +411,12 @@ func Pack(t *Type, count int, buf []byte) []byte {
 }
 
 // Unpack is a convenience that scatters packed data into count instances of
-// t in buf.  It panics if data does not exactly fill the type map.
+// t in buf through the compiled-plan layer.  It panics if data does not
+// exactly fill the type map.
 func Unpack(t *Type, count int, buf []byte, data []byte) {
-	u := NewUnpacker(t, count, buf)
-	u.Consume(data)
-	if got, want := u.BytesWritten(), int64(t.Size())*int64(count); got != want {
+	p := PlanFor(t, count)
+	if len(data) != p.Bytes() {
 		panic("datatype: unpack underflow: data does not fill type map")
 	}
+	p.Unpack(buf, data)
 }

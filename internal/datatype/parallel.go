@@ -1,0 +1,115 @@
+package datatype
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel pack/unpack.  Large plans shard their segment list into
+// byte-balanced contiguous ranges and hand each range to a persistent,
+// GOMAXPROCS-bounded worker pool.  Every segment's packed-stream offset is
+// precomputed at compile time, so shards are fully independent and need no
+// coordination beyond a completion WaitGroup.  Tasks are plain value structs
+// on a channel and the WaitGroups are pooled, keeping the steady state free
+// of allocations.
+const (
+	// parallelMinBytes is the size cutoff below which packing stays serial:
+	// handing work to the pool costs a few microseconds, which only pays
+	// off once the copy itself dominates.
+	parallelMinBytes = 1 << 20
+	// parallelMinSegs keeps nearly contiguous plans serial regardless of
+	// size — a handful of large memcpys does not benefit from sharding.
+	parallelMinSegs = 256
+	// maxPackWorkers bounds the pool even on very wide machines; past this
+	// the copies are memory-bandwidth-bound anyway.
+	maxPackWorkers = 32
+)
+
+type copyTask struct {
+	segs   []Segment
+	dstOff []int
+	user   []byte
+	stream []byte
+	unpack bool
+	wg     *sync.WaitGroup
+}
+
+var packPool struct {
+	once    sync.Once
+	workers int
+	tasks   chan copyTask
+}
+
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// packWorkers returns the worker count, starting the pool on first use.
+func packWorkers() int {
+	packPool.once.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n > maxPackWorkers {
+			n = maxPackWorkers
+		}
+		if n < 1 {
+			n = 1
+		}
+		packPool.workers = n
+		packPool.tasks = make(chan copyTask, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range packPool.tasks {
+					copySegments(t.segs, t.dstOff, t.user, t.stream, t.unpack)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+	return packPool.workers
+}
+
+// parallelCopy shards [segs, dstOff] into byte-balanced ranges and runs them
+// on the pool.  The caller's goroutine takes the final shard itself, so the
+// pool only ever carries workers-1 handoffs and a 1-worker pool degenerates
+// to the serial loop.
+func parallelCopy(segs []Segment, dstOff []int, total int, user, stream []byte, unpack bool) {
+	w := packWorkers()
+	if w == 1 {
+		copySegments(segs, dstOff, user, stream, unpack)
+		return
+	}
+	wg := wgPool.Get().(*sync.WaitGroup)
+	prev := 0
+	for i := 1; i < w; i++ {
+		// Boundary: first segment at or past an even byte split.
+		end := searchOff(dstOff, prev, total/w*i)
+		if end <= prev {
+			continue
+		}
+		wg.Add(1)
+		packPool.tasks <- copyTask{
+			segs: segs[prev:end], dstOff: dstOff[prev:end],
+			user: user, stream: stream, unpack: unpack, wg: wg,
+		}
+		prev = end
+	}
+	if prev < len(segs) {
+		copySegments(segs[prev:], dstOff[prev:], user, stream, unpack)
+	}
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// searchOff returns the index of the first element of dstOff[from:] at or
+// past target, as an absolute index.  Hand-rolled binary search so the hot
+// path carries no closure allocation (sort.Search would).
+func searchOff(dstOff []int, from, target int) int {
+	lo, hi := from, len(dstOff)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if dstOff[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,130 @@
+package datatype
+
+import "fmt"
+
+// This file implements the compiled-plan layer: a one-time flattener that
+// lowers any derived datatype — vector, indexed, struct, darray, arbitrarily
+// nested — into a canonical run list of (offset, length) segments with
+// adjacent runs merged, the representation TEMPI calls the canonical form of
+// a datatype.  Once compiled, steady-state Pack/Unpack are tight copy loops
+// over the precomputed segments: zero tree traversal, zero allocations.  The
+// interpreting engines in engine.go remain as the streaming fallback and as
+// the correctness oracle the plan layer is property-tested against.
+
+// Plan is the compiled form of (type, count): the coalesced in-order segment
+// list of the full type map, plus the packed-stream offset of every segment
+// so pack and unpack can start from any shard independently.  A Plan is
+// immutable after compilation and safe for concurrent use.
+type Plan struct {
+	segs   []Segment
+	dstOff []int // packed-stream byte offset of segs[i]
+	bytes  int   // total data bytes (== type size * count)
+	span   int   // minimum source/destination buffer length
+	count  int
+	sig    uint64 // cache key component, for diagnostics
+}
+
+// CompilePlan flattens count instances of t into a Plan.  Compilation walks
+// the tree once (O(blocks)); every subsequent Pack/Unpack touches only the
+// flat segment list.  Most callers should use PlanFor, which memoizes plans
+// in the package LRU cache.
+func CompilePlan(t *Type, count int) *Plan {
+	if t == nil {
+		panic("datatype: nil type")
+	}
+	if count < 0 {
+		panic("datatype: negative count")
+	}
+	segs := Flatten(t, count)
+	p := &Plan{
+		segs:   segs,
+		dstOff: make([]int, len(segs)),
+		count:  count,
+		span:   RequiredBytes(t, count),
+		sig:    t.sig,
+	}
+	off := 0
+	for i, s := range segs {
+		p.dstOff[i] = off
+		off += s.Len
+	}
+	p.bytes = off
+	if want := t.Size() * count; off != want {
+		panic(fmt.Sprintf("datatype: plan flattened to %d bytes, type map holds %d", off, want))
+	}
+	return p
+}
+
+// Bytes returns the total data size the plan moves.
+func (p *Plan) Bytes() int { return p.bytes }
+
+// NumSegments returns the number of coalesced segments in the plan.
+func (p *Plan) NumSegments() int { return len(p.segs) }
+
+// Count returns the instance count the plan was compiled for.
+func (p *Plan) Count() int { return p.count }
+
+// Segments returns the coalesced segment list.  The caller must not modify
+// it; plans are shared through the cache.
+func (p *Plan) Segments() []Segment { return p.segs }
+
+// AvgSegment returns the mean segment length in bytes, the figure the
+// density heuristic compares against the dense threshold.
+func (p *Plan) AvgSegment() float64 {
+	if len(p.segs) == 0 {
+		return 0
+	}
+	return float64(p.bytes) / float64(len(p.segs))
+}
+
+// Pack gathers the plan's segments of src into the contiguous stream dst.
+// dst must hold at least Bytes() bytes and src at least the type map span.
+// Large plans are sharded across the package worker pool; small ones run
+// serially on the caller's goroutine (see parallelMinBytes).
+func (p *Plan) Pack(src, dst []byte) {
+	p.check(src, dst)
+	p.run(src, dst, false)
+}
+
+// Unpack scatters the contiguous stream src into the plan's segments of
+// dst — the exact inverse of Pack.
+func (p *Plan) Unpack(dst, src []byte) {
+	p.check(dst, src)
+	p.run(dst, src, true)
+}
+
+func (p *Plan) check(user, stream []byte) {
+	if len(user) < p.span {
+		panic(fmt.Sprintf("datatype: plan buffer %d bytes, type map spans %d", len(user), p.span))
+	}
+	if len(stream) < p.bytes {
+		panic(fmt.Sprintf("datatype: plan stream %d bytes, need %d", len(stream), p.bytes))
+	}
+}
+
+// run executes the copy loop, sharding across the worker pool when the plan
+// is large enough to amortize handoff.  user is the noncontiguous buffer,
+// stream the contiguous one.
+func (p *Plan) run(user, stream []byte, unpack bool) {
+	if p.bytes < parallelMinBytes || len(p.segs) < parallelMinSegs {
+		copySegments(p.segs, p.dstOff, user, stream, unpack)
+		return
+	}
+	parallelCopy(p.segs, p.dstOff, p.bytes, user, stream, unpack)
+}
+
+// copySegments is the tight serial loop both the direct path and each
+// worker shard execute.
+func copySegments(segs []Segment, dstOff []int, user, stream []byte, unpack bool) {
+	if unpack {
+		for i, s := range segs {
+			o := dstOff[i]
+			copy(user[s.Off:s.Off+s.Len], stream[o:o+s.Len])
+		}
+		return
+	}
+	for i, s := range segs {
+		o := dstOff[i]
+		copy(stream[o:o+s.Len], user[s.Off:s.Off+s.Len])
+	}
+}

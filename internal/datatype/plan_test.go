@@ -1,0 +1,405 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPlanMatchesOracleRandomized property-tests the compiled-plan layer
+// against both interpreted streaming engines over randomized nested types:
+// the packed stream must be bytewise identical, and unpacking the stream
+// must restore every byte of the type map.
+func TestPlanMatchesOracleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		ty := randomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		buf := mkbuf(ty, count)
+		p := CompilePlan(ty, count)
+
+		dst := make([]byte, p.Bytes())
+		p.Pack(buf, dst)
+		for _, kind := range []EngineKind{SingleContext, DualContext} {
+			want := PackEngine(kind, ty, count, buf)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("trial %d (%v, count %d): plan stream differs from %v engine", trial, ty, count, kind)
+			}
+		}
+
+		back := make([]byte, len(buf))
+		p.Unpack(back, dst)
+		for _, s := range Flatten(ty, count) {
+			if !bytes.Equal(back[s.Off:s.Off+s.Len], buf[s.Off:s.Off+s.Len]) {
+				t.Fatalf("trial %d: segment %v differs after plan round trip", trial, s)
+			}
+		}
+	}
+}
+
+// TestPlanInvariants checks the compiled representation itself: prefix sums,
+// total bytes, and agreement with the flattener.
+func TestPlanInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		ty := randomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		p := CompilePlan(ty, count)
+		segs := Flatten(ty, count)
+		if p.NumSegments() != len(segs) {
+			t.Fatalf("trial %d: plan has %d segments, flatten %d", trial, p.NumSegments(), len(segs))
+		}
+		if p.Bytes() != ty.Size()*count {
+			t.Fatalf("trial %d: plan bytes %d, want %d", trial, p.Bytes(), ty.Size()*count)
+		}
+		if p.Count() != count {
+			t.Fatalf("trial %d: plan count %d, want %d", trial, p.Count(), count)
+		}
+		off := 0
+		for i, s := range p.Segments() {
+			if p.dstOff[i] != off {
+				t.Fatalf("trial %d: dstOff[%d] = %d, want %d", trial, i, p.dstOff[i], off)
+			}
+			off += s.Len
+		}
+	}
+}
+
+// TestPlanCoalescesContiguous confirms that a fully contiguous layout
+// compiles to a single segment even across instance repetitions.
+func TestPlanCoalescesContiguous(t *testing.T) {
+	p := CompilePlan(Contiguous(16, Double), 4)
+	if p.NumSegments() != 1 {
+		t.Fatalf("contiguous plan has %d segments, want 1", p.NumSegments())
+	}
+	if p.Bytes() != 16*8*4 {
+		t.Fatalf("contiguous plan bytes %d", p.Bytes())
+	}
+}
+
+// bigSparseType builds a plan crossing both parallel cutoffs: 1 MiB of data
+// in 8-byte segments (131072 segments, 2 MiB span).
+func bigSparseType() *Type {
+	return Vector(131072, 1, 2, Double)
+}
+
+// TestPlanParallelMatchesSerial drives a plan large enough to take the
+// worker-pool path and checks pack and unpack against the serial loop.
+func TestPlanParallelMatchesSerial(t *testing.T) {
+	ty := bigSparseType()
+	p := CompilePlan(ty, 1)
+	if p.Bytes() < parallelMinBytes || p.NumSegments() < parallelMinSegs {
+		t.Fatalf("test type does not cross the parallel cutoffs: %d bytes, %d segs", p.Bytes(), p.NumSegments())
+	}
+	src := mkbuf(ty, 1)
+
+	par := make([]byte, p.Bytes())
+	p.Pack(src, par) // crosses cutoffs -> parallel
+	ser := make([]byte, p.Bytes())
+	copySegments(p.segs, p.dstOff, src, ser, false)
+	if !bytes.Equal(par, ser) {
+		t.Fatal("parallel pack differs from serial pack")
+	}
+
+	dstPar := make([]byte, len(src))
+	p.Unpack(dstPar, ser)
+	dstSer := make([]byte, len(src))
+	copySegments(p.segs, p.dstOff, dstSer, ser, true)
+	if !bytes.Equal(dstPar, dstSer) {
+		t.Fatal("parallel unpack differs from serial unpack")
+	}
+}
+
+// TestPlanPackZeroAllocsSteadyState is the acceptance criterion: once a plan
+// is compiled and cached, pack/unpack and cache lookup allocate nothing.
+func TestPlanPackZeroAllocsSteadyState(t *testing.T) {
+	ty := Vector(2048, 2, 4, Double) // 32 KiB data: serial path
+	p := PlanFor(ty, 1)
+	src := mkbuf(ty, 1)
+	dst := make([]byte, p.Bytes())
+
+	if n := testing.AllocsPerRun(100, func() { p.Pack(src, dst) }); n != 0 {
+		t.Errorf("Pack allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { p.Unpack(src, dst) }); n != 0 {
+		t.Errorf("Unpack allocates %.1f per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { PlanFor(ty, 1) }); n != 0 {
+		t.Errorf("cached PlanFor allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestPlanParallelSteadyStateAllocs bounds the parallel path: after warmup
+// the pool hands off value-struct tasks and pooled WaitGroups only.
+func TestPlanParallelSteadyStateAllocs(t *testing.T) {
+	ty := bigSparseType()
+	p := CompilePlan(ty, 1)
+	src := mkbuf(ty, 1)
+	dst := make([]byte, p.Bytes())
+	p.Pack(src, dst) // warm the pool and the WaitGroup cache
+	if n := testing.AllocsPerRun(20, func() { p.Pack(src, dst) }); n > 1 {
+		t.Errorf("parallel Pack allocates %.1f per run, want <= 1", n)
+	}
+}
+
+// TestPlanCacheHitMissEviction exercises the LRU: hits promote, inserts past
+// capacity evict the least recently used entry.
+func TestPlanCacheHitMissEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	a := Vector(4, 1, 2, Double)
+	b := Vector(8, 1, 2, Double)
+	d := Vector(16, 1, 2, Double)
+
+	pa := c.Get(a, 1)      // miss
+	if c.Get(a, 1) != pa { // hit, same plan
+		t.Fatal("second Get returned a different plan")
+	}
+	c.Get(b, 1) // miss; cache {a,b}
+	c.Get(a, 1) // hit; a is MRU
+	c.Get(d, 1) // miss; evicts b
+	c.Get(b, 1) // miss again; evicts a
+
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 4 || s.Evictions != 2 || s.Size != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 4 misses / 2 evictions / size 2", s)
+	}
+}
+
+// TestPlanCacheStructuralSharing: independently built but structurally
+// identical types share one compiled plan, the way two ranks constructing
+// the same ghost layout should.
+func TestPlanCacheStructuralSharing(t *testing.T) {
+	c := NewPlanCache(8)
+	mk := func() *Type { return Vector(8, 2, 4, Contiguous(3, Double)) }
+	p1 := c.Get(mk(), 2)
+	p2 := c.Get(mk(), 2)
+	if p1 != p2 {
+		t.Fatal("structurally identical types compiled to distinct plans")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+// TestPlanCacheCountDistinct: the same type at different counts must occupy
+// distinct cache entries.
+func TestPlanCacheCountDistinct(t *testing.T) {
+	c := NewPlanCache(8)
+	ty := Vector(4, 1, 2, Double)
+	if c.Get(ty, 1) == c.Get(ty, 2) {
+		t.Fatal("counts 1 and 2 shared a plan")
+	}
+	if s := c.Stats(); s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses", s)
+	}
+}
+
+// TestPlanSignatureDistinguishesLayouts: types with equal size but different
+// layouts must not collide in the cache key.
+func TestPlanSignatureDistinguishesLayouts(t *testing.T) {
+	c := NewPlanCache(8)
+	a := Vector(8, 2, 4, Double)  // 8 blocks of 16 bytes
+	b := Vector(16, 1, 2, Double) // 16 blocks of 8 bytes; same size
+	if a.Size() != b.Size() {
+		t.Fatal("test types must have equal size")
+	}
+	pa, pb := c.Get(a, 1), c.Get(b, 1)
+	if pa == pb {
+		t.Fatal("different layouts shared a plan")
+	}
+	if pa.NumSegments() == pb.NumSegments() {
+		t.Fatal("expected different segment counts")
+	}
+}
+
+// TestRequiredBytesBounds: the memoized size bound must cover every flattened
+// segment and equal extent*count for types whose span equals their extent.
+func TestRequiredBytesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		ty := randomType(rng, 3)
+		count := 1 + rng.Intn(3)
+		need := RequiredBytes(ty, count)
+		maxEnd := 0
+		for _, s := range Flatten(ty, count) {
+			if end := s.Off + s.Len; end > maxEnd {
+				maxEnd = end
+			}
+		}
+		if need < maxEnd {
+			t.Fatalf("trial %d (%v): RequiredBytes %d < max segment end %d", trial, ty, need, maxEnd)
+		}
+		if ty.Size() > 0 && ty.Span() == ty.Extent() && need != ty.Extent()*count {
+			t.Fatalf("trial %d: RequiredBytes %d != extent*count %d", trial, need, ty.Extent()*count)
+		}
+	}
+}
+
+// TestRequiredBytesResized: a resized type's span can exceed its extent; the
+// bound must still cover the data of the last instance.
+func TestRequiredBytesResized(t *testing.T) {
+	inner := Contiguous(4, Double) // 32 bytes of data
+	shrunk := Resized(inner, 8)    // extent 8 < span 32
+	if got, want := RequiredBytes(shrunk, 3), 2*8+32; got != want {
+		t.Fatalf("RequiredBytes = %d, want %d", got, want)
+	}
+	// Packing count instances must not read past the reported bound.
+	buf := make([]byte, RequiredBytes(shrunk, 3))
+	fillPattern(buf)
+	p := CompilePlan(shrunk, 3)
+	out := make([]byte, p.Bytes())
+	p.Pack(buf, out)
+}
+
+// TestPlanThroughputVsInterpretedEngine is the headline acceptance check: at
+// a 256 KiB strided workload the compiled plan must pack at least 2x faster
+// than the interpreted single-context engine.  Timing-based, so it retries a
+// few times before declaring failure to ride out scheduler noise.
+func TestPlanThroughputVsInterpretedEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	ty := Vector(16384, 2, 4, Double) // 256 KiB data in 16-byte segments
+	buf := mkbuf(ty, 1)
+	p := CompilePlan(ty, 1)
+	dst := make([]byte, p.Bytes())
+	scratch := make([]byte, 1<<16)
+	const iters = 32
+
+	engineOnce := func() {
+		pk := NewPacker(SingleContext, ty, 1, buf, Options{})
+		n := 0
+		for {
+			c, ok := pk.NextChunk(scratch)
+			if !ok {
+				break
+			}
+			if c.Direct {
+				for _, s := range c.Segs {
+					copy(dst[n:], buf[s.Off:s.Off+s.Len])
+					n += s.Len
+				}
+			} else {
+				copy(dst[n:], c.Data)
+				n += len(c.Data)
+			}
+		}
+		if n != p.Bytes() {
+			t.Fatalf("engine packed %d bytes, want %d", n, p.Bytes())
+		}
+	}
+	planOnce := func() { p.Pack(buf, dst) }
+
+	measure := func(f func()) time.Duration {
+		f() // warm
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		return time.Since(start)
+	}
+
+	var engineT, planT time.Duration
+	for attempt := 0; attempt < 3; attempt++ {
+		engineT = measure(engineOnce)
+		planT = measure(planOnce)
+		if planT*2 <= engineT {
+			return
+		}
+	}
+	t.Errorf("plan pack %v not 2x faster than engine %v over %d iters", planT, engineT, iters)
+}
+
+// --- Unpacker.ConsumeSegments edge cases (satellite) ---
+
+// TestConsumeSegmentsZeroLength: zero-length segments in a direct chunk must
+// be no-ops, advancing nothing.
+func TestConsumeSegmentsZeroLength(t *testing.T) {
+	ty := Vector(4, 1, 2, Double) // 32 data bytes in 4 segments
+	dst := make([]byte, RequiredBytes(ty, 1))
+	u := NewUnpacker(ty, 1, dst)
+	src := mkbuf(ty, 1)
+	stream := referencePack(ty, 1, src)
+
+	u.ConsumeSegments(stream, []Segment{{0, 0}, {5, 0}})
+	if u.BytesWritten() != 0 || u.Done() {
+		t.Fatalf("zero-length segments advanced the unpacker: %d written", u.BytesWritten())
+	}
+	u.ConsumeSegments(stream, []Segment{{0, 16}, {16, 0}, {16, 16}})
+	if !u.Done() {
+		t.Fatalf("unpacker not done after full stream: %d written", u.BytesWritten())
+	}
+	for _, s := range Flatten(ty, 1) {
+		if !bytes.Equal(dst[s.Off:s.Off+s.Len], src[s.Off:s.Off+s.Len]) {
+			t.Fatalf("segment %v differs", s)
+		}
+	}
+}
+
+// TestConsumeSegmentsPartialTrailing: chunk boundaries that split receive-map
+// segments mid-run must still land every byte.
+func TestConsumeSegmentsPartialTrailing(t *testing.T) {
+	ty := Vector(4, 1, 2, Double)
+	dst := make([]byte, RequiredBytes(ty, 1))
+	u := NewUnpacker(ty, 1, dst)
+	src := mkbuf(ty, 1)
+	stream := referencePack(ty, 1, src)
+
+	// 5+9+3+15 = 32: every boundary lands mid-segment of the receive map.
+	cuts := []Segment{{0, 5}, {5, 9}, {14, 3}, {17, 15}}
+	for _, c := range cuts {
+		u.ConsumeSegments(stream, []Segment{c})
+	}
+	if !u.Done() {
+		t.Fatalf("unpacker not done: %d of 32 written", u.BytesWritten())
+	}
+	for _, s := range Flatten(ty, 1) {
+		if !bytes.Equal(dst[s.Off:s.Off+s.Len], src[s.Off:s.Off+s.Len]) {
+			t.Fatalf("segment %v differs", s)
+		}
+	}
+}
+
+// TestConsumeSegmentsCountGreaterThanOne: segments crossing instance
+// boundaries of a count>1 receive map.
+func TestConsumeSegmentsCountGreaterThanOne(t *testing.T) {
+	ty := Vector(2, 1, 2, Double) // 16 data bytes per instance
+	const count = 3
+	dst := make([]byte, RequiredBytes(ty, count))
+	u := NewUnpacker(ty, count, dst)
+	src := mkbuf(ty, count)
+	stream := referencePack(ty, count, src)
+
+	// One segment spans the 1st/2nd instance boundary, another the 2nd/3rd.
+	u.ConsumeSegments(stream, []Segment{{0, 20}, {20, 20}, {40, 8}})
+	if !u.Done() {
+		t.Fatalf("unpacker not done: %d of %d written", u.BytesWritten(), len(stream))
+	}
+	for _, s := range Flatten(ty, count) {
+		if !bytes.Equal(dst[s.Off:s.Off+s.Len], src[s.Off:s.Off+s.Len]) {
+			t.Fatalf("segment %v differs", s)
+		}
+	}
+}
+
+// --- buffer pool ---
+
+func TestBufferPoolSizes(t *testing.T) {
+	if GetBuffer(0) != nil {
+		t.Fatal("GetBuffer(0) != nil")
+	}
+	for _, n := range []int{1, 63, 64, 65, 1000, 1 << 16, 1<<26 + 1} {
+		b := GetBuffer(n)
+		if len(b) != n {
+			t.Fatalf("GetBuffer(%d) has len %d", n, len(b))
+		}
+		PutBuffer(b)
+	}
+	// Odd capacities must be rejected silently, not corrupt a class.
+	PutBuffer(make([]byte, 100, 100))
+	b := GetBuffer(100)
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("GetBuffer(100) len %d cap %d, want 100/128", len(b), cap(b))
+	}
+}

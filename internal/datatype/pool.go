@@ -1,0 +1,58 @@
+package datatype
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed byte-buffer pool shared by the datatype layer (pack scratch,
+// plan streams) and internal/mpi (wire and envelope assembly on the
+// reliable send path).  Buffers are pooled per power-of-two class; Get
+// returns a slice of exactly the requested length backed by a pooled array.
+// Putting a buffer whose contents may still be referenced elsewhere is the
+// caller's bug — the mpi layer only returns wire buffers after the receive
+// side has fully consumed them.
+
+const (
+	minPoolClass = 6  // 64 B — below this, pooling costs more than malloc
+	maxPoolClass = 26 // 64 MiB — larger buffers go to the GC directly
+)
+
+var bufPools [maxPoolClass + 1]sync.Pool
+
+func poolClass(n int) int {
+	if n <= 1<<minPoolClass {
+		return minPoolClass
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetBuffer returns a byte slice of length n from the pool.  Contents are
+// unspecified; callers must overwrite every byte they read back.
+func GetBuffer(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	c := poolClass(n)
+	if c > maxPoolClass {
+		return make([]byte, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	b := make([]byte, 1<<c)
+	return b[:n]
+}
+
+// PutBuffer returns b's backing array to the pool.  b must no longer be
+// referenced by any other holder.  Buffers that did not come from GetBuffer
+// are accepted if their capacity is an exact size class; others (and nil)
+// are dropped for the GC.
+func PutBuffer(b []byte) {
+	c := cap(b)
+	if c < 1<<minPoolClass || c > 1<<maxPoolClass || c&(c-1) != 0 {
+		return
+	}
+	b = b[:c]
+	bufPools[poolClass(c)].Put(&b)
+}

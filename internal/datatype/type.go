@@ -53,8 +53,10 @@ type Type struct {
 	name   string // base types only
 	size   int    // bytes of actual data in one instance
 	extent int    // bytes spanned in memory by one instance
+	span   int    // bytes from offset 0 to the last byte the type map touches
 	blocks int    // number of contiguous segments in the type map ("signature size")
 	depth  int    // tree depth (base = 1)
+	sig    uint64 // structural hash of the full tree, memoized at construction
 
 	// contig reports that the type map is a single in-order contiguous
 	// run of size bytes starting at displacement 0, so a cursor may emit
@@ -90,15 +92,22 @@ var (
 )
 
 func newBase(name string, size int) *Type {
-	return &Type{
+	t := &Type{
 		kind:   KindBase,
 		name:   name,
 		size:   size,
 		extent: size,
+		span:   size,
 		blocks: 1,
 		depth:  1,
 		contig: true,
 	}
+	h := sigInit(KindBase)
+	for i := 0; i < len(name); i++ {
+		h = sigMix(h, uint64(name[i]))
+	}
+	t.sig = sigMix(h, uint64(size))
+	return t
 }
 
 // NewBase returns a primitive type with the given name and size in bytes.
@@ -115,6 +124,20 @@ func (t *Type) Size() int { return t.size }
 
 // Extent returns the number of bytes one instance of t spans in memory.
 func (t *Type) Extent() int { return t.extent }
+
+// Span returns the number of bytes from offset zero through the last byte
+// one instance's type map touches.  It can differ from Extent in both
+// directions: smaller when the extent includes trailing padding (a vector's
+// last stride), larger when Resized shrank the extent below the data span.
+// Memoized at construction; buffer validation uses it without any walk.
+func (t *Type) Span() int { return t.span }
+
+// Signature returns a structural hash of the complete type tree (kinds,
+// counts, strides, displacements and the extent override), memoized at
+// construction.  Two types with equal signatures describe the same type map
+// up to hash collision; the plan cache keys on it together with the exact
+// size/extent/blocks figures.
+func (t *Type) Signature() uint64 { return t.sig }
 
 // Blocks returns the number of contiguous segments in t's type map before
 // any coalescing — the "signature size" the look-ahead scans.
@@ -157,6 +180,9 @@ func Contiguous(count int, elem *Type) *Type {
 		elem:   elem,
 		count:  count,
 	}
+	if count > 0 {
+		t.span = (count-1)*elem.extent + elem.span
+	}
 	t.contig = count == 0 || (elem.contig && elem.size == elem.extent)
 	if t.contig {
 		t.blocks = 1
@@ -164,6 +190,7 @@ func Contiguous(count int, elem *Type) *Type {
 			t.blocks = 0
 		}
 	}
+	t.sig = sigMix(sigMix(sigInit(KindContiguous), uint64(count)), elem.sig)
 	return t
 }
 
@@ -210,7 +237,16 @@ func Hvector(count, blocklen, strideBytes int, elem *Type) *Type {
 		blocklen: blocklen,
 		stride:   strideBytes,
 	}
+	t.span = block.span
+	if strideBytes > 0 {
+		t.span = (count-1)*strideBytes + block.span
+	}
 	t.blockTypes = []*Type{block}
+	h := sigInit(KindVector)
+	h = sigMix(h, uint64(count))
+	h = sigMix(h, uint64(blocklen))
+	h = sigMix(h, uint64(int64(strideBytes)))
+	t.sig = sigMix(h, elem.sig)
 	return t
 }
 
@@ -250,9 +286,10 @@ func Hindexed(blockLens, displsBytes []int, elem *Type) *Type {
 	if n == 0 {
 		return Contiguous(0, elem)
 	}
-	size, blocks := 0, 0
+	size, blocks, span := 0, 0, 0
 	lo, hi := displsBytes[0], displsBytes[0]
 	blockTypes := make([]*Type, n)
+	h := sigMix(sigInit(KindIndexed), elem.sig)
 	for i, bl := range blockLens {
 		if bl < 0 {
 			panic("datatype: negative block length")
@@ -268,6 +305,10 @@ func Hindexed(blockLens, displsBytes []int, elem *Type) *Type {
 		if d+b.extent > hi {
 			hi = d + b.extent
 		}
+		if d+b.span > span {
+			span = d + b.span
+		}
+		h = sigMix(sigMix(h, uint64(bl)), uint64(int64(d)))
 	}
 	if lo > 0 {
 		lo = 0 // extent includes origin, as in MPI (lb defaults to 0 here)
@@ -276,8 +317,10 @@ func Hindexed(blockLens, displsBytes []int, elem *Type) *Type {
 		kind:       KindIndexed,
 		size:       size,
 		extent:     hi - lo,
+		span:       span,
 		blocks:     blocks,
 		depth:      elem.depth + 2,
+		sig:        h,
 		elem:       elem,
 		blockLens:  append([]int(nil), blockLens...),
 		displs:     append([]int(nil), displsBytes...),
@@ -300,8 +343,9 @@ func Struct(displsBytes []int, types []*Type) *Type {
 	if len(types) == 0 {
 		return Contiguous(0, Byte)
 	}
-	size, blocks, depth := 0, 0, 0
+	size, blocks, depth, span := 0, 0, 0, 0
 	lo, hi := displsBytes[0], displsBytes[0]
+	h := sigInit(KindStruct)
 	for i, ft := range types {
 		if ft == nil {
 			panic("datatype: nil field type")
@@ -318,6 +362,10 @@ func Struct(displsBytes []int, types []*Type) *Type {
 		if d+ft.extent > hi {
 			hi = d + ft.extent
 		}
+		if d+ft.span > span {
+			span = d + ft.span
+		}
+		h = sigMix(sigMix(h, uint64(int64(d))), ft.sig)
 	}
 	if lo > 0 {
 		lo = 0
@@ -326,8 +374,10 @@ func Struct(displsBytes []int, types []*Type) *Type {
 		kind:       KindStruct,
 		size:       size,
 		extent:     hi - lo,
+		span:       span,
 		blocks:     blocks,
 		depth:      depth + 1,
+		sig:        h,
 		displs:     append([]int(nil), displsBytes...),
 		types:      append([]*Type(nil), types...),
 		blockTypes: types,
@@ -384,6 +434,7 @@ func resized(t *Type, extentBytes int) *Type {
 	c := *t
 	c.extent = extentBytes
 	c.contig = c.contig && c.size == c.extent
+	c.sig = sigMix(sigMix(t.sig, sigResized), uint64(int64(extentBytes)))
 	return &c
 }
 
@@ -413,6 +464,26 @@ func sum(v []int) int {
 		s += x
 	}
 	return s
+}
+
+// Structural hashing (FNV-1a) for memoized type signatures.  Constructors
+// fold their children's memoized hashes, so hashing is O(node) per
+// constructor, never a tree walk.
+const (
+	fnvOffset  = 14695981039346656037
+	fnvPrime   = 1099511628211
+	sigResized = 0x9e3779b97f4a7c15 // marker separating a resize from a field
+)
+
+func sigInit(k Kind) uint64 { return sigMix(fnvOffset, uint64(k)) }
+
+func sigMix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	// Mix in each byte position so small ints do not collide trivially.
+	h ^= v >> 32
+	h *= fnvPrime
+	return h
 }
 
 // nchildren returns how many (childType, byteOffset) pairs node t expands

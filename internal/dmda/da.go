@@ -487,8 +487,25 @@ func (da *DA) GlobalToLocal(g *petsc.Vec, l []float64) {
 	if len(l) != da.GhostCount() {
 		panic("dmda: local array does not match DA ghost layout")
 	}
-	da.g2l.DoArrays(g.Array(), l)
+	da.g2l.BeginArrays(g.Array(), l)
+	da.g2l.End()
 }
+
+// GlobalToLocalBegin starts the ghost exchange without waiting for remote
+// ghost points to arrive; pair with GlobalToLocalEnd.  Interior stencil work
+// that needs no ghost data can overlap the communication.
+func (da *DA) GlobalToLocalBegin(g *petsc.Vec, l []float64) {
+	if g.LocalSize() != da.OwnedCount() {
+		panic("dmda: global vector does not match DA layout")
+	}
+	if len(l) != da.GhostCount() {
+		panic("dmda: local array does not match DA ghost layout")
+	}
+	da.g2l.BeginArrays(g.Array(), l)
+}
+
+// GlobalToLocalEnd completes the exchange started by GlobalToLocalBegin.
+func (da *DA) GlobalToLocalEnd() { da.g2l.End() }
 
 // LocalToGlobal copies the owned region of the ghosted local array l into
 // the global vector g (INSERT semantics).  Purely local.

@@ -134,7 +134,10 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	c.maybeCrash()
 	opStart := p.clock
 	p.clock += prm.SendOverhead / p.speed
-	wire := append([]byte(nil), data...)
+	// The wire copy comes from the shared buffer pool; the receive side
+	// returns it once the payload has been consumed (see unpackInto).
+	wire := datatype.GetBuffer(len(data))
+	copy(wire, data)
 	wireSec := prm.WireTime(len(wire))
 	wireDone := p.clock + wireSec
 	arrival := wireDone + prm.Latency
@@ -168,6 +171,14 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	if t.Contig() && t.Size() == t.Extent() {
 		n := t.Size() * count
 		c.send(dst, tag, buf[:n])
+		return
+	}
+
+	// The compiled-plan engine bypasses the streaming interpreters: the
+	// layout is a cached flat segment list, so the wire image is built by
+	// one tight (possibly parallel) gather with no per-chunk traversal.
+	if c.w.cfg.Engine == datatype.CompiledPlans {
+		c.sendPlanned(dst, tag, t, count, buf)
 		return
 	}
 
@@ -237,6 +248,70 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
 }
 
+// sendPlanned is the compiled-plan send path: pack the whole message through
+// the cached plan's copy loops into a pooled wire buffer, then charge the
+// virtual clock with the same pipelined-granule model as the streaming
+// engines — minus every look-ahead scan and search, which the plan
+// eliminated at compile time.
+func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte) {
+	p := c.me
+	prm := &c.w.cluster.Params
+	opt := c.w.cfg.Datatype.WithDefaults()
+
+	c.maybeCrash()
+	opStart := p.clock
+	plan := datatype.PlanFor(t, count)
+	nbytes := plan.Bytes()
+	nsegs := plan.NumSegments()
+	wire := datatype.GetBuffer(nbytes)
+	plan.Pack(buf, wire)
+
+	pipelined := nbytes > opt.Pipeline
+	p.clock += prm.SendOverhead / p.speed
+	wireDone := p.clock
+	chunks := (nbytes + opt.Pipeline - 1) / opt.Pipeline
+	if chunks < 1 {
+		chunks = 1
+	}
+	packPerChunk := (prm.PackPerByte*float64(nbytes) +
+		prm.SegOverhead*float64(nsegs)) / p.speed / float64(chunks)
+	for remaining := nbytes; ; {
+		p.clock += packPerChunk
+		p.stats.PackSec += packPerChunk
+		sz := opt.Pipeline
+		if remaining < sz {
+			sz = remaining
+		}
+		remaining -= sz
+		start := p.clock
+		if wireDone > start {
+			start = wireDone
+		}
+		wireDone = start + prm.WireTime(sz)
+		if pipelined && dst != c.rank {
+			p.clock = wireDone
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	arrival := wireDone + prm.Latency
+	if dst == c.rank {
+		arrival = p.clock
+	} else if prm.RendezvousBytes > 0 && nbytes > prm.RendezvousBytes {
+		p.clock = wireDone
+	}
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(nbytes)
+	p.stats.Datatype.Add(datatype.Metrics{
+		Chunks:         int64(chunks),
+		PackedBytes:    int64(nbytes),
+		PackedSegments: int64(nsegs),
+	})
+	c.dispatch(dst, tag, wire, arrival, prm.WireTime(nbytes))
+	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock})
+}
+
 // Recv blocks until a message matching src/tag (wildcards allowed) arrives
 // and returns its payload and source rank.
 func (c *Comm) Recv(src, tag int) ([]byte, int) {
@@ -256,7 +331,9 @@ func (c *Comm) RecvInto(src, tag int, buf []byte) (int, int) {
 	}
 	c.completeRecv(env)
 	copy(buf, env.data)
-	return len(env.data), env.src
+	n := len(env.data)
+	datatype.PutBuffer(env.data)
+	return n, env.src
 }
 
 // RecvType receives a message and scatters it into count instances of t in
@@ -289,7 +366,8 @@ func (c *Comm) completeRecv(env *envelope) {
 
 // unpackInto scatters payload into the receive type map, charging unpack
 // cost for noncontiguous layouts.  Contiguous receives land directly
-// (rendezvous-style) at no CPU cost.
+// (rendezvous-style) at no CPU cost.  The payload is fully consumed here, so
+// its backing array goes back to the shared buffer pool.
 func (c *Comm) unpackInto(payload []byte, t *datatype.Type, count int, buf []byte) {
 	want := t.Size() * count
 	if len(payload) != want {
@@ -297,18 +375,27 @@ func (c *Comm) unpackInto(payload []byte, t *datatype.Type, count int, buf []byt
 	}
 	if t.Contig() && t.Size() == t.Extent() {
 		copy(buf, payload)
+		datatype.PutBuffer(payload)
 		return
 	}
 	p := c.me
 	prm := &c.w.cluster.Params
-	u := datatype.NewUnpacker(t, count, buf)
-	u.Consume(payload)
-	m := u.Metrics()
+	var m datatype.Metrics
+	if c.w.cfg.Engine == datatype.CompiledPlans {
+		plan := datatype.PlanFor(t, count)
+		plan.Unpack(buf, payload)
+		m = datatype.Metrics{PackedBytes: int64(want), PackedSegments: int64(plan.NumSegments())}
+	} else {
+		u := datatype.NewUnpacker(t, count, buf)
+		u.Consume(payload)
+		m = u.Metrics()
+	}
 	packSec := (prm.PackPerByte*float64(m.PackedBytes) +
 		prm.SegOverhead*float64(m.PackedSegments)) / p.speed
 	p.clock += packSec
 	p.stats.PackSec += packSec
 	p.stats.Datatype.Add(m)
+	datatype.PutBuffer(payload)
 }
 
 // ChargeHandPack charges virtual CPU time for an application-level
@@ -389,14 +476,15 @@ func (r *Request) Wait() (int, int) {
 	env := c.match(r.src, r.tag)
 	c.completeRecv(env)
 	if r.t != nil {
-		c.unpackInto(env.data, r.t, r.count, r.buf)
 		r.n = len(env.data)
+		c.unpackInto(env.data, r.t, r.count, r.buf)
 	} else {
 		if len(env.data) > len(r.buf) {
 			panic("mpi: message overflows receive buffer")
 		}
 		copy(r.buf, env.data)
 		r.n = len(env.data)
+		datatype.PutBuffer(env.data)
 	}
 	r.recvSrc = env.src
 	return r.n, r.recvSrc

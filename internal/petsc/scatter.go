@@ -83,6 +83,15 @@ type Scatter struct {
 
 	// one-sided path state
 	os *onesided
+
+	// Begin/End state: receives posted by Begin and completed by End, plus
+	// the destination array the deferred unpack writes into.  The slices are
+	// reused across iterations so a steady-state Begin/End pair allocates
+	// nothing.
+	pending    []*mpi.Request
+	pendingIdx []int
+	pendingDst []float64
+	inFlight   bool
 }
 
 // NewScatter builds a scatter from global index sets: element x[ix[k]]
@@ -158,6 +167,19 @@ func NewScatterFromPlan(c *mpi.Comm, xLocal, yLocal int, plan Plan, mode Scatter
 	case ScatterDatatype:
 		sc.sendSpecs = specsFor(c.Size(), plan.Sends)
 		sc.recvSpecs = specsFor(c.Size(), plan.Recvs)
+		// Compile the pack/unpack plans now so that when the world runs the
+		// compiled-plan engine, every Begin/End iteration is a pure cache
+		// hit — the VecScatter analogue of dataloop commit-time optimization.
+		for _, spec := range sc.sendSpecs {
+			if spec.Type != nil {
+				datatype.PlanFor(spec.Type, spec.Count)
+			}
+		}
+		for _, spec := range sc.recvSpecs {
+			if spec.Type != nil {
+				datatype.PlanFor(spec.Type, spec.Count)
+			}
+		}
 	case ScatterOneSided:
 		sc.sendRuns = make([]int, len(plan.Sends))
 		for i, s := range plan.Sends {
@@ -231,54 +253,86 @@ func (s *Scatter) Mode() ScatterMode { return s.mode }
 const scatterTag = 0x5ca7
 
 // Do executes the scatter, moving x elements into y per the plan.  x and y
-// must have the local sizes the scatter was built for.
+// must have the local sizes the scatter was built for.  Equivalent to Begin
+// immediately followed by End.
 func (s *Scatter) Do(x, y *Vec) {
-	if x.LocalSize() != s.xLocal || y.LocalSize() != s.yLocal {
-		panic("petsc: scatter applied to vectors with mismatched layout")
-	}
-	switch s.mode {
-	case ScatterHandTuned:
-		s.doHandTuned(x.a, y.a)
-	case ScatterDatatype:
-		s.c.Alltoallw(floatbytes.Bytes(x.a), s.sendSpecs, floatbytes.Bytes(y.a), s.recvSpecs)
-	case ScatterOneSided:
-		s.doOneSided(x.a, y.a, Insert)
-	}
+	s.Begin(x, y)
+	s.End()
 }
 
 // DoArrays is Do on raw local arrays, for callers that manage storage
 // themselves (e.g. distributed-array local vectors with ghost regions).
 func (s *Scatter) DoArrays(x, y []float64) {
+	s.BeginArrays(x, y)
+	s.End()
+}
+
+// Begin starts the scatter, PETSc VecScatterBegin-style: receives are
+// posted, sends are packed and launched, and the local part is applied, but
+// remote data has not necessarily landed in y yet.  The caller may overlap
+// independent computation before calling End.  Exactly one scatter may be in
+// flight per Scatter object.
+func (s *Scatter) Begin(x, y *Vec) {
+	if x.LocalSize() != s.xLocal || y.LocalSize() != s.yLocal {
+		panic("petsc: scatter applied to vectors with mismatched layout")
+	}
+	s.BeginArrays(x.a, y.a)
+}
+
+// BeginArrays is Begin on raw local arrays.
+func (s *Scatter) BeginArrays(x, y []float64) {
 	if len(x) != s.xLocal || len(y) != s.yLocal {
 		panic("petsc: scatter applied to arrays with mismatched length")
 	}
+	if s.inFlight {
+		panic("petsc: scatter Begin with a scatter already in flight")
+	}
+	s.inFlight = true
 	switch s.mode {
 	case ScatterHandTuned:
-		s.doHandTuned(x, y)
+		s.beginHandTuned(x, y)
 	case ScatterDatatype:
+		// Alltoallw is a single collective; it completes in Begin and End
+		// becomes a no-op.  The derived-type sends inside reuse the plans
+		// compiled at scatter creation via the package plan cache.
 		s.c.Alltoallw(floatbytes.Bytes(x), s.sendSpecs, floatbytes.Bytes(y), s.recvSpecs)
 	case ScatterOneSided:
+		// The fence inside doOneSided completes the epoch; End is a no-op.
 		s.doOneSided(x, y, Insert)
 	}
 }
 
-// doHandTuned is PETSc's default path: pack with explicit loops, exchange
-// with nonblocking point-to-point, unpack with explicit loops.  Only peers
-// with data are contacted — the hand-tuned path never had the baseline
-// Alltoallw's zero-volume synchronization problem, which is why it scales.
-func (s *Scatter) doHandTuned(x, y []float64) {
+// End completes the scatter started by the matching Begin: outstanding
+// receives are waited on and unpacked into the destination passed to Begin.
+func (s *Scatter) End() {
+	if !s.inFlight {
+		panic("petsc: scatter End without matching Begin")
+	}
+	s.inFlight = false
+	if s.mode == ScatterHandTuned {
+		s.endHandTuned()
+	}
+}
+
+// beginHandTuned is the first half of PETSc's default path: pack with
+// explicit loops, launch nonblocking point-to-point, apply the local part.
+// Only peers with data are contacted — the hand-tuned path never had the
+// baseline Alltoallw's zero-volume synchronization problem, which is why it
+// scales.
+func (s *Scatter) beginHandTuned(x, y []float64) {
 	c := s.c
 	me := c.Rank()
 
 	// Post receives first.
-	reqs := make([]*mpi.Request, 0, len(s.plan.Recvs))
-	recvIdx := make([]int, 0, len(s.plan.Recvs))
+	s.pending = s.pending[:0]
+	s.pendingIdx = s.pendingIdx[:0]
+	s.pendingDst = y
 	for i, r := range s.plan.Recvs {
 		if r.Peer == me || len(r.Local) == 0 {
 			continue
 		}
-		reqs = append(reqs, c.Irecv(r.Peer, scatterTag, floatbytes.Bytes(s.recvBufs[i])))
-		recvIdx = append(recvIdx, i)
+		s.pending = append(s.pending, c.Irecv(r.Peer, scatterTag, floatbytes.Bytes(s.recvBufs[i])))
+		s.pendingIdx = append(s.pendingIdx, i)
 	}
 
 	// Pack and send.
@@ -313,10 +367,15 @@ func (s *Scatter) doHandTuned(x, y []float64) {
 		}
 		c.ChargeHandPack(int64(8*len(r.Local)), int64(s.recvRuns[i]))
 	}
+}
 
-	// Complete receives and unpack.
-	c.Waitall(reqs)
-	for _, i := range recvIdx {
+// endHandTuned completes outstanding receives and unpacks them into the
+// destination captured by beginHandTuned.
+func (s *Scatter) endHandTuned() {
+	c := s.c
+	y := s.pendingDst
+	c.Waitall(s.pending)
+	for _, i := range s.pendingIdx {
 		r := s.plan.Recvs[i]
 		buf := s.recvBufs[i]
 		for k, di := range r.Local {
@@ -324,4 +383,5 @@ func (s *Scatter) doHandTuned(x, y []float64) {
 		}
 		c.ChargeHandPack(int64(8*len(buf)), int64(s.recvRuns[i]))
 	}
+	s.pendingDst = nil
 }
