@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"nccd/internal/bench"
+	"nccd/internal/core"
+)
+
+// launchConfig parameterizes the multi-process run.
+type launchConfig struct {
+	n          int
+	daemon     string // nccdd path; empty = auto-locate
+	arm        string
+	p          bench.MultigridParams
+	drop       float64
+	corrupt    float64
+	dup        float64
+	delayMean  float64
+	seed       uint64
+	skipVerify bool
+}
+
+// runLauncher spawns lc.n nccdd rank daemons on localhost, collects their
+// results, replays the identical problem on the in-process virtual-time
+// transport, and verifies that both converge through the same residual
+// history.  Returns the process exit code.
+func runLauncher(lc launchConfig) int {
+	addrs, err := freeAddrs(lc.n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: allocating ports: %v\n", err)
+		return 1
+	}
+	daemon, err := locateDaemon(lc.daemon)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	worldID := uint64(os.Getpid())
+
+	fmt.Printf("spawning %d rank daemons (%s) over TCP localhost\n", lc.n, daemon)
+	reports := make([]*bench.RankReport, lc.n)
+	procErrs := make([]error, lc.n)
+	var wg sync.WaitGroup
+	for r := 0; r < lc.n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			reports[r], procErrs[r] = runDaemon(daemon, r, addrs, worldID, lc)
+		}(r)
+	}
+	wg.Wait()
+
+	failed := false
+	for r := 0; r < lc.n; r++ {
+		if procErrs[r] != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d: %v\n", r, procErrs[r])
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+
+	r0 := reports[0]
+	fmt.Printf("tcp result: %d cycles, relres %.3e, %.3fs wall\n", r0.Cycles, r0.RelRes, r0.Seconds)
+	var agg struct{ frames, retrans, crc, dropped, corrupted int64 }
+	for _, rep := range reports {
+		agg.frames += rep.Stats.FramesSent
+		agg.retrans += rep.Stats.Retransmits
+		agg.crc += rep.Stats.CRCRejects
+		agg.dropped += rep.Stats.Dropped
+		agg.corrupted += rep.Stats.Corrupted
+	}
+	fmt.Printf("wire: %d frames sent, %d dropped, %d corrupted, %d retransmits, %d CRC rejects\n",
+		agg.frames, agg.dropped, agg.corrupted, agg.retrans, agg.crc)
+
+	// Every rank solved the same system; their histories must agree with
+	// each other before being compared against the reference.
+	for r := 1; r < lc.n; r++ {
+		if err := historiesEqual(reports[r].History, r0.History); err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d diverged from rank 0: %v\n", r, err)
+			return 1
+		}
+	}
+	if lc.skipVerify {
+		return 0
+	}
+
+	cfg, mode, err := bench.ArmByName(lc.arm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	fmt.Printf("verifying against in-process reference run...\n")
+	ref := bench.RunMultigridWorld(core.NewUniformWorld(lc.n, cfg), lc.p, mode)
+	if err := historiesEqual(r0.History, ref.History); err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: tcp run diverged from in-process reference: %v\n", err)
+		return 1
+	}
+	fmt.Printf("OK: tcp and in-process runs converged through identical residual histories (%d cycles)\n", ref.Cycles)
+	return 0
+}
+
+// runDaemon spawns one rank daemon and parses its RESULT line.
+func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launchConfig) (*bench.RankReport, error) {
+	args := []string{
+		"-rank", fmt.Sprint(rank),
+		"-n", fmt.Sprint(lc.n),
+		"-addrs", strings.Join(addrs, ","),
+		"-world", fmt.Sprint(worldID),
+		"-arm", lc.arm,
+		"-extent", fmt.Sprint(lc.p.Extent),
+		"-levels", fmt.Sprint(lc.p.Levels),
+		"-rtol", fmt.Sprint(lc.p.Rtol),
+		"-maxcycles", fmt.Sprint(lc.p.MaxCycles),
+		"-drop", fmt.Sprint(lc.drop),
+		"-corrupt", fmt.Sprint(lc.corrupt),
+		"-dup", fmt.Sprint(lc.dup),
+		"-delaymean", fmt.Sprint(lc.delayMean),
+		"-seed", fmt.Sprint(lc.seed),
+	}
+	cmd := exec.Command(daemon, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var rep *bench.RankReport
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "RESULT "); ok {
+			rep = &bench.RankReport{}
+			if err := json.Unmarshal([]byte(rest), rep); err != nil {
+				return nil, fmt.Errorf("parsing result: %w", err)
+			}
+			continue
+		}
+		fmt.Printf("[rank %d] %s\n", rank, line)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("daemon exited: %w", err)
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("daemon printed no RESULT line")
+	}
+	return rep, nil
+}
+
+// freeAddrs picks n distinct free localhost ports.  The ports are released
+// before the daemons re-bind them — the window is small and collisions on
+// a quiet CI host are rare; a clash surfaces as a daemon bind error.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// locateDaemon finds the nccdd binary: the explicit flag, next to this
+// executable, or on PATH.
+func locateDaemon(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if exe, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(exe), "nccdd")
+		if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("nccdd"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("cannot find the nccdd daemon: build it with `go build ./cmd/nccdd` and pass -daemon, place it next to mgsolve, or add it to PATH")
+}
+
+func historiesEqual(got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d cycles vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("cycle %d: residual %v vs %v", i, got[i], want[i])
+		}
+	}
+	return nil
+}

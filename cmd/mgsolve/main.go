@@ -1,6 +1,11 @@
 // Command mgsolve regenerates Figure 17 of the paper: execution time of the
 // 3-D Laplacian multigrid solver application (100^3 grid, three levels)
 // over the three experimental arms.
+//
+// With -tcp N it instead acts as a launcher: it spawns N nccdd rank
+// daemons as separate OS processes connected over TCP localhost, runs the
+// same solve across them, and verifies the distributed residual history
+// bitwise against an in-process reference run.
 package main
 
 import (
@@ -14,8 +19,24 @@ func main() {
 	extent := flag.Int("extent", bench.DefaultMultigridParams.Extent, "cubic grid extent")
 	levels := flag.Int("levels", bench.DefaultMultigridParams.Levels, "multigrid levels")
 	rtol := flag.Float64("rtol", bench.DefaultMultigridParams.Rtol, "relative tolerance")
+	maxCycles := flag.Int("maxcycles", bench.DefaultMultigridParams.MaxCycles, "V-cycle cap")
+	tcp := flag.Int("tcp", 0, "spawn N rank daemons as OS processes over TCP localhost (0 = in-process Fig 17 sweep)")
+	daemon := flag.String("daemon", "", "path to the nccdd binary (default: next to mgsolve, then PATH)")
+	arm := flag.String("arm", "compiled", "experimental arm for -tcp runs: baseline, optimized, compiled or hand")
+	drop := flag.Float64("drop", 0, "frame drop probability injected below the TCP framing layer")
+	corrupt := flag.Float64("corrupt", 0, "frame corruption probability")
+	dup := flag.Float64("dup", 0, "frame duplication probability")
+	delayMean := flag.Float64("delaymean", 0, "mean injected frame delay in seconds")
+	seed := flag.Uint64("seed", 1, "fault plan seed")
+	noVerify := flag.Bool("noverify", false, "skip the in-process reference comparison after a -tcp run")
 	flag.Parse()
-	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol,
-		MaxCycles: bench.DefaultMultigridParams.MaxCycles}
+	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
+	if *tcp > 0 {
+		os.Exit(runLauncher(launchConfig{
+			n: *tcp, daemon: *daemon, arm: *arm, p: p,
+			drop: *drop, corrupt: *corrupt, dup: *dup, delayMean: *delayMean,
+			seed: *seed, skipVerify: *noVerify,
+		}))
+	}
 	bench.Fig17([]int{4, 8, 16, 32, 64, 128}, p).Print(os.Stdout)
 }

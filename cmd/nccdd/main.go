@@ -1,0 +1,85 @@
+// Command nccdd hosts one rank of a multi-process nccd world: it connects
+// to its peers over TCP (the full mesh is established during startup),
+// runs the 3-D Laplacian multigrid solve, and prints its result as a
+// "RESULT {json}" line on stdout.  It is normally spawned by
+// `mgsolve -tcp N`, one process per rank, but can be launched by hand:
+//
+//	nccdd -rank 0 -n 2 -addrs 127.0.0.1:7001,127.0.0.1:7002 &
+//	nccdd -rank 1 -n 2 -addrs 127.0.0.1:7001,127.0.0.1:7002
+//
+// A seeded fault plan (-drop/-corrupt/-dup/-delaymean/-seed) is injected
+// below the TCP framing layer, exercising the transport's CRC trailer and
+// ack/retransmission protocol against real sockets; -crashat schedules a
+// local-rank crash in virtual time for fault-tolerance experiments.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nccd/internal/bench"
+	"nccd/internal/simnet"
+	"nccd/internal/transport"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "world rank of this process")
+	n := flag.Int("n", 0, "world size")
+	addrList := flag.String("addrs", "", "comma-separated listen addresses, one per rank")
+	worldID := flag.Uint64("world", 1, "world id (must match across ranks)")
+	arm := flag.String("arm", "compiled", "experimental arm: baseline, optimized, compiled or hand")
+	extent := flag.Int("extent", 64, "cubic grid extent")
+	levels := flag.Int("levels", 3, "multigrid levels")
+	rtol := flag.Float64("rtol", 1e-6, "relative tolerance")
+	maxCycles := flag.Int("maxcycles", 30, "V-cycle cap")
+	drop := flag.Float64("drop", 0, "frame drop probability (injected below TCP framing)")
+	corrupt := flag.Float64("corrupt", 0, "frame corruption probability")
+	dup := flag.Float64("dup", 0, "frame duplication probability")
+	delayMean := flag.Float64("delaymean", 0, "mean injected frame delay in seconds")
+	seed := flag.Uint64("seed", 1, "fault plan seed")
+	crashAt := flag.Float64("crashat", 0, "virtual time at which this rank crashes (0 = never)")
+	ackTimeout := flag.Duration("acktimeout", 20*time.Millisecond, "wall-clock wait before the first retransmission")
+	flag.Parse()
+
+	addrs := strings.Split(*addrList, ",")
+	if *rank < 0 || *n < 1 || *rank >= *n || len(addrs) != *n {
+		fmt.Fprintf(os.Stderr, "nccdd: need -rank in [0,%d) and %d comma-separated -addrs\n", *n, *n)
+		os.Exit(2)
+	}
+	cfg, mode, err := bench.ArmByName(*arm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nccdd: %v\n", err)
+		os.Exit(2)
+	}
+
+	var fp *simnet.FaultPlan
+	if *drop > 0 || *corrupt > 0 || *dup > 0 || *delayMean > 0 || *crashAt > 0 {
+		fp = &simnet.FaultPlan{Seed: *seed, Drop: *drop, Corrupt: *corrupt,
+			Duplicate: *dup, DelayMean: *delayMean}
+		if *crashAt > 0 {
+			fp.CrashAt = map[int]float64{*rank: *crashAt}
+		}
+	}
+
+	rep, err := bench.RunMultigridDaemon(
+		transport.TCPConfig{Rank: *rank, Size: *n, WorldID: *worldID, Addrs: addrs,
+			Faults: fp, AckTimeout: *ackTimeout},
+		cfg,
+		bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles},
+		mode,
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nccdd: rank %d: %v\n", *rank, err)
+		os.Exit(1)
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nccdd: rank %d: %v\n", *rank, err)
+		os.Exit(1)
+	}
+	fmt.Printf("RESULT %s\n", out)
+}

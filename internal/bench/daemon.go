@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+	"nccd/internal/simnet"
+	"nccd/internal/transport"
+)
+
+// RankReport is one multi-process rank's result, serialized as JSON on the
+// daemon's stdout (prefixed "RESULT ") and parsed by the launcher.
+type RankReport struct {
+	Rank    int                `json:"rank"`
+	Seconds float64            `json:"seconds"`
+	Cycles  int                `json:"cycles"`
+	RelRes  float64            `json:"relres"`
+	History []float64          `json:"history"`
+	Stats   transport.TCPStats `json:"stats"`
+}
+
+// ArmByName maps a command-line arm name to an MPI build and scatter
+// backend: "baseline" (MVAPICH2-0.9.5), "optimized" (MVAPICH2-New),
+// "compiled" (optimized + compiled datatype plans), "hand" (hand-tuned
+// scatter over the baseline build).
+func ArmByName(name string) (mpi.Config, petsc.ScatterMode, error) {
+	switch name {
+	case "baseline":
+		return mpi.Baseline(), petsc.ScatterDatatype, nil
+	case "optimized":
+		return mpi.Optimized(), petsc.ScatterDatatype, nil
+	case "compiled":
+		return mpi.Compiled(), petsc.ScatterDatatype, nil
+	case "hand":
+		return mpi.Baseline(), petsc.ScatterHandTuned, nil
+	default:
+		return mpi.Config{}, 0, fmt.Errorf("unknown arm %q (want baseline, optimized, compiled or hand)", name)
+	}
+}
+
+// RunMultigridDaemon hosts one rank of the multigrid solve over TCP: it
+// builds the transport endpoint from tcfg, joins the world, solves, and
+// reports the local result plus the endpoint's wire statistics.  tcfg's
+// fault plan is injected below the TCP framing layer AND installed as the
+// cluster's plan, so scheduled crashes (CrashAt) fire off the local
+// virtual clock; link-fault simulation in virtual time is skipped in wall
+// mode, so the plan is never applied twice.
+func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode) (RankReport, error) {
+	tr, err := transport.NewTCP(tcfg)
+	if err != nil {
+		return RankReport{}, err
+	}
+	cl := simnet.Uniform(tcfg.Size, simnet.IBDDR())
+	cl.Faults = tcfg.Faults
+	w, err := mpi.NewWorldTransport(tr, cl, cfg)
+	if err != nil {
+		tr.Close()
+		return RankReport{}, err
+	}
+	defer w.Close()
+	res := RunMultigridWorld(w, p, mode)
+	return RankReport{
+		Rank:    tcfg.Rank,
+		Seconds: res.Seconds,
+		Cycles:  res.Cycles,
+		RelRes:  res.RelRes,
+		History: res.History,
+		Stats:   tr.Stats(),
+	}, nil
+}

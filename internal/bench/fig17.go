@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"nccd/internal/core"
 	"nccd/internal/mg"
 	"nccd/internal/mpi"
+	"nccd/internal/petsc"
 )
 
 // MultigridParams configures the 3-D Laplacian multigrid application run.
@@ -37,16 +39,29 @@ type MultigridResult struct {
 	Seconds float64
 	Cycles  int
 	RelRes  float64
+	// History is the relative residual after each V-cycle — the
+	// decomposition- and transport-independent convergence witness used to
+	// compare in-process and multi-process runs of the same problem.
+	History []float64
 }
 
 // RunMultigrid measures the Section 5.5 application: solving the 3-D
 // Laplacian (equation 2 with homogeneous boundaries) on an Extent^3 grid
 // with a Levels-level multigrid, for one experimental arm.
 func RunMultigrid(n int, p MultigridParams, arm core.Arm) MultigridResult {
-	w := core.NewPaperWorld(n, arm.Config)
+	return RunMultigridWorld(core.NewPaperWorld(n, arm.Config), p, arm.Mode)
+}
+
+// RunMultigridWorld runs the same application on a caller-supplied world —
+// any cluster model, any transport.  On a virtual-time world the reported
+// seconds are the rank-maximum virtual solve time; on a wall-clock world
+// (multi-process ranks over TCP) they are real elapsed time, and every
+// hosted rank fills in the result, since each process observes only its
+// own ranks.
+func RunMultigridWorld(w *mpi.World, p MultigridParams, mode petsc.ScatterMode) MultigridResult {
 	var out MultigridResult
 	err := w.Run(func(c *mpi.Comm) error {
-		s := mg.NewAgglomerated(c, []int{p.Extent, p.Extent, p.Extent}, p.Levels, arm.Mode, p.AgglomerateCells)
+		s := mg.NewAgglomerated(c, []int{p.Extent, p.Extent, p.Extent}, p.Levels, mode, p.AgglomerateCells)
 		if p.Chebyshev {
 			s.Smoother = mg.SmootherChebyshev
 		}
@@ -72,10 +87,15 @@ func RunMultigrid(n int, p MultigridParams, arm core.Arm) MultigridResult {
 
 		c.Barrier()
 		t0 := c.Clock()
+		wall0 := time.Now()
 		cycles, relres := s.Solve(b, x, p.Rtol, p.MaxCycles)
 		elapsed := c.AllreduceScalar(c.Clock()-t0, mpi.OpMax)
-		if c.Rank() == 0 {
-			out = MultigridResult{Seconds: elapsed, Cycles: cycles, RelRes: relres}
+		if w.Wallclock() {
+			elapsed = time.Since(wall0).Seconds()
+		}
+		if c.Rank() == 0 || w.Wallclock() {
+			out = MultigridResult{Seconds: elapsed, Cycles: cycles, RelRes: relres,
+				History: append([]float64(nil), s.History...)}
 		}
 		return nil
 	})

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+	"nccd/internal/petsc"
+	"nccd/internal/simnet"
+	"nccd/internal/transport"
+)
+
+// runMultigridTCP solves the multigrid problem on n single-rank TCP worlds
+// in this process (the same topology as n OS processes) and returns rank
+// 0's result plus the aggregated transport stats.
+func runMultigridTCP(t *testing.T, n int, p MultigridParams, cfg mpi.Config, fp *simnet.FaultPlan) (MultigridResult, transport.TCPStats) {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	results := make([]MultigridResult, n)
+	worlds := make([]*mpi.World, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := transport.NewTCP(transport.TCPConfig{
+				Rank: r, Size: n, WorldID: 0x1717, Addrs: addrs, Listener: lns[r],
+				Faults: fp, AckTimeout: 20 * time.Millisecond, DialTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			cl := simnet.Uniform(n, simnet.IBDDR())
+			cl.Faults = fp
+			w, err := mpi.NewWorldTransport(tr, cl, cfg)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			worlds[r] = w
+			results[r] = RunMultigridWorld(w, p, petsc.ScatterDatatype)
+		}(r)
+	}
+	wg.Wait()
+	var agg transport.TCPStats
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		s := worlds[r].Transport().(*transport.TCP).Stats()
+		agg.FramesSent += s.FramesSent
+		agg.Retransmits += s.Retransmits
+		agg.CRCRejects += s.CRCRejects
+		agg.DupRejects += s.DupRejects
+		agg.Dropped += s.Dropped
+		agg.Corrupted += s.Corrupted
+		if cr := worlds[r].ChecksumRejects(); cr != 0 {
+			t.Fatalf("rank %d accepted work from the mpi-level checksum (%d rejects); the transport must absorb all corruption", r, cr)
+		}
+		worlds[r].Close()
+	}
+	// Every world solved the same problem; their histories must agree.
+	for r := 1; r < n; r++ {
+		if len(results[r].History) != len(results[0].History) {
+			t.Fatalf("rank %d saw %d cycles, rank 0 saw %d", r, len(results[r].History), len(results[0].History))
+		}
+		for i := range results[r].History {
+			if results[r].History[i] != results[0].History[i] {
+				t.Fatalf("rank %d cycle %d residual %v != rank 0's %v", r, i, results[r].History[i], results[0].History[i])
+			}
+		}
+	}
+	return results[0], agg
+}
+
+// multigridHistoriesEqual requires bitwise-identical residual sequences:
+// the solve is deterministic floating point, so any transport that delivers
+// the right bytes yields the exact same history.
+func multigridHistoriesEqual(t *testing.T, label string, got, want MultigridResult) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Fatalf("%s: %d cycles, want %d", label, got.Cycles, want.Cycles)
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("%s: history length %d, want %d", label, len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		if got.History[i] != want.History[i] {
+			t.Fatalf("%s: cycle %d residual %v, want %v", label, i, got.History[i], want.History[i])
+		}
+	}
+}
+
+// TestMultigridTCPMatchesInproc is the transport-equivalence acceptance
+// test: the 4-rank 64^3 multigrid solve over localhost TCP must converge
+// through the exact same residual history as the in-process virtual-time
+// run of the identical problem.
+func TestMultigridTCPMatchesInproc(t *testing.T) {
+	const n = 4
+	p := MultigridParams{Extent: 64, Levels: 3, Rtol: 1e-6, MaxCycles: 30}
+	if testing.Short() {
+		p.Extent = 16
+	}
+	cfg := mpi.Compiled()
+	ref := RunMultigridWorld(core.NewUniformWorld(n, cfg), p, petsc.ScatterDatatype)
+	if ref.Cycles == 0 || len(ref.History) == 0 {
+		t.Fatalf("inproc reference did not converge: %+v", ref)
+	}
+	got, _ := runMultigridTCP(t, n, p, cfg, nil)
+	multigridHistoriesEqual(t, "tcp", got, ref)
+}
+
+// TestMultigridTCPLossy runs the same solve with a seeded 1% drop / 1%
+// corrupt fault plan injected below the TCP framing layer: the solve must
+// complete via retransmission with the identical residual history and zero
+// checksum-accepted corruptions.
+func TestMultigridTCPLossy(t *testing.T) {
+	const n = 4
+	p := MultigridParams{Extent: 16, Levels: 2, Rtol: 1e-6, MaxCycles: 20}
+	cfg := mpi.Compiled()
+	ref := RunMultigridWorld(core.NewUniformWorld(n, cfg), p, petsc.ScatterDatatype)
+	fp := &simnet.FaultPlan{Seed: 42, Drop: 0.01, Corrupt: 0.01}
+	got, stats := runMultigridTCP(t, n, p, cfg, fp)
+	multigridHistoriesEqual(t, "lossy tcp", got, ref)
+	if stats.Dropped == 0 || stats.Corrupted == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", stats)
+	}
+	if stats.Retransmits == 0 || stats.CRCRejects == 0 {
+		t.Fatalf("reliability protocol never engaged: %+v", stats)
+	}
+}

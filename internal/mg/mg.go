@@ -59,6 +59,12 @@ type Solver struct {
 	// Smoother selects the relaxation scheme; default damped Jacobi.
 	Smoother Smoother
 
+	// History records the relative residual after each V-cycle of the most
+	// recent Solve.  The sequence is decomposition- and transport-
+	// independent for a given problem, which makes it the equivalence
+	// witness between in-process and multi-process runs.
+	History []float64
+
 	// Checkpoints, when non-nil, receives a decomposition-independent
 	// snapshot of the finest-level iterate every CheckpointEvery V-cycles
 	// of Solve, enabling restart on a different (e.g. shrunk) communicator.
@@ -619,6 +625,7 @@ func (s *Solver) Precondition(r, z *petsc.Vec) {
 // count and the final relative residual.  Collective.
 func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int, relres float64) {
 	lv := s.levels[0]
+	s.History = s.History[:0]
 	s.residual(0, b, x, lv.r)
 	r0 := lv.r.Norm2()
 	if r0 == 0 {
@@ -628,6 +635,7 @@ func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int
 		s.VCycle(b, x)
 		s.residual(0, b, x, lv.r)
 		relres = lv.r.Norm2() / r0
+		s.History = append(s.History, relres)
 		if relres <= rtol {
 			cycles++
 			break

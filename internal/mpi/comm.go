@@ -352,7 +352,9 @@ func (c *Comm) completeRecv(env *envelope) {
 	p := c.me
 	prm := &c.w.cluster.Params
 	opStart := p.clock
-	if env.arrival > p.clock {
+	// Arrival stamps come from the sender's virtual clock; across wall-clock
+	// processes the clocks are uncoupled, so the stamp is meaningless here.
+	if !c.w.wall && env.arrival > p.clock {
 		p.stats.WaitSec += env.arrival - p.clock
 		p.clock = env.arrival
 	}

@@ -5,6 +5,8 @@ import (
 	"hash/crc32"
 	"math"
 	"time"
+
+	"nccd/internal/transport"
 )
 
 // The reliability layer.  When the cluster carries a FaultPlan with link
@@ -56,9 +58,20 @@ func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 	if dst != c.rank && w.anyDown.Load() && w.deadRank(worldDst) {
 		throwErr(&RankFailedError{Rank: worldDst, Call: c.callOr("Send")})
 	}
+	if w.wall {
+		// Real sockets: the transport runs the reliability protocol itself
+		// (ack/retransmission below the framing layer when its fault plan is
+		// lossy), so the virtual-time simulation of it is skipped — the same
+		// plan must not be injected twice.
+		hdr := transport.Header{Ctx: c.ctx, Src: int32(c.rank), Tag: int32(tag), Arrival: arrival}
+		if err := w.tr.Send(worldDst, hdr, wire); err != nil {
+			throwErr(mapTransportErr(err, worldDst, c.callOr("Send")))
+		}
+		return
+	}
 	fp := w.cluster.Faults
 	if dst == c.rank || !fp.Lossy() {
-		w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
+		w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
 		return
 	}
 
@@ -78,15 +91,15 @@ func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 		if corrupt && !drop {
 			bad := append([]byte(nil), wire...)
 			bad[fp.CorruptByte(p.rank, worldDst, seq, attempt, len(bad))] ^= 0xFF
-			w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: bad,
+			w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: bad,
 				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
 			p.stats.CorruptSent++
 		}
 		if !drop && !corrupt {
-			w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
+			w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
 				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
 			if dup {
-				w.deliver(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
+				w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
 					arrival: arrival + delay + lat, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
 				p.stats.DupsSent++
 			}

@@ -1,5 +1,7 @@
 package mpi
 
+import "nccd/internal/transport"
+
 // ULFM-style failure recovery: Revoke to interrupt peers still blocked in
 // a broken communication pattern, Agree to reach consensus among the
 // survivors, Shrink to build a new communicator containing only them.
@@ -51,6 +53,9 @@ func (s *agreeSlot) sealIfComplete(w *World) {
 // ErrDeadlock if the watchdog aborts the wait (some member neither died
 // nor arrived).
 func (c *Comm) agree(words []uint64) ([]uint64, error) {
+	if c.w.wall {
+		return c.agreeWall(words)
+	}
 	c.maybeCrash()
 	w := c.w
 	p := c.me
@@ -130,14 +135,16 @@ func (c *Comm) Revoke() {
 	w.revoked.Store(c.ctx, struct{}{})
 	w.anyRevoked.Store(true)
 	w.progress.Add(1)
-	for _, p := range w.procs {
-		p.mu.Lock()
-		p.cond.Broadcast()
-		p.mu.Unlock()
+	w.wakeAll()
+	if w.wall {
+		// Revocation must reach members in other processes; best effort — an
+		// unreachable member is down and needs no interrupting.
+		for r := range w.procs {
+			if !w.tr.Local(r) {
+				_ = w.tr.Send(r, transport.Header{Ctx: ctxRevoke, Seq: c.ctx}, nil)
+			}
+		}
 	}
-	w.agreeMu.Lock()
-	w.agreeCond.Broadcast()
-	w.agreeMu.Unlock()
 }
 
 // isRevoked reports whether ctx has been revoked.

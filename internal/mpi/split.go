@@ -101,6 +101,7 @@ func splitmixCtx(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	x = x ^ (x >> 31)
+	x &^= 1 << 63 // stay clear of the reserved control contexts (wall.go)
 	if x == 0 {
 		x = 1 // never collide with the world context
 	}

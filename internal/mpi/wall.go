@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"nccd/internal/datatype"
+	"nccd/internal/transport"
+)
+
+// Wall-clock (multi-process) operation.  A World built on a wall-clock
+// transport hosts only the ranks the transport reports as local — one per
+// OS process for TCP — and everything that the in-process runtime resolved
+// through shared memory travels as control frames instead: rank lifecycle
+// (goodbye frames and connection-loss callbacks), revocation broadcasts,
+// and message-based agreement.  The virtual clock still runs locally (so
+// injected crashes and cost accounting work), but it no longer couples
+// ranks: arrival stamps from remote clocks are ignored and the watchdog is
+// force-disabled, real sockets having no global quiescence to observe.
+//
+// Reserved context ids at the top of the space carry the control traffic.
+// splitmixCtx clears the top bit of every derived context, so user
+// communicators can never collide with them.
+const (
+	// ctxGoodbye announces a local rank's departure: Src is the departing
+	// world rank, Tag 1 for a clean exit, 0 for a failure.
+	ctxGoodbye = ^uint64(0)
+	// ctxRevoke broadcasts a communicator revocation: Seq is the revoked
+	// context id.
+	ctxRevoke = ^uint64(0) - 1
+)
+
+// Wallclock reports whether the world runs on a wall-clock transport
+// (multi-process ranks over real sockets) rather than in virtual time.
+func (w *World) Wallclock() bool { return w.wall }
+
+// Transport returns the transport the world runs on.
+func (w *World) Transport() transport.Transport { return w.tr }
+
+// Close tears the world's transport down.  Only meaningful for wall-clock
+// worlds, whose peers observe the departure; the in-process transport's
+// Close is a no-op.
+func (w *World) Close() error { return w.tr.Close() }
+
+// onFrame is the transport delivery handler: control frames mutate world
+// state, data frames become mailbox envelopes.
+func (w *World) onFrame(to int, hdr transport.Header, payload []byte) {
+	switch hdr.Ctx {
+	case ctxGoodbye:
+		datatype.PutBuffer(payload)
+		target := stateDead
+		if hdr.Tag == 1 {
+			target = stateExited
+		}
+		if w.states[hdr.Src].CompareAndSwap(stateRunning, target) {
+			w.noteDown()
+		}
+		return
+	case ctxRevoke:
+		datatype.PutBuffer(payload)
+		w.revoked.Store(hdr.Seq, struct{}{})
+		w.anyRevoked.Store(true)
+		w.progress.Add(1)
+		w.wakeAll()
+		return
+	}
+	w.deliver(to, &envelope{ctx: hdr.Ctx, src: int(hdr.Src), tag: int(hdr.Tag), data: payload,
+		arrival: hdr.Arrival, reliable: hdr.Reliable, wsrc: int(hdr.WSrc), seq: hdr.Seq, sum: hdr.Sum})
+}
+
+// onPeerDown is the transport failure callback: an abrupt connection loss
+// (no goodbye first) means the peer's process failed.
+func (w *World) onPeerDown(r int) {
+	if w.states[r].CompareAndSwap(stateRunning, stateDead) {
+		w.noteDown()
+	}
+}
+
+// sayGoodbye announces every local rank's final state to the remote peers
+// at the end of a wall-clock Run.  Best effort: an unreachable peer will
+// observe the connection loss instead.
+func (w *World) sayGoodbye() {
+	n := len(w.procs)
+	for l := 0; l < n; l++ {
+		if !w.tr.Local(l) {
+			continue
+		}
+		clean := int32(0)
+		if w.states[l].Load() == stateExited {
+			clean = 1
+		}
+		for r := 0; r < n; r++ {
+			if w.tr.Local(r) {
+				continue
+			}
+			_ = w.tr.Send(r, transport.Header{Ctx: ctxGoodbye, Src: int32(l), Tag: clean}, nil)
+		}
+	}
+}
+
+// mapTransportErr translates a transport send failure into the runtime's
+// error taxonomy.
+func mapTransportErr(err error, dst int, call string) error {
+	var re *transport.RetriesError
+	if errors.As(err, &re) {
+		return &TimeoutError{Rank: dst, Call: call, Attempts: re.Attempts}
+	}
+	return &RankFailedError{Rank: dst, Call: call}
+}
+
+// trySend is a best-effort internal send: a peer that died mid-recovery
+// must not abort the caller.  Injected crashes still propagate.
+func (c *Comm) trySend(dst, tag int, data []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(commPanic); ok {
+				return
+			}
+			panic(p)
+		}
+	}()
+	c.send(dst, tag, data)
+}
+
+// agreeWall is the distributed form of agree: an all-to-all exchange of
+// contribution words on a side-channel context derived from (ctx, call
+// seq).  The derived context is unique per call site and never revoked, so
+// agreement works on a revoked communicator — which is its whole purpose
+// during recovery.  A member that died before contributing is skipped, the
+// same membership rule the shared-slot path applies.
+func (c *Comm) agreeWall(words []uint64) ([]uint64, error) {
+	c.maybeCrash()
+	seq := c.agreeSeq
+	c.agreeSeq++
+	ac := &Comm{w: c.w, me: c.me, group: c.group, rank: c.rank,
+		ctx: splitmixCtx(c.ctx ^ 0x5bf03635aca2ee2d ^ (seq+1)*0x94d049bb133111eb)}
+
+	buf := make([]byte, 8*len(words))
+	for i, v := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	val := append([]uint64(nil), words...)
+	n := c.Size()
+	for r := 0; r < n; r++ {
+		if r != c.rank {
+			ac.trySend(r, tagCollBase, buf)
+		}
+	}
+	c.me.call = "Agree"
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			continue
+		}
+		env, err := ac.matchE(r, tagCollBase, 0)
+		if err != nil {
+			if errors.Is(err, ErrRankFailed) {
+				continue // died or exited without contributing
+			}
+			return nil, err
+		}
+		for i := range val {
+			if 8*i+8 <= len(env.data) {
+				val[i] |= binary.LittleEndian.Uint64(env.data[8*i:])
+			}
+		}
+		datatype.PutBuffer(env.data)
+	}
+	return val, nil
+}

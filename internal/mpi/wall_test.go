@@ -1,0 +1,245 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"nccd/internal/simnet"
+	"nccd/internal/transport"
+)
+
+// tcpWorlds builds an n-rank world as n TCP-connected Worlds in this one
+// process — the same topology as n OS processes, minus the fork — using
+// pre-bound listeners to avoid port races.  fp is injected both below the
+// TCP framing layer (link faults) and into the cluster (scheduled crashes).
+func tcpWorlds(t *testing.T, n int, cfg Config, fp *simnet.FaultPlan) []*World {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	worlds := make([]*World, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := transport.NewTCP(transport.TCPConfig{
+				Rank: r, Size: n, WorldID: 0x4ccd, Addrs: addrs, Listener: lns[r],
+				Faults: fp, AckTimeout: 20 * time.Millisecond, DialTimeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			cl := simnet.Uniform(n, simnet.IBDDR())
+			cl.Faults = fp
+			worlds[r], errs[r] = NewWorldTransport(tr, cl, cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("world %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, w := range worlds {
+			if w != nil {
+				w.Close()
+			}
+		}
+	})
+	return worlds
+}
+
+// runAll executes f on every world concurrently (each hosts one rank) and
+// returns the per-rank Run errors.
+func runAll(ws []*World, f func(c *Comm) error) []error {
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for r := range ws {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = ws[r].Run(f)
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}
+
+// TestWallCollectives drives point-to-point, the collectives and Split
+// across 4 single-rank worlds connected over localhost TCP.
+func TestWallCollectives(t *testing.T) {
+	const n = 4
+	ws := tcpWorlds(t, n, Optimized(), nil)
+	errs := runAll(ws, func(c *Comm) error {
+		me := c.Rank()
+		c.Barrier()
+
+		if got := c.AllreduceScalar(float64(me+1), OpSum); got != 10 {
+			return fmt.Errorf("allreduce sum = %v, want 10", got)
+		}
+		if got := c.AllreduceScalar(float64(me), OpMax); got != 3 {
+			return fmt.Errorf("allreduce max = %v, want 3", got)
+		}
+
+		var seed []byte
+		if me == 2 {
+			seed = []byte("wall-bcast")
+		}
+		if got := c.Bcast(2, seed); !bytes.Equal(got, []byte("wall-bcast")) {
+			return fmt.Errorf("bcast got %q", got)
+		}
+
+		// Ring exchange with a distinctive payload per link.
+		next, prev := (me+1)%n, (me+n-1)%n
+		c.Send(next, 7, []byte{byte(me), byte(me * 3)})
+		got, src := c.Recv(prev, 7)
+		if src != prev || !bytes.Equal(got, []byte{byte(prev), byte(prev * 3)}) {
+			return fmt.Errorf("ring recv from %d: src=%d payload=%v", prev, src, got)
+		}
+
+		mine := []byte{byte(me * 11)}
+		all := make([]byte, n)
+		c.Allgather(mine, all)
+		for r := 0; r < n; r++ {
+			if all[r] != byte(r*11) {
+				return fmt.Errorf("allgather slot %d = %d", r, all[r])
+			}
+		}
+
+		// Split into even/odd sub-communicators and reduce within each.
+		sub := c.Split(me%2, 0)
+		want := 2.0 // evens: 0+2
+		if me%2 == 1 {
+			want = 4.0 // odds: 1+3
+		}
+		if got := sub.AllreduceScalar(float64(me), OpSum); got != want {
+			return fmt.Errorf("split allreduce = %v, want %v", got, want)
+		}
+		c.Barrier()
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestWallLossyLink runs traffic over TCP with a seeded drop/corrupt/dup
+// plan injected below the framing layer: everything must still arrive
+// exactly once and intact via the transport's retransmission protocol,
+// with the mpi layer's own checksum defenses never involved.
+func TestWallLossyLink(t *testing.T) {
+	const n, rounds = 3, 30
+	fp := &simnet.FaultPlan{Seed: 7, Drop: 0.05, Corrupt: 0.05, Duplicate: 0.03}
+	ws := tcpWorlds(t, n, Optimized(), fp)
+	errs := runAll(ws, func(c *Comm) error {
+		me := c.Rank()
+		for k := 0; k < rounds; k++ {
+			if got := c.AllreduceScalar(float64(me+k), OpSum); got != float64(3*k+3) {
+				return fmt.Errorf("round %d: allreduce = %v, want %d", k, got, 3*k+3)
+			}
+			next, prev := (me+1)%n, (me+n-1)%n
+			c.Send(next, 3, []byte{byte(k), byte(me)})
+			got, _ := c.Recv(prev, 3)
+			if !bytes.Equal(got, []byte{byte(k), byte(prev)}) {
+				return fmt.Errorf("round %d: ring payload %v", k, got)
+			}
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	var agg transport.TCPStats
+	for _, w := range ws {
+		s := w.Transport().(*transport.TCP).Stats()
+		agg.Retransmits += s.Retransmits
+		agg.CRCRejects += s.CRCRejects
+		agg.Dropped += s.Dropped
+		agg.Corrupted += s.Corrupted
+		if w.ChecksumRejects() != 0 {
+			t.Fatalf("mpi-level checksum fired %d times; transport should have absorbed all corruption", w.ChecksumRejects())
+		}
+	}
+	if agg.Dropped == 0 || agg.Corrupted == 0 {
+		t.Fatalf("fault plan injected nothing: %+v", agg)
+	}
+	if agg.Retransmits == 0 || agg.CRCRejects == 0 {
+		t.Fatalf("reliability protocol never engaged: %+v", agg)
+	}
+}
+
+// TestWallShrinkAfterCrash exercises the ULFM path over real sockets: a
+// scheduled crash kills one rank's process-world mid-exchange, the
+// survivors observe the failure, Revoke the communicator (the revocation
+// travelling as a control frame), agree on the dead set with the
+// message-based distributed agreement, Shrink, and continue on the smaller
+// communicator.
+func TestWallShrinkAfterCrash(t *testing.T) {
+	const n = 3
+	fp := &simnet.FaultPlan{CrashAt: map[int]float64{2: 0.5}}
+	ws := tcpWorlds(t, n, Optimized(), fp)
+	errs := runAll(ws, func(c *Comm) error {
+		me := c.Rank()
+		err := Guard(func() error {
+			for i := 0; i < 10000; i++ {
+				c.Compute(0.01) // rank 2's virtual clock crosses CrashAt ~iteration 50
+				next, prev := (me+1)%n, (me+n-1)%n
+				c.Send(next, 1, []byte{byte(i)})
+				c.Recv(prev, 1)
+			}
+			return nil
+		})
+		if err == nil {
+			return errors.New("exchange survived a crashed peer")
+		}
+		if !errors.Is(err, ErrRankFailed) && !errors.Is(err, ErrRevoked) {
+			return fmt.Errorf("unexpected failure kind: %w", err)
+		}
+		c.Revoke()
+		sc, serr := c.Shrink()
+		if serr != nil {
+			return fmt.Errorf("shrink: %w", serr)
+		}
+		if sc.Size() != 2 {
+			return fmt.Errorf("shrunk size = %d, want 2", sc.Size())
+		}
+		if got := sc.AllreduceScalar(float64(c.WorldRank()), OpSum); got != 1 {
+			return fmt.Errorf("post-shrink allreduce = %v, want 1", got)
+		}
+		return nil
+	})
+	for r, err := range errs {
+		if r == 2 {
+			if err != nil {
+				t.Fatalf("crashed rank should report no error (crash is the experiment): %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("survivor rank %d: %v", r, err)
+		}
+	}
+	if got := ws[2].CrashedRanks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("world 2 crashed ranks = %v", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"nccd/internal/datatype"
 	"nccd/internal/simnet"
+	"nccd/internal/transport"
 )
 
 // World hosts a fixed set of ranks on a simulated cluster.  Create one with
@@ -19,6 +20,13 @@ type World struct {
 	cluster *simnet.Cluster
 	cfg     Config
 	procs   []*proc
+
+	// tr carries every message between ranks; wall caches tr.Wallclock().
+	// The in-process transport hosts all ranks and preserves virtual-time
+	// semantics exactly; wall-clock transports host a subset of the ranks
+	// in this process (see wall.go) and support a single Run.
+	tr   transport.Transport
+	wall bool
 
 	// states holds each rank's lifecycle (running/exited/dead) during a
 	// Run; anyDown short-circuits liveness checks on the happy path.
@@ -136,17 +144,40 @@ const (
 // internal tag space for collectives; user tags must stay below this.
 const tagCollBase = 1 << 20
 
-// NewWorld creates a world with one rank per cluster slot.  It panics if
-// cfg fails Validate.
+// NewWorld creates a world with one rank per cluster slot, on the
+// in-process transport.  It panics if cfg fails Validate.
 func NewWorld(cluster *simnet.Cluster, cfg Config) *World {
-	n := cluster.Size()
-	if n < 1 {
-		panic("mpi: cluster must have at least one rank")
-	}
-	if err := cfg.Validate(); err != nil {
+	w, err := NewWorldTransport(transport.NewInproc(cluster.Size()), cluster, cfg)
+	if err != nil {
 		panic(err)
 	}
-	w := &World{cluster: cluster, cfg: cfg.withDefaults()}
+	return w
+}
+
+// NewWorldTransport creates a world whose messages travel over tr, which
+// must span the same ranks as the cluster.  The transport is started here:
+// its delivery handler feeds the rank mailboxes, its failure callback the
+// rank lifecycle.  On a wall-clock transport the world hosts only the
+// local ranks, the watchdog is force-disabled (there is no global
+// quiescence to observe across processes), and only a single Run is
+// supported; see wall.go.
+func NewWorldTransport(tr transport.Transport, cluster *simnet.Cluster, cfg Config) (*World, error) {
+	n := cluster.Size()
+	if n < 1 {
+		return nil, errors.New("mpi: cluster must have at least one rank")
+	}
+	if tr.Size() != n {
+		return nil, fmt.Errorf("mpi: transport spans %d ranks but cluster has %d", tr.Size(), n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	wall := tr.Wallclock()
+	if wall {
+		cfg.Watchdog.Disable = true
+	}
+	w := &World{cluster: cluster, cfg: cfg, tr: tr, wall: wall}
 	w.agreeCond = sync.NewCond(&w.agreeMu)
 	w.agreeSlots = make(map[agreeID]*agreeSlot)
 	w.procs = make([]*proc, n)
@@ -157,7 +188,10 @@ func NewWorld(cluster *simnet.Cluster, cfg Config) *World {
 		p.sendSeq = make([]uint64, n)
 		w.procs[i] = p
 	}
-	return w
+	if err := tr.Start(w.onFrame, w.onPeerDown); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
 // Size returns the number of ranks.
@@ -183,8 +217,11 @@ func (w *World) Run(f func(c *Comm) error) error {
 	w.startRun()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	wg.Add(n)
 	for r := 0; r < n; r++ {
+		if !w.tr.Local(r) {
+			continue
+		}
+		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
@@ -209,6 +246,9 @@ func (w *World) Run(f func(c *Comm) error) error {
 	}
 	wg.Wait()
 	w.stopRun()
+	if w.wall {
+		w.sayGoodbye()
+	}
 	var joined []error
 	for r, e := range errs {
 		if e != nil {
@@ -218,14 +258,22 @@ func (w *World) Run(f func(c *Comm) error) error {
 	return errors.Join(joined...)
 }
 
-// startRun resets per-run failure state and starts the watchdog.
+// startRun resets per-run failure state and starts the watchdog.  On a
+// wall-clock transport the state of a remote rank is whatever its goodbye
+// frames and connection events last reported — a peer that already failed
+// stays failed.
 func (w *World) startRun() {
 	fp := w.cluster.Faults
+	anyDown := false
 	for r := range w.states {
-		w.states[r].Store(stateRunning)
-		w.procs[r].crashAt = fp.CrashTime(r)
+		if w.tr.Local(r) {
+			w.states[r].Store(stateRunning)
+			w.procs[r].crashAt = fp.CrashTime(r)
+		} else if w.states[r].Load() != stateRunning {
+			anyDown = true
+		}
 	}
-	w.anyDown.Store(false)
+	w.anyDown.Store(anyDown)
 	// Revocations and agreement slots describe failures of one Run; a new
 	// Run starts from a clean failure state, like the rank states above.
 	w.revoked.Range(func(k, _ any) bool { w.revoked.Delete(k); return true })
@@ -257,13 +305,26 @@ func (w *World) setState(r int, s int32) {
 		w.anyDown.Store(true)
 	}
 	w.progress.Add(1)
+	w.wakeAll()
+}
+
+// noteDown records that some rank went down (state already stored by the
+// caller) and wakes every blocked rank.
+func (w *World) noteDown() {
+	w.anyDown.Store(true)
+	w.progress.Add(1)
+	w.wakeAll()
+}
+
+// wakeAll re-evaluates every blocked wait: a state change can fail a
+// pending receive over, and a death can complete an in-flight agreement
+// (the dead member no longer owes a contribution).
+func (w *World) wakeAll() {
 	for _, p := range w.procs {
 		p.mu.Lock()
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
-	// A death can complete an in-flight agreement (the dead member no
-	// longer owes a contribution).
 	w.agreeMu.Lock()
 	w.agreeCond.Broadcast()
 	w.agreeMu.Unlock()
@@ -344,6 +405,19 @@ func (w *World) ResetClocks() {
 	for _, p := range w.procs {
 		p.clock = 0
 		p.stats = Stats{}
+	}
+}
+
+// transmit hands env to the transport for delivery to world rank dst.  On
+// the in-process transport this is a synchronous deposit into dst's
+// mailbox, payload by reference — the delivery path the runtime always
+// had, now routed through the seam.  Ownership of env.data passes to the
+// transport.
+func (w *World) transmit(dst int, env *envelope) {
+	hdr := transport.Header{Ctx: env.ctx, Src: int32(env.src), Tag: int32(env.tag),
+		Arrival: env.arrival, Reliable: env.reliable, WSrc: int32(env.wsrc), Seq: env.seq, Sum: env.sum}
+	if err := w.tr.Send(dst, hdr, env.data); err != nil {
+		throwErr(mapTransportErr(err, dst, "Send"))
 	}
 }
 

@@ -1,0 +1,635 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nccd/internal/datatype"
+	"nccd/internal/simnet"
+)
+
+// TCP hosts one rank of a world as an OS process and reaches the other
+// ranks over localhost (or any) TCP.  One multiplexed connection carries
+// each peer pair's traffic in both directions — data frames, their acks,
+// and runtime control messages interleave on the same stream — and the
+// connection pool establishes the full mesh during Start with a
+// deterministic dial direction (each rank dials its lower-ranked peers and
+// accepts from higher ones), so exactly one connection exists per pair.
+//
+// Reliability: a clean TCP stream does not lose or corrupt bytes, so by
+// default data frames are fire-and-forget (still CRC-framed).  When a
+// simnet.FaultPlan is configured, it is injected *below* the framing layer
+// on the sender: a transmission attempt may be dropped before the write,
+// duplicated, delayed, or have a byte of its encoded frame flipped so the
+// receiver's CRC trailer rejects it.  Such frames travel with FlagReliable
+// and a per-link sequence number; the receiver acknowledges accepted
+// frames and deduplicates by sequence, and the sender retransmits on ack
+// timeout with exponential backoff — the same protocol the mpi layer
+// simulates in virtual time for the inproc transport, now executed against
+// real sockets.
+type TCP struct {
+	cfg TCPConfig
+	ln  net.Listener
+
+	deliver Handler
+	down    DownFunc
+
+	mu        sync.Mutex
+	connected int
+	connCond  *sync.Cond
+
+	peers  []*tcpPeer
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	stats tcpCounters
+}
+
+// TCPConfig parameterizes a TCP endpoint.
+type TCPConfig struct {
+	// Rank is the world rank this process hosts.
+	Rank int
+	// Size is the world size.
+	Size int
+	// WorldID distinguishes concurrent worlds; the handshake rejects
+	// connections from a different world.
+	WorldID uint64
+	// Addrs lists every rank's listen address ("host:port"), indexed by
+	// rank.
+	Addrs []string
+	// Listener, when non-nil, is a pre-bound listener for Addrs[Rank]
+	// (launchers and tests bind first to avoid port races).
+	Listener net.Listener
+	// Faults, when non-nil and lossy, is injected below the framing layer
+	// on every outbound data frame (see the type comment).
+	Faults *simnet.FaultPlan
+	// AckTimeout is the wall-clock wait before the first retransmission of
+	// an unacknowledged reliable frame.  Default 200 ms.
+	AckTimeout time.Duration
+	// Backoff multiplies the ack timeout after every failed attempt.
+	// Default 2.
+	Backoff float64
+	// MaxRetries bounds transmission attempts per reliable frame.
+	// Default 16.
+	MaxRetries int
+	// DialTimeout bounds Start's mesh establishment.  Default 15 s.
+	DialTimeout time.Duration
+	// MaxFrame bounds a single frame's wire size.  Default 256 MiB.
+	MaxFrame int
+}
+
+func (c TCPConfig) withDefaults() TCPConfig {
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 200 * time.Millisecond
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 2
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 16
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 15 * time.Second
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// TCPStats counts wire traffic and the reliability protocol's work.
+type TCPStats struct {
+	FramesSent, FramesRecv int64
+	BytesSent, BytesRecv   int64
+	// Receiver-side defenses.
+	CRCRejects, DupRejects int64
+	// Sender-side protocol and injected-fault accounting.
+	Retransmits, Dropped, Corrupted, Duplicated int64
+	AcksSent, AcksRecv                          int64
+}
+
+type tcpCounters struct {
+	framesSent, framesRecv atomic.Int64
+	bytesSent, bytesRecv   atomic.Int64
+	crcRejects, dupRejects atomic.Int64
+	retransmits, dropped   atomic.Int64
+	corrupted, duplicated  atomic.Int64
+	acksSent, acksRecv     atomic.Int64
+}
+
+// tcpPeer is one pooled peer connection and its reliability state.
+type tcpPeer struct {
+	rank int
+
+	wmu     sync.Mutex // serializes frame writes (data from the rank, acks from the reader)
+	conn    net.Conn   // guarded by wmu
+	scratch []byte     // frame-head assembly buffer, under wmu
+	alive   atomic.Bool
+
+	seq atomic.Uint64 // next outbound reliable sequence on this link
+
+	ackMu sync.Mutex
+	acks  map[uint64]chan struct{}
+
+	next     uint64 // next inbound reliable sequence expected (dedup line)
+	downOnce sync.Once
+}
+
+// NewTCP creates (but does not connect) a TCP endpoint.  It binds the
+// listener immediately so peers can start dialing before Start is called.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Size < 1 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("transport: rank %d out of range for size %d", cfg.Rank, cfg.Size)
+	}
+	if len(cfg.Addrs) != cfg.Size {
+		return nil, fmt.Errorf("transport: %d addrs for %d ranks", len(cfg.Addrs), cfg.Size)
+	}
+	t := &TCP{cfg: cfg, ln: cfg.Listener}
+	t.connCond = sync.NewCond(&t.mu)
+	t.peers = make([]*tcpPeer, cfg.Size)
+	for r := range t.peers {
+		t.peers[r] = &tcpPeer{rank: r, acks: make(map[uint64]chan struct{})}
+	}
+	if t.ln == nil && cfg.Size > 1 {
+		ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.Rank], err)
+		}
+		t.ln = ln
+	}
+	return t, nil
+}
+
+// Size returns the world size.
+func (t *TCP) Size() int { return t.cfg.Size }
+
+// Self returns the rank this endpoint hosts.
+func (t *TCP) Self() int { return t.cfg.Rank }
+
+// Local reports whether r is the hosted rank.
+func (t *TCP) Local(r int) bool { return r == t.cfg.Rank }
+
+// Wallclock reports true: this transport has no virtual-time coupling.
+func (t *TCP) Wallclock() bool { return true }
+
+// Stats returns a snapshot of the wire and reliability counters.
+func (t *TCP) Stats() TCPStats {
+	c := &t.stats
+	return TCPStats{
+		FramesSent: c.framesSent.Load(), FramesRecv: c.framesRecv.Load(),
+		BytesSent: c.bytesSent.Load(), BytesRecv: c.bytesRecv.Load(),
+		CRCRejects: c.crcRejects.Load(), DupRejects: c.dupRejects.Load(),
+		Retransmits: c.retransmits.Load(), Dropped: c.dropped.Load(),
+		Corrupted: c.corrupted.Load(), Duplicated: c.duplicated.Load(),
+		AcksSent: c.acksSent.Load(), AcksRecv: c.acksRecv.Load(),
+	}
+}
+
+// Start establishes the full connection mesh — dialing every lower rank,
+// accepting every higher one — and begins delivering inbound frames.
+func (t *TCP) Start(deliver Handler, down DownFunc) error {
+	if t.deliver != nil {
+		return fmt.Errorf("transport: tcp already started")
+	}
+	t.deliver = deliver
+	t.down = down
+	if t.cfg.Size == 1 {
+		return nil
+	}
+
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	dialErr := make(chan error, t.cfg.Rank)
+	for r := 0; r < t.cfg.Rank; r++ {
+		go func(r int) { dialErr <- t.dialPeer(r) }(r)
+	}
+	for r := 0; r < t.cfg.Rank; r++ {
+		if err := <-dialErr; err != nil {
+			t.Close()
+			return err
+		}
+	}
+
+	// Wait for the higher ranks to dial in.
+	deadline := time.Now().Add(t.cfg.DialTimeout)
+	t.mu.Lock()
+	for t.connected < t.cfg.Size-1 && !t.closed.Load() {
+		if time.Now().After(deadline) {
+			n := t.connected
+			t.mu.Unlock()
+			t.Close()
+			return fmt.Errorf("transport: rank %d: only %d/%d peers connected within %v",
+				t.cfg.Rank, n, t.cfg.Size-1, t.cfg.DialTimeout)
+		}
+		t.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		t.mu.Lock()
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handshakeAccept(conn)
+		}()
+	}
+}
+
+// handshakeAccept validates an inbound dialer and registers its connection.
+func (t *TCP) handshakeAccept(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout))
+	f, err := t.readFrame(br)
+	if err != nil || f.Kind != KindHello || f.WorldID != t.cfg.WorldID ||
+		f.WSize != int32(t.cfg.Size) || f.Rank <= int32(t.cfg.Rank) || f.Rank >= int32(t.cfg.Size) {
+		conn.Close()
+		return
+	}
+	if err := t.writeHello(conn); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	t.register(int(f.Rank), conn, br)
+}
+
+// dialPeer connects to a lower-ranked peer, retrying until its listener is
+// up or the dial timeout expires.
+func (t *TCP) dialPeer(r int) error {
+	deadline := time.Now().Add(t.cfg.DialTimeout)
+	backoff := 2 * time.Millisecond
+	for {
+		if t.closed.Load() {
+			return ErrClosed
+		}
+		conn, err := net.DialTimeout("tcp", t.cfg.Addrs[r], time.Until(deadline))
+		if err == nil {
+			conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout))
+			if err := t.writeHello(conn); err != nil {
+				conn.Close()
+				return fmt.Errorf("transport: hello to rank %d: %w", r, err)
+			}
+			br := bufio.NewReader(conn)
+			f, err := t.readFrame(br)
+			if err != nil || f.Kind != KindHello || f.WorldID != t.cfg.WorldID || f.Rank != int32(r) {
+				conn.Close()
+				return fmt.Errorf("transport: bad hello reply from rank %d: %v", r, err)
+			}
+			conn.SetDeadline(time.Time{})
+			t.register(r, conn, br)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: dial rank %d (%s): %w", r, t.cfg.Addrs[r], err)
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (t *TCP) writeHello(conn net.Conn) error {
+	f := Frame{Kind: KindHello, WorldID: t.cfg.WorldID, Rank: int32(t.cfg.Rank), WSize: int32(t.cfg.Size)}
+	_, err := conn.Write(EncodeFrame(nil, &f))
+	return err
+}
+
+// register installs a completed connection in the pool and starts its
+// reader.  A duplicate (protocol violation) is dropped.
+func (t *TCP) register(rank int, conn net.Conn, br *bufio.Reader) {
+	p := t.peers[rank]
+	p.wmu.Lock()
+	if p.conn != nil || t.closed.Load() {
+		p.wmu.Unlock()
+		conn.Close()
+		return
+	}
+	p.conn = conn
+	p.alive.Store(true)
+	p.wmu.Unlock()
+	t.mu.Lock()
+	t.connected++
+	t.connCond.Broadcast()
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.readLoop(p, br)
+	}()
+}
+
+// readFrame reads one whole frame from br into a pooled buffer and decodes
+// it.  The returned frame's payload aliases the pooled buffer; the caller
+// copies what it keeps and the buffer is recycled here... except Payload,
+// which readLoop copies before release.
+func (t *TCP) readFrame(br *bufio.Reader) (Frame, error) {
+	var prefix [framePrefixLen]byte
+	if _, err := io.ReadFull(br, prefix[:]); err != nil {
+		return Frame{}, err
+	}
+	n := int(binary.LittleEndian.Uint32(prefix[:]))
+	if n < 1+frameTrailerLen || n > t.cfg.MaxFrame {
+		return Frame{}, ErrFrameLength
+	}
+	buf := datatype.GetBuffer(framePrefixLen + n)
+	copy(buf, prefix[:])
+	if _, err := io.ReadFull(br, buf[framePrefixLen:]); err != nil {
+		datatype.PutBuffer(buf)
+		return Frame{}, err
+	}
+	f, _, err := DecodeFrame(buf, t.cfg.MaxFrame)
+	if err != nil {
+		datatype.PutBuffer(buf)
+		return Frame{}, err
+	}
+	t.stats.bytesRecv.Add(int64(framePrefixLen + n))
+	// Hand the payload over in its own pooled buffer so the frame buffer
+	// can be recycled and the receiver can free the payload independently.
+	if f.Kind == KindData {
+		payload := datatype.GetBuffer(len(f.Payload))
+		copy(payload, f.Payload)
+		f.Payload = payload
+	}
+	datatype.PutBuffer(buf)
+	return f, nil
+}
+
+// readLoop drains one peer connection: data frames are deduplicated,
+// acknowledged (when reliable) and delivered; acks complete pending
+// reliable sends; CRC-rejected frames are dropped where the retransmission
+// protocol will recover them.
+func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
+	for {
+		f, err := t.readFrame(br)
+		if err == ErrChecksum {
+			t.stats.crcRejects.Add(1)
+			continue
+		}
+		if err != nil {
+			t.peerGone(p)
+			return
+		}
+		switch f.Kind {
+		case KindData:
+			t.stats.framesRecv.Add(1)
+			if f.Flags&FlagReliable != 0 {
+				if f.TSeq < p.next {
+					// Duplicate of an accepted frame (injected dup or a
+					// retransmission whose ack was in flight): re-ack so the
+					// sender stops, discard the copy.
+					t.stats.dupRejects.Add(1)
+					t.sendAck(p, f.TSeq)
+					datatype.PutBuffer(f.Payload)
+					continue
+				}
+				p.next = f.TSeq + 1
+				t.sendAck(p, f.TSeq)
+			}
+			t.deliver(t.cfg.Rank, f.Hdr, f.Payload)
+		case KindAck:
+			t.stats.acksRecv.Add(1)
+			p.ackMu.Lock()
+			if ch, ok := p.acks[f.TSeq]; ok {
+				delete(p.acks, f.TSeq)
+				close(ch)
+			}
+			p.ackMu.Unlock()
+		default:
+			// Hello after establishment: protocol violation; ignore.
+			if f.Payload != nil {
+				datatype.PutBuffer(f.Payload)
+			}
+		}
+	}
+}
+
+// peerGone marks a lost connection and fires the failure callback once.
+func (t *TCP) peerGone(p *tcpPeer) {
+	p.downOnce.Do(func() {
+		p.alive.Store(false)
+		p.wmu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+		p.wmu.Unlock()
+		// Fail any sends still waiting for acks from this peer.
+		p.ackMu.Lock()
+		for seq, ch := range p.acks {
+			delete(p.acks, seq)
+			close(ch)
+		}
+		p.ackMu.Unlock()
+		if !t.closed.Load() && t.down != nil {
+			t.down(p.rank)
+		}
+	})
+}
+
+func (t *TCP) sendAck(p *tcpPeer, seq uint64) {
+	f := Frame{Kind: KindAck, TSeq: seq}
+	p.wmu.Lock()
+	if p.conn != nil {
+		buf := EncodeFrame(p.scratch[:0], &f)
+		p.scratch = buf[:0]
+		if _, err := p.conn.Write(buf); err == nil {
+			t.stats.acksSent.Add(1)
+			t.stats.bytesSent.Add(int64(len(buf)))
+		}
+	}
+	p.wmu.Unlock()
+}
+
+// Send delivers hdr+payload to rank to.  Self-sends bypass the socket and
+// pass the payload by reference; remote sends put it on the wire —
+// zero-copy via vectored write on the clean path — and return the buffer
+// to the shared pool.  With a lossy fault plan, the frame runs the
+// ack/retransmission protocol described on the type.
+func (t *TCP) Send(to int, hdr Header, payload []byte) error {
+	if to < 0 || to >= t.cfg.Size {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", to, t.cfg.Size)
+	}
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if to == t.cfg.Rank {
+		t.deliver(to, hdr, payload)
+		return nil
+	}
+	p := t.peers[to]
+	if !p.alive.Load() {
+		return &PeerDownError{Rank: to}
+	}
+	fp := t.cfg.Faults
+	if fp.Lossy() {
+		return t.sendReliable(p, hdr, payload)
+	}
+	err := t.writeData(p, &Frame{Kind: KindData, Hdr: hdr, Payload: payload})
+	datatype.PutBuffer(payload)
+	if err != nil {
+		t.peerGone(p)
+		return &PeerDownError{Rank: to}
+	}
+	t.stats.framesSent.Add(1)
+	return nil
+}
+
+// writeData writes a data frame without copying the payload: the frame
+// head and CRC trailer are assembled in the peer's scratch buffer and the
+// three pieces go out in one vectored write.
+func (t *TCP) writeData(p *tcpPeer, f *Frame) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.conn == nil {
+		return ErrPeerDown
+	}
+	head := p.scratch[:0]
+	head = append(head, 0, 0, 0, 0)
+	head = append(head, KindData)
+	var b [9]byte
+	binary.LittleEndian.PutUint64(b[0:], f.TSeq)
+	b[8] = f.Flags
+	head = append(head, b[:]...)
+	head = appendHeader(head, &f.Hdr)
+	binary.LittleEndian.PutUint32(head[0:], uint32(len(head)-framePrefixLen+len(f.Payload)+frameTrailerLen))
+	sum := crc32.ChecksumIEEE(head[framePrefixLen:])
+	sum = crc32.Update(sum, crc32.IEEETable, f.Payload)
+	var trailer [frameTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum)
+	p.scratch = head[:0]
+
+	bufs := net.Buffers{head, f.Payload, trailer[:]}
+	n, err := bufs.WriteTo(p.conn)
+	t.stats.bytesSent.Add(n)
+	return err
+}
+
+// sendReliable runs the ack/retransmission protocol for one frame, with
+// the fault plan injected below framing on every attempt.
+func (t *TCP) sendReliable(p *tcpPeer, hdr Header, payload []byte) error {
+	defer datatype.PutBuffer(payload)
+	fp := t.cfg.Faults
+	seq := p.seq.Add(1) - 1
+	f := Frame{Kind: KindData, TSeq: seq, Flags: FlagReliable, Hdr: hdr, Payload: payload}
+
+	// The encoded frame is built once; corruption flips a byte of a copy.
+	wire := EncodeFrame(nil, &f)
+	timeout := t.cfg.AckTimeout
+	for attempt := 0; ; attempt++ {
+		if t.closed.Load() {
+			return ErrClosed
+		}
+		ack := make(chan struct{})
+		p.ackMu.Lock()
+		p.acks[seq] = ack
+		p.ackMu.Unlock()
+
+		drop, dup, corrupt, delay := fp.Attempt(t.cfg.Rank, p.rank, seq, attempt)
+		if delay > 0 {
+			time.Sleep(time.Duration(delay * float64(time.Second)))
+		}
+		var werr error
+		switch {
+		case drop:
+			t.stats.dropped.Add(1)
+		case corrupt:
+			bad := append([]byte(nil), wire...)
+			// Flip a body or trailer byte — never the length prefix, which
+			// framing does not protect and which would desynchronize the
+			// stream rather than exercise the CRC path.
+			off := framePrefixLen + fp.CorruptByte(t.cfg.Rank, p.rank, seq, attempt, len(bad)-framePrefixLen)
+			bad[off] ^= 0xFF
+			t.stats.corrupted.Add(1)
+			werr = t.writeWire(p, bad)
+		default:
+			werr = t.writeWire(p, wire)
+			if werr == nil && dup {
+				t.stats.duplicated.Add(1)
+				werr = t.writeWire(p, wire)
+			}
+		}
+		if werr == nil && !drop {
+			t.stats.framesSent.Add(1)
+		}
+		if werr != nil {
+			t.peerGone(p)
+			return &PeerDownError{Rank: p.rank}
+		}
+
+		select {
+		case <-ack:
+			// Closed by the reader on ack — or by peerGone on failure.
+			if !p.alive.Load() {
+				return &PeerDownError{Rank: p.rank}
+			}
+			return nil
+		case <-time.After(timeout):
+		}
+		p.ackMu.Lock()
+		_, pending := p.acks[seq]
+		delete(p.acks, seq)
+		p.ackMu.Unlock()
+		if !pending {
+			// The ack raced the timeout; it was accepted.
+			if !p.alive.Load() {
+				return &PeerDownError{Rank: p.rank}
+			}
+			return nil
+		}
+		if attempt+1 >= t.cfg.MaxRetries {
+			return &RetriesError{Rank: p.rank, Attempts: attempt + 1}
+		}
+		t.stats.retransmits.Add(1)
+		timeout = time.Duration(float64(timeout) * t.cfg.Backoff)
+	}
+}
+
+func (t *TCP) writeWire(p *tcpPeer, wire []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.conn == nil {
+		return ErrPeerDown
+	}
+	n, err := p.conn.Write(wire)
+	t.stats.bytesSent.Add(int64(n))
+	return err
+}
+
+// Close tears the endpoint down: the listener and every pooled connection
+// are closed and the reader goroutines drained.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, p := range t.peers {
+		p.wmu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.wmu.Unlock()
+	}
+	t.wg.Wait()
+	return nil
+}

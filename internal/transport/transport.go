@@ -1,0 +1,105 @@
+// Package transport is the seam between the message-passing runtime in
+// internal/mpi and whatever actually carries its bytes.  The runtime above
+// speaks in framed messages — a fixed Header of routing and reliability
+// metadata plus an opaque payload — and the transport below decides whether
+// those frames cross a channel inside one process (Inproc, the original
+// simnet path, preserving virtual-time semantics exactly) or a real TCP
+// socket between OS processes (TCP, wall-clock mode, with length-prefixed
+// framing, a CRC-32 trailer, per-peer connection pooling and an
+// ack/retransmission protocol when a simnet.FaultPlan is injected below the
+// framing layer).
+package transport
+
+import "errors"
+
+// Header is the runtime metadata that travels with every message.  The
+// fields mirror internal/mpi's envelope: routing (communicator context,
+// sender comm rank, tag), the virtual-time arrival stamp used by the inproc
+// transport, and the inproc reliability-simulation fields (Reliable..Sum)
+// that the mpi layer sets when it models faults itself.  Wall-clock
+// transports carry the header verbatim and run their own reliability
+// protocol underneath it.
+type Header struct {
+	// Ctx is the communicator context id; a few values at the top of the
+	// space are reserved by internal/mpi for control messages (goodbye,
+	// revoke) that never reach a mailbox.
+	Ctx uint64
+	// Src is the sender's rank within the communicator.
+	Src int32
+	// Tag is the message tag.
+	Tag int32
+	// Arrival is the virtual time at which the payload is fully available
+	// (inproc semantics; wall-clock receivers ignore it).
+	Arrival float64
+	// Reliable marks an envelope of the mpi layer's own fault simulation;
+	// WSrc/Seq/Sum are its world-rank, sequence and CRC-32 fields.
+	Reliable bool
+	WSrc     int32
+	Seq      uint64
+	Sum      uint32
+}
+
+// Handler consumes one inbound message addressed to local rank to.  The
+// payload is owned by the handler: transports either pass the sender's
+// buffer by reference (inproc, self-sends) or hand over a freshly pooled
+// buffer (sockets), and the mpi receive path returns it to the shared
+// datatype buffer pool once consumed.
+type Handler func(to int, hdr Header, payload []byte)
+
+// DownFunc is the failure-notification callback: the transport observed
+// that rank can no longer communicate (connection loss, abrupt close).
+// Clean departures are announced by the runtime itself above the transport;
+// DownFunc only reports failures detected below it.
+type DownFunc func(rank int)
+
+// Transport moves framed messages between the ranks of one world.
+type Transport interface {
+	// Size is the world size.
+	Size() int
+	// Local reports whether rank r is hosted by this process.
+	Local(r int) bool
+	// Start connects the transport (dialing/accepting peers for networked
+	// implementations) and registers the inbound delivery handler and the
+	// failure callback.  It must be called exactly once, before Send.
+	Start(deliver Handler, down DownFunc) error
+	// Send delivers hdr+payload to rank to.  Ownership of payload passes to
+	// the transport: it is either delivered by reference to the receiving
+	// handler or written to the wire and returned to the shared buffer
+	// pool.  Send blocks until the payload is no longer needed by the
+	// caller's buffer (for reliable wall-clock sends, until acknowledged).
+	Send(to int, hdr Header, payload []byte) error
+	// Wallclock reports whether the transport runs in wall-clock mode
+	// (real sockets, no cross-rank virtual-time coupling) rather than the
+	// deterministic virtual-time mode of the in-process path.
+	Wallclock() bool
+	// Close tears the transport down; in-flight receives fail.
+	Close() error
+}
+
+// Typed transport errors.  The mpi layer maps these onto its own error
+// taxonomy (ErrRankFailed, ErrTimeout).
+var (
+	// ErrPeerDown reports that the destination rank's connection is gone.
+	ErrPeerDown = errors.New("transport: peer down")
+	// ErrRetriesExhausted reports that a reliable send ran out of
+	// retransmission attempts without an acknowledgment.
+	ErrRetriesExhausted = errors.New("transport: retries exhausted")
+	// ErrClosed reports use of a transport after Close.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// PeerDownError carries the unreachable rank.  It wraps ErrPeerDown.
+type PeerDownError struct{ Rank int }
+
+func (e *PeerDownError) Error() string { return "transport: peer rank down" }
+func (e *PeerDownError) Unwrap() error { return ErrPeerDown }
+
+// RetriesError carries the peer and attempt count of an exhausted reliable
+// send.  It wraps ErrRetriesExhausted.
+type RetriesError struct {
+	Rank     int
+	Attempts int
+}
+
+func (e *RetriesError) Error() string { return "transport: reliable send exhausted retries" }
+func (e *RetriesError) Unwrap() error { return ErrRetriesExhausted }
