@@ -1,7 +1,10 @@
 // Command dtbench runs the datatype pack/unpack microbenchmark: the
 // interpreted streaming engines raced against the compiled-plan layer in
 // wall-clock time, plus the plan-cache behavior of a repeated VecScatter.
-// Results are printed as a table and written as JSON for tracking.
+// Results are printed as a table and written as JSON for tracking.  With
+// -obsjson it also measures the tracing subsystem's overhead (disabled
+// instrumentation site, enabled emit, and the Fig. 16 scatter path traced
+// vs. untraced) and writes BENCH_obs.json.
 package main
 
 import (
@@ -10,18 +13,51 @@ import (
 	"os"
 
 	"nccd/internal/bench"
+	"nccd/internal/obs"
 )
 
 func main() {
 	jsonPath := flag.String("json", "BENCH_datatype.json", "output JSON path (empty to skip)")
+	obsPath := flag.String("obsjson", "", "also run the tracer-overhead benchmark and write its JSON here (e.g. BENCH_obs.json)")
+	trace := flag.String("trace", "", "enable the global tracer (plan-compile spans) and write its Chrome trace here")
+	metrics := flag.String("metrics", "", "write a JSON snapshot of the process metrics registry here after the run")
 	flag.Parse()
+
+	if *trace != "" {
+		obs.Default.Enable()
+	}
 	d := bench.RunDatatypeBench()
 	d.Print(os.Stdout)
 	if *jsonPath != "" {
 		if err := d.WriteJSONFile(*jsonPath); err != nil {
-			fmt.Fprintln(os.Stderr, "dtbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Println("wrote", *jsonPath)
 	}
+	if *obsPath != "" {
+		p := bench.VecScatterParams{PerRankDoubles: 1 << 14, Iters: 64}
+		o := bench.RunObsOverhead(4, p)
+		o.Print(os.Stdout)
+		if err := o.WriteJSONFile(*obsPath); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *obsPath)
+	}
+	if *trace != "" {
+		if err := obs.WriteChromeTraceFile(*trace, obs.Default.Spans(), 0); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *trace)
+	}
+	if *metrics != "" {
+		if err := obs.Metrics.WriteSnapshotFile(*metrics); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *metrics)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dtbench:", err)
+	os.Exit(1)
 }

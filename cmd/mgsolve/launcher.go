@@ -13,7 +13,14 @@ import (
 
 	"nccd/internal/bench"
 	"nccd/internal/core"
+	"nccd/internal/obs"
 )
+
+// rankTracePath names rank r's intermediate trace file; the per-rank files
+// are kept next to the merged output.
+func rankTracePath(base string, r int) string {
+	return fmt.Sprintf("%s.rank%d", base, r)
+}
 
 // launchConfig parameterizes the multi-process run.
 type launchConfig struct {
@@ -27,6 +34,7 @@ type launchConfig struct {
 	delayMean  float64
 	seed       uint64
 	skipVerify bool
+	trace      string // merged Chrome trace output path; "" = no tracing
 }
 
 // runLauncher spawns lc.n nccdd rank daemons on localhost, collects their
@@ -83,6 +91,22 @@ func runLauncher(lc launchConfig) int {
 	fmt.Printf("wire: %d frames sent, %d dropped, %d corrupted, %d retransmits, %d CRC rejects\n",
 		agg.frames, agg.dropped, agg.corrupted, agg.retrans, agg.crc)
 
+	if lc.trace != "" {
+		paths := make([]string, lc.n)
+		for r := range paths {
+			paths[r] = rankTracePath(lc.trace, r)
+		}
+		if err := obs.MergeChromeTraceFiles(lc.trace, paths); err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: merging traces: %v\n", err)
+			return 1
+		}
+		if err := obs.ValidateChromeTraceFile(lc.trace); err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: merged trace failed validation: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s, merged from %d per-rank traces (load it at https://ui.perfetto.dev)\n", lc.trace, lc.n)
+	}
+
 	// Every rank solved the same system; their histories must agree with
 	// each other before being compared against the reference.
 	for r := 1; r < lc.n; r++ {
@@ -127,6 +151,9 @@ func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launc
 		"-dup", fmt.Sprint(lc.dup),
 		"-delaymean", fmt.Sprint(lc.delayMean),
 		"-seed", fmt.Sprint(lc.seed),
+	}
+	if lc.trace != "" {
+		args = append(args, "-trace", rankTracePath(lc.trace, rank))
 	}
 	cmd := exec.Command(daemon, args...)
 	cmd.Stderr = os.Stderr

@@ -10,9 +10,12 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
 
 	"nccd/internal/bench"
+	"nccd/internal/core"
+	"nccd/internal/obs"
 )
 
 func main() {
@@ -29,14 +32,54 @@ func main() {
 	delayMean := flag.Float64("delaymean", 0, "mean injected frame delay in seconds")
 	seed := flag.Uint64("seed", 1, "fault plan seed")
 	noVerify := flag.Bool("noverify", false, "skip the in-process reference comparison after a -tcp run")
+	trace := flag.String("trace", "", "write a merged Chrome trace JSON here (with -tcp: per-rank files <path>.rank<N> are merged; without: one traced in-process solve instead of the Fig 17 sweep)")
+	np := flag.Int("np", 4, "rank count for a traced in-process solve (-trace without -tcp)")
+	metrics := flag.String("metrics", "", "write a JSON snapshot of the process metrics registry here after the run")
 	flag.Parse()
 	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
-	if *tcp > 0 {
-		os.Exit(runLauncher(launchConfig{
+	code := 0
+	switch {
+	case *tcp > 0:
+		code = runLauncher(launchConfig{
 			n: *tcp, daemon: *daemon, arm: *arm, p: p,
 			drop: *drop, corrupt: *corrupt, dup: *dup, delayMean: *delayMean,
-			seed: *seed, skipVerify: *noVerify,
-		}))
+			seed: *seed, skipVerify: *noVerify, trace: *trace,
+		})
+	case *trace != "":
+		code = runTracedSolve(*np, *arm, p, *trace)
+	default:
+		bench.Fig17([]int{4, 8, 16, 32, 64, 128}, p).Print(os.Stdout)
 	}
-	bench.Fig17([]int{4, 8, 16, 32, 64, 128}, p).Print(os.Stdout)
+	if *metrics != "" {
+		if err := obs.Metrics.WriteSnapshotFile(*metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: writing metrics: %v\n", err)
+			code = 1
+		} else {
+			fmt.Println("wrote metrics snapshot", *metrics)
+		}
+	}
+	os.Exit(code)
+}
+
+// runTracedSolve runs one in-process multigrid solve with tracing enabled
+// and writes the Chrome trace.
+func runTracedSolve(n int, arm string, p bench.MultigridParams, path string) int {
+	cfg, mode, err := bench.ArmByName(arm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	res, spans, err := bench.TraceMultigrid(n, p, core.Arm{Name: arm, Config: cfg, Mode: mode}, path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	if err := obs.ValidateChromeTraceFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: trace failed validation: %v\n", err)
+		return 1
+	}
+	fmt.Printf("traced solve: %d ranks, %d cycles, relres %.3e, %d spans\n",
+		n, res.Cycles, res.RelRes, len(spans))
+	fmt.Printf("wrote %s (load it at https://ui.perfetto.dev)\n", path)
+	return 0
 }

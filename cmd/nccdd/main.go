@@ -43,6 +43,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fault plan seed")
 	crashAt := flag.Float64("crashat", 0, "virtual time at which this rank crashes (0 = never)")
 	ackTimeout := flag.Duration("acktimeout", 20*time.Millisecond, "wall-clock wait before the first retransmission")
+	trace := flag.String("trace", "", "write this rank's Chrome trace JSON to the given path")
+	metrics := flag.String("metrics", "", "serve the metrics registry over HTTP at this address (e.g. 127.0.0.1:0); the bound address is printed as a METRICS line")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -71,6 +73,7 @@ func main() {
 		cfg,
 		bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles},
 		mode,
+		bench.DaemonObs{TracePath: *trace, MetricsAddr: *metrics},
 	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nccdd: rank %d: %v\n", *rank, err)

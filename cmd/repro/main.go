@@ -10,10 +10,16 @@ import (
 	"time"
 
 	"nccd/internal/bench"
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+	"nccd/internal/obs"
+	"nccd/internal/petsc"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameter sweeps")
+	trace := flag.String("trace", "", "after the sweeps, run one traced multigrid solve and write its Chrome trace here")
+	metrics := flag.String("metrics", "", "write a JSON snapshot of the process metrics registry here after the run")
 	flag.Parse()
 
 	start := time.Now()
@@ -53,6 +59,23 @@ func main() {
 	bench.Fig15(a2aProcs, a2aIters).Print(os.Stdout)
 	bench.Fig16(vsProcs, vsParams).Print(os.Stdout)
 	bench.Fig17(mgProcs, mgParams).Print(os.Stdout)
+
+	if *trace != "" {
+		arm := core.Arm{Name: "compiled", Config: mpi.Compiled(), Mode: petsc.ScatterDatatype}
+		res, spans, err := bench.TraceMultigrid(4, mgParams, arm, *trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("traced solve: %d cycles, %d spans; wrote %s\n", res.Cycles, len(spans), *trace)
+	}
+	if *metrics != "" {
+		if err := obs.Metrics.WriteSnapshotFile(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote metrics snapshot", *metrics)
+	}
 
 	fmt.Printf("total harness time: %v\n", time.Since(start).Round(time.Second))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nccd/internal/mpi"
+	"nccd/internal/obs"
 	"nccd/internal/petsc"
 	"nccd/internal/simnet"
 	"nccd/internal/transport"
@@ -18,6 +19,23 @@ type RankReport struct {
 	RelRes  float64            `json:"relres"`
 	History []float64          `json:"history"`
 	Stats   transport.TCPStats `json:"stats"`
+	// Trace is the path of this rank's Chrome trace file, when tracing
+	// was requested.
+	Trace string `json:"trace,omitempty"`
+}
+
+// DaemonObs configures a rank daemon's observability surfaces.
+type DaemonObs struct {
+	// TracePath, when non-empty, enables span recording for the run and
+	// writes this rank's Chrome trace file there afterwards.  The
+	// launcher merges the per-rank files with obs.MergeChromeTraceFiles.
+	TracePath string
+	// MetricsAddr, when non-empty, serves the process metrics registry
+	// (plan cache, pool, reliability counters, live TCP endpoint stats)
+	// over HTTP for the duration of the run.  The caller learns the
+	// bound address — ":0" picks an ephemeral port — from the daemon's
+	// "METRICS <addr>" stdout line.
+	MetricsAddr string
 }
 
 // ArmByName maps a command-line arm name to an MPI build and scatter
@@ -46,7 +64,7 @@ func ArmByName(name string) (mpi.Config, petsc.ScatterMode, error) {
 // cluster's plan, so scheduled crashes (CrashAt) fire off the local
 // virtual clock; link-fault simulation in virtual time is skipped in wall
 // mode, so the plan is never applied twice.
-func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode) (RankReport, error) {
+func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode, ob DaemonObs) (RankReport, error) {
 	tr, err := transport.NewTCP(tcfg)
 	if err != nil {
 		return RankReport{}, err
@@ -59,13 +77,33 @@ func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridPar
 		return RankReport{}, err
 	}
 	defer w.Close()
+	if ob.TracePath != "" {
+		w.Tracer().Enable()
+	}
+	if ob.MetricsAddr != "" {
+		obs.Metrics.RegisterFunc("transport.tcp", func() any { return tr.Stats() })
+		defer obs.Metrics.Unregister("transport.tcp")
+		srv, err := obs.ServeMetrics(ob.MetricsAddr, obs.Metrics)
+		if err != nil {
+			return RankReport{}, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("METRICS %s\n", srv.Addr())
+	}
 	res := RunMultigridWorld(w, p, mode)
-	return RankReport{
+	rep := RankReport{
 		Rank:    tcfg.Rank,
 		Seconds: res.Seconds,
 		Cycles:  res.Cycles,
 		RelRes:  res.RelRes,
 		History: res.History,
 		Stats:   tr.Stats(),
-	}, nil
+	}
+	if ob.TracePath != "" {
+		if err := obs.WriteChromeTraceFile(ob.TracePath, w.Tracer().Spans(), tcfg.Rank); err != nil {
+			return RankReport{}, fmt.Errorf("writing trace: %w", err)
+		}
+		rep.Trace = ob.TracePath
+	}
+	return rep, nil
 }

@@ -31,13 +31,11 @@ type DatatypeBenchRow struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// PlanCacheReport summarizes plan-cache traffic for the JSON report.
+// PlanCacheReport summarizes plan-cache traffic for the JSON report: the
+// cache's typed snapshot plus the derived hit rate.
 type PlanCacheReport struct {
-	Hits      int64   `json:"hits"`
-	Misses    int64   `json:"misses"`
-	Evictions int64   `json:"evictions"`
-	Size      int     `json:"size"` // live entries when the run finished
-	HitRate   float64 `json:"hit_rate"`
+	datatype.CacheStats
+	HitRate float64 `json:"hit_rate"`
 }
 
 // DatatypeBench is the full microbenchmark report, serializable as
@@ -209,7 +207,7 @@ func measureScatterCache() PlanCacheReport {
 		panic(err)
 	}
 	s := datatype.PlanCacheStats()
-	r := PlanCacheReport{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Size: s.Size}
+	r := PlanCacheReport{CacheStats: s}
 	if total := s.Hits + s.Misses; total > 0 {
 		r.HitRate = float64(s.Hits) / float64(total)
 	}
@@ -223,9 +221,9 @@ func (d *DatatypeBench) Print(w io.Writer) {
 	for _, r := range d.Rows {
 		fmt.Fprintf(w, "  %-38s %12d %12.0f %12.0f %10.1f\n", r.Name, r.Bytes, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
 	}
-	fmt.Fprintf(w, "  vecscatter plan cache: %d hits / %d misses / %d evictions, %d live plans (hit rate %.0f%%)\n\n",
+	fmt.Fprintf(w, "  vecscatter plan cache: %d hits / %d misses / %d evictions, %d live plans / %d B (hit rate %.0f%%)\n\n",
 		d.ScatterCache.Hits, d.ScatterCache.Misses, d.ScatterCache.Evictions,
-		d.ScatterCache.Size, 100*d.ScatterCache.HitRate)
+		d.ScatterCache.Entries, d.ScatterCache.Bytes, 100*d.ScatterCache.HitRate)
 }
 
 // WriteJSON emits the report as indented JSON.

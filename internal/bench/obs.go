@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+	"nccd/internal/obs"
+	"nccd/internal/petsc"
+)
+
+// The observability benchmark answers the question the tracing subsystem
+// must answer before it can stay compiled into the hot path: what does an
+// instrumentation site cost when tracing is off, and what does recording
+// cost when it is on?  The macro measurement reruns the Figure 16 vector
+// scatter — the paper's hot path — with the world tracer disabled and
+// enabled and compares wall-clock ns per scatter.
+
+// ObsBench is the tracer-overhead report, serializable as BENCH_obs.json.
+type ObsBench struct {
+	// DisabledSiteNs is the wall cost of one instrumentation site
+	// (enabled check, no emit) with the tracer off — the price every
+	// untraced run pays.  Must stay within a few ns.
+	DisabledSiteNs float64 `json:"disabled_site_ns"`
+	// EnabledEmitNs is the wall cost of recording one span to the ring.
+	EnabledEmitNs float64 `json:"enabled_emit_ns"`
+	// ScatterDisabledNs / ScatterEnabledNs are wall ns per VecScatter on
+	// the Fig. 16 path with tracing off and on.
+	ScatterDisabledNs float64 `json:"scatter_disabled_ns"`
+	ScatterEnabledNs  float64 `json:"scatter_enabled_ns"`
+	// ScatterOverheadPct is the relative slowdown tracing adds to the
+	// scatter path.
+	ScatterOverheadPct float64 `json:"scatter_overhead_pct"`
+	// SpansPerScatter is how many spans one traced scatter records
+	// across all ranks.
+	SpansPerScatter float64 `json:"spans_per_scatter"`
+}
+
+// RunObsOverhead measures the tracing subsystem's overhead, micro (per
+// site) and macro (per Fig. 16 vector scatter with n ranks).
+func RunObsOverhead(n int, p VecScatterParams) *ObsBench {
+	out := &ObsBench{}
+
+	// Micro: one disabled site, then one enabled emit.  The inner loop
+	// amortizes the timing-closure call overhead.
+	const inner = 1024
+	tr := obs.NewTracer(1 << 12)
+	site := func() {
+		for i := 0; i < inner; i++ {
+			if tr.Enabled() {
+				tr.Emit(obs.Span{Kind: "bench"})
+			}
+		}
+	}
+	ns, _, _ := measureReal(1, site)
+	out.DisabledSiteNs = ns / inner
+	tr.Enable()
+	ns, _, _ = measureReal(1, site)
+	out.EnabledEmitNs = ns / inner
+
+	arm := core.Arm{Name: "compiled", Config: mpi.Compiled(), Mode: petsc.ScatterDatatype}
+	out.ScatterDisabledNs, _ = scatterWallNs(n, p, arm, false)
+	var spans int
+	out.ScatterEnabledNs, spans = scatterWallNs(n, p, arm, true)
+	if out.ScatterDisabledNs > 0 {
+		out.ScatterOverheadPct = 100 * (out.ScatterEnabledNs - out.ScatterDisabledNs) / out.ScatterDisabledNs
+	}
+	out.SpansPerScatter = float64(spans) / float64(p.Iters)
+	return out
+}
+
+// scatterWallNs times the steady-state Fig. 16 scatter loop in wall-clock
+// terms (virtual-time worlds still burn real CPU on pack/unpack and span
+// recording, which is exactly the cost under test).  It returns ns per
+// scatter and the number of spans recorded across the run.
+func scatterWallNs(n int, p VecScatterParams, arm core.Arm, trace bool) (nsPerOp float64, spans int) {
+	w := core.NewPaperWorld(n, arm.Config)
+	if trace {
+		w.Tracer().Enable()
+	}
+	m := p.PerRankDoubles
+	var elapsed time.Duration
+	err := w.Run(func(c *mpi.Comm) error {
+		me := c.Rank()
+		dst := n - 1 - me
+		evens := make([]int, m/2)
+		odds := make([]int, m/2)
+		for k := range evens {
+			evens[k] = 2 * k
+			odds[k] = 2*k + 1
+		}
+		plan := petsc.Plan{
+			Sends: []petsc.PeerIndices{{Peer: dst, Local: evens}},
+			Recvs: []petsc.PeerIndices{{Peer: dst, Local: odds}},
+		}
+		sc := petsc.NewScatterFromPlan(c, m, m, plan, arm.Mode)
+		x := make([]float64, m)
+		y := make([]float64, m)
+		sc.DoArrays(x, y) // warm: compile plans, size staging buffers
+		c.Barrier()
+		t0 := time.Now()
+		for it := 0; it < p.Iters; it++ {
+			sc.DoArrays(x, y)
+		}
+		c.Barrier()
+		if me == 0 {
+			elapsed = time.Since(t0)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	spans = len(w.Tracer().Spans()) + int(w.Tracer().Dropped())
+	return float64(elapsed.Nanoseconds()) / float64(p.Iters), spans
+}
+
+// TraceMultigrid runs the in-process multigrid solve with tracing enabled
+// and writes the resulting Chrome trace (all ranks share the process-local
+// world tracer) to outPath.  Pass outPath "" to skip the file and only
+// return the spans.
+func TraceMultigrid(n int, p MultigridParams, arm core.Arm, outPath string) (MultigridResult, []obs.Span, error) {
+	w := core.NewPaperWorld(n, arm.Config)
+	w.Tracer().Enable()
+	res := RunMultigridWorld(w, p, arm.Mode)
+	spans := w.Tracer().Spans()
+	if outPath != "" {
+		if err := obs.WriteChromeTraceFile(outPath, spans, 0); err != nil {
+			return res, spans, err
+		}
+	}
+	return res, spans, nil
+}
+
+// Print renders the overhead report.
+func (o *ObsBench) Print(w io.Writer) {
+	fmt.Fprintln(w, "OBS: tracer overhead")
+	fmt.Fprintf(w, "  disabled site:        %8.2f ns\n", o.DisabledSiteNs)
+	fmt.Fprintf(w, "  enabled emit:         %8.2f ns\n", o.EnabledEmitNs)
+	fmt.Fprintf(w, "  scatter, tracing off: %8.0f ns/op\n", o.ScatterDisabledNs)
+	fmt.Fprintf(w, "  scatter, tracing on:  %8.0f ns/op (%+.1f%%, %.0f spans/op)\n\n",
+		o.ScatterEnabledNs, o.ScatterOverheadPct, o.SpansPerScatter)
+}
+
+// WriteJSON emits the report as indented JSON.
+func (o *ObsBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o)
+}
+
+// WriteJSONFile writes the report to path (e.g. BENCH_obs.json).
+func (o *ObsBench) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

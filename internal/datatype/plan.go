@@ -68,6 +68,13 @@ func (p *Plan) Count() int { return p.count }
 // it; plans are shared through the cache.
 func (p *Plan) Segments() []Segment { return p.segs }
 
+// MemBytes estimates the plan's resident memory: the segment and offset
+// slices plus the fixed header.  The cache tracks live bytes with it.
+func (p *Plan) MemBytes() int64 {
+	const segSize = 16 // Segment{Off, Len int} on 64-bit
+	return int64(len(p.segs))*segSize + int64(len(p.dstOff))*8 + 64
+}
+
 // AvgSegment returns the mean segment length in bytes, the figure the
 // density heuristic compares against the dense threshold.
 func (p *Plan) AvgSegment() float64 {

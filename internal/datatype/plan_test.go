@@ -161,8 +161,19 @@ func TestPlanCacheHitMissEviction(t *testing.T) {
 	c.Get(b, 1) // miss again; evicts a
 
 	s := c.Stats()
-	if s.Hits != 2 || s.Misses != 4 || s.Evictions != 2 || s.Size != 2 {
-		t.Fatalf("stats = %+v, want 2 hits / 4 misses / 2 evictions / size 2", s)
+	if s.Hits != 2 || s.Misses != 4 || s.Evictions != 2 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 4 misses / 2 evictions / 2 entries", s)
+	}
+	if s.Bytes <= 0 {
+		t.Fatalf("stats = %+v, want positive live plan bytes", s)
+	}
+	// Live bytes must track the resident plans exactly through eviction.
+	var want int64
+	for _, ty := range []*Type{d, b} {
+		want += c.Get(ty, 1).MemBytes() // both hits, cache unchanged
+	}
+	if got := c.Stats().Bytes; got != want {
+		t.Fatalf("live bytes = %d, want %d (sum of resident plans)", got, want)
 	}
 }
 

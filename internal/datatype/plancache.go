@@ -3,6 +3,8 @@ package datatype
 import (
 	"container/list"
 	"sync"
+
+	"nccd/internal/obs"
 )
 
 // The plan cache.  PETSc-style applications execute the same scatter
@@ -26,12 +28,15 @@ type planKey struct {
 }
 
 // CacheStats reports plan cache traffic.  Hits divided by (Hits+Misses) is
-// the steady-state reuse rate benchmarks assert on.
+// the steady-state reuse rate benchmarks assert on; Entries and Bytes
+// describe the live working set (Bytes is the plans' estimated memory,
+// maintained incrementally on insert and evict).
 type CacheStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Size      int
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
 }
 
 // PlanCache is a bounded LRU of compiled plans, safe for concurrent use.
@@ -82,7 +87,16 @@ func (c *PlanCache) Get(t *Type, count int) *Plan {
 	// Compile outside the lock: flattening a huge darray must not block
 	// every other rank's cache hits.  A racing compile of the same key is
 	// harmless — both produce identical plans and the second insert wins.
+	var start float64
+	traced := obs.Enabled()
+	if traced {
+		start = obs.Default.Now()
+	}
 	p := CompilePlan(t, count)
+	if traced {
+		obs.Emit(obs.Span{Rank: -1, Kind: "plan_compile", Peer: -1,
+			Bytes: int64(p.Bytes()), Start: start, End: obs.Default.Now(), Clock: obs.ClockWall})
+	}
 
 	c.mu.Lock()
 	if el, ok := c.index[key]; ok {
@@ -91,14 +105,17 @@ func (c *PlanCache) Get(t *Type, count int) *Plan {
 		p = el.Value.(*cacheEntry).plan
 	} else {
 		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, plan: p})
+		c.stats.Bytes += p.MemBytes()
 		if c.ll.Len() > c.cap {
 			oldest := c.ll.Back()
 			c.ll.Remove(oldest)
-			delete(c.index, oldest.Value.(*cacheEntry).key)
+			evicted := oldest.Value.(*cacheEntry)
+			delete(c.index, evicted.key)
+			c.stats.Bytes -= evicted.plan.MemBytes()
 			c.stats.Evictions++
 		}
 	}
-	c.stats.Size = c.ll.Len()
+	c.stats.Entries = c.ll.Len()
 	c.mu.Unlock()
 	return p
 }
@@ -108,7 +125,7 @@ func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
-	s.Size = c.ll.Len()
+	s.Entries = c.ll.Len()
 	return s
 }
 
@@ -131,3 +148,10 @@ func PlanCacheStats() CacheStats { return defaultPlanCache.Stats() }
 
 // ResetPlanCache empties the package-level cache (test/benchmark hook).
 func ResetPlanCache() { defaultPlanCache.Reset() }
+
+// The package-level cache publishes its snapshot to the process metrics
+// registry, so the nccdd debug endpoint reports plan-cache behavior with
+// no wiring in the daemon.
+func init() {
+	obs.Metrics.RegisterFunc("datatype.plan_cache", func() any { return PlanCacheStats() })
+}

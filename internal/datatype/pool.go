@@ -3,6 +3,8 @@ package datatype
 import (
 	"math/bits"
 	"sync"
+
+	"nccd/internal/obs"
 )
 
 // Size-classed byte-buffer pool shared by the datatype layer (pack scratch,
@@ -20,6 +22,13 @@ const (
 
 var bufPools [maxPoolClass + 1]sync.Pool
 
+// Pool traffic counters: one atomic add per operation, negligible next to
+// the map/pool work itself.
+var (
+	mPoolGets = obs.Metrics.Counter("datatype.pool_gets")
+	mPoolPuts = obs.Metrics.Counter("datatype.pool_puts")
+)
+
 func poolClass(n int) int {
 	if n <= 1<<minPoolClass {
 		return minPoolClass
@@ -33,6 +42,7 @@ func GetBuffer(n int) []byte {
 	if n == 0 {
 		return nil
 	}
+	mPoolGets.Inc()
 	c := poolClass(n)
 	if c > maxPoolClass {
 		return make([]byte, n)
@@ -53,6 +63,7 @@ func PutBuffer(b []byte) {
 	if c < 1<<minPoolClass || c > 1<<maxPoolClass || c&(c-1) != 0 {
 		return
 	}
+	mPoolPuts.Inc()
 	b = b[:c]
 	bufPools[poolClass(c)].Put(&b)
 }

@@ -6,7 +6,10 @@ package ksp
 import (
 	"fmt"
 	"math"
+	"strconv"
 
+	"nccd/internal/mpi"
+	"nccd/internal/obs"
 	"nccd/internal/petsc"
 )
 
@@ -104,9 +107,40 @@ func (s *CG) defaults() (float64, float64, int) {
 	return rtol, atol, maxIts
 }
 
+// iterSpan marks one Krylov iteration on the rank's virtual timeline.  The
+// enabled check runs before any attribute formatting so a disabled tracer
+// costs one atomic load per iteration.
+func iterSpan(c *mpi.Comm, it int, rnorm float64) {
+	if !c.Tracer().Enabled() {
+		return
+	}
+	c.Span("ksp_iter", c.Clock(),
+		obs.Attr{Key: "iteration", Val: strconv.Itoa(it)},
+		obs.Attr{Key: "rnorm", Val: strconv.FormatFloat(rnorm, 'g', 4, 64)})
+}
+
+// solveSpan wraps a whole solve with a span carrying its outcome.
+func solveSpan(c *mpi.Comm, method string, start float64, res Result) {
+	if !c.Tracer().Enabled() {
+		return
+	}
+	c.Span("ksp_solve", start,
+		obs.Attr{Key: "method", Val: method},
+		obs.Attr{Key: "iterations", Val: strconv.Itoa(res.Iterations)},
+		obs.Attr{Key: "converged", Val: strconv.FormatBool(res.Converged)})
+}
+
 // Solve solves A x = b, using x as the initial guess and overwriting it
 // with the solution.  Collective.
 func (s *CG) Solve(b, x *petsc.Vec) Result {
+	c := b.Comm()
+	start := c.Clock()
+	res := s.solve(b, x)
+	solveSpan(c, "cg", start, res)
+	return res
+}
+
+func (s *CG) solve(b, x *petsc.Vec) Result {
 	rtol, atol, maxIts := s.defaults()
 	M := s.M
 	if M == nil {
@@ -151,6 +185,7 @@ func (s *CG) Solve(b, x *petsc.Vec) Result {
 		if s.Monitor != nil {
 			s.Monitor(it, rnorm)
 		}
+		iterSpan(b.Comm(), it, rnorm)
 		if rnorm <= rtol*bnorm || rnorm <= atol {
 			return Result{Iterations: it, Residual: rnorm, Converged: true}
 		}
@@ -185,6 +220,14 @@ type Richardson struct {
 
 // Solve solves A x = b from initial guess x, overwriting x.  Collective.
 func (s *Richardson) Solve(b, x *petsc.Vec) Result {
+	c := b.Comm()
+	start := c.Clock()
+	res := s.solve(b, x)
+	solveSpan(c, "richardson", start, res)
+	return res
+}
+
+func (s *Richardson) solve(b, x *petsc.Vec) Result {
 	omega := s.Omega
 	if omega == 0 {
 		omega = 1
@@ -219,6 +262,7 @@ func (s *Richardson) Solve(b, x *petsc.Vec) Result {
 		if s.Monitor != nil {
 			s.Monitor(it, rnorm)
 		}
+		iterSpan(b.Comm(), it, rnorm)
 		if rnorm <= rtol*bnorm || rnorm <= atol {
 			return Result{Iterations: it, Residual: rnorm, Converged: true}
 		}

@@ -10,10 +10,12 @@ package mg
 
 import (
 	"fmt"
+	"strconv"
 
 	"nccd/internal/dmda"
 	"nccd/internal/ksp"
 	"nccd/internal/mpi"
+	"nccd/internal/obs"
 	"nccd/internal/petsc"
 )
 
@@ -308,8 +310,17 @@ func (s Smoother) String() string {
 	return "chebyshev"
 }
 
+// lvl formats a level index for span annotation.
+func lvl(l int) obs.Attr { return obs.Attr{Key: "level", Val: strconv.Itoa(l)} }
+
 // smooth runs sweeps of the configured smoother on level l for A x = b.
 func (s *Solver) smooth(l, sweeps int, b, x *petsc.Vec) {
+	start := s.c.Clock()
+	defer func() {
+		s.c.Span("smooth", start, lvl(l),
+			obs.Attr{Key: "sweeps", Val: strconv.Itoa(sweeps)},
+			obs.Attr{Key: "smoother", Val: s.Smoother.String()})
+	}()
 	if s.Smoother == SmootherChebyshev {
 		s.smoothChebyshev(l, sweeps, b, x)
 		return
@@ -383,6 +394,8 @@ func (s *Solver) residual(l int, b, x, r *petsc.Vec) {
 // interpolation, R = Pᵀ/2^dim — full weighting with Dirichlet-consistent
 // boundary treatment.
 func (s *Solver) restrictTo(l int, rf, out *petsc.Vec) {
+	start := s.c.Clock()
+	defer func() { s.c.Span("restrict", start, lvl(l)) }()
 	fine := s.levels[l]
 	coarse := s.levels[l+1]
 	fine.restrictSc.DoArrays(rf.Array(), fine.finePatch)
@@ -454,6 +467,8 @@ func (s *Solver) restrictTo(l int, rf, out *petsc.Vec) {
 // interpolateAdd interpolates the coarse correction xc (level l+1) linearly
 // and adds it into the fine-level vector x (level l).
 func (s *Solver) interpolateAdd(l int, xc, x *petsc.Vec) {
+	start := s.c.Clock()
+	defer func() { s.c.Span("prolong", start, lvl(l)) }()
 	fine := s.levels[l]
 	coarse := s.levels[l+1]
 	fine.interpSc.DoArrays(xc.Array(), fine.coarsePatch)
@@ -536,6 +551,8 @@ func patchIndex(b dmda.Box, i, j, k int) int {
 // vcycle runs one V-cycle on level l for A_l x = b (x holds the initial
 // guess and result).
 func (s *Solver) vcycle(l int, b, x *petsc.Vec) {
+	start := s.c.Clock()
+	defer func() { s.c.Span("mg_level", start, lvl(l)) }()
 	if l == len(s.levels)-1 {
 		s.coarseSolve(l, b, x)
 		return
@@ -561,6 +578,8 @@ func (s *Solver) coarseSolve(l int, b, x *petsc.Vec) {
 	if s.skipInactive && s.coarseComm == nil {
 		return // inactive rank: owns no coarse cells, rejoins at the transfer
 	}
+	start := s.c.Clock()
+	defer func() { s.c.Span("coarse_solve", start, lvl(l)) }()
 	dotComm := s.coarseComm // nil means reduce over the whole world
 
 	lv := s.levels[l]
@@ -624,6 +643,12 @@ func (s *Solver) Precondition(r, z *petsc.Vec) {
 // the initial residual norm, or maxCycles is reached.  It returns the cycle
 // count and the final relative residual.  Collective.
 func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int, relres float64) {
+	solveStart := s.c.Clock()
+	defer func() {
+		s.c.Span("mg_solve", solveStart,
+			obs.Attr{Key: "cycles", Val: strconv.Itoa(cycles)},
+			obs.Attr{Key: "relres", Val: strconv.FormatFloat(relres, 'g', 4, 64)})
+	}()
 	lv := s.levels[0]
 	s.History = s.History[:0]
 	s.residual(0, b, x, lv.r)
@@ -632,20 +657,27 @@ func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int
 		return 0, 0
 	}
 	for cycles = 0; cycles < maxCycles; cycles++ {
+		cycleStart := s.c.Clock()
 		s.VCycle(b, x)
 		s.residual(0, b, x, lv.r)
 		relres = lv.r.Norm2() / r0
 		s.History = append(s.History, relres)
+		s.c.Span("mg_cycle", cycleStart,
+			obs.Attr{Key: "cycle", Val: strconv.Itoa(cycles + 1)},
+			obs.Attr{Key: "relres", Val: strconv.FormatFloat(relres, 'g', 4, 64)})
 		if relres <= rtol {
 			cycles++
 			break
 		}
 		if s.Checkpoints != nil && s.CheckpointEvery > 0 && (cycles+1)%s.CheckpointEvery == 0 {
+			cpStart := s.c.Clock()
 			s.Checkpoints.Put(ksp.Checkpoint{
 				Iteration: cycles + 1,
 				Residual:  relres,
 				X:         lv.da.GatherNatural(x),
 			})
+			s.c.Span("checkpoint", cpStart,
+				obs.Attr{Key: "iteration", Val: strconv.Itoa(cycles + 1)})
 		}
 	}
 	return cycles, relres
@@ -661,5 +693,7 @@ func (s *Solver) Restore(st *ksp.CheckpointStore, x *petsc.Vec) int {
 		return -1
 	}
 	s.levels[0].da.ScatterNatural(cp.X, x)
+	s.c.Span("restore", s.c.Clock(),
+		obs.Attr{Key: "iteration", Val: strconv.Itoa(cp.Iteration)})
 	return cp.Iteration
 }

@@ -3,8 +3,10 @@ package mpi
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"nccd/internal/kselect"
+	"nccd/internal/obs"
 )
 
 // Allgatherv gathers variable-size contiguous contributions on every rank.
@@ -89,7 +91,8 @@ func (c *Comm) Allgatherv(data []byte, counts []int, recv []byte) {
 		}
 	}
 
-	algo := eff.allgathervAlgo(effCounts, total)
+	opStart := c.me.clock
+	algo, nonuniform := eff.allgathervAlgo(effCounts, total)
 	switch algo {
 	case AGRing:
 		eff.agvRing(tag, effCounts, effDispls, recv)
@@ -100,10 +103,23 @@ func (c *Comm) Allgatherv(data []byte, counts []int, recv []byte) {
 	default:
 		panic("mpi: unresolved allgatherv algorithm")
 	}
+	if c.me.tracer.Enabled() {
+		c.me.tracer.Emit(obs.Span{Rank: c.me.rank, Kind: "allgatherv", Peer: -1,
+			Bytes: int64(total), Start: opStart, End: c.me.clock, Clock: obs.ClockVirtual,
+			Attrs: []obs.Attr{
+				{Key: "algo", Val: algo.String()},
+				{Key: "policy", Val: c.w.cfg.Allgatherv.String()},
+				{Key: "nonuniform", Val: strconv.FormatBool(nonuniform)},
+				{Key: "members", Val: strconv.Itoa(eff.Size())},
+			}})
+	}
 }
 
 // allgathervAlgo resolves the configured policy to a concrete algorithm.
-func (c *Comm) allgathervAlgo(counts []int, total int) AllgathervAlgo {
+// The second result reports the adaptive policy's outlier decision: true
+// when the count set was classified nonuniform (always false for the other
+// policies, which never run the detector).
+func (c *Comm) allgathervAlgo(counts []int, total int) (AllgathervAlgo, bool) {
 	n := c.Size()
 	pof2 := bits.OnesCount(uint(n)) == 1
 	cfg := &c.w.cfg
@@ -117,31 +133,31 @@ func (c *Comm) allgathervAlgo(counts []int, total int) AllgathervAlgo {
 
 	switch cfg.Allgatherv {
 	case AGRing:
-		return AGRing
+		return AGRing, false
 	case AGRecursiveDoubling:
 		if !pof2 {
 			panic("mpi: recursive doubling requires a power-of-two world")
 		}
-		return AGRecursiveDoubling
+		return AGRecursiveDoubling, false
 	case AGDissemination:
-		return AGDissemination
+		return AGDissemination, false
 	case AGAuto:
 		if total >= cfg.RingThresholdBytes {
-			return AGRing
+			return AGRing, false
 		}
-		return short()
+		return short(), false
 	case AGAdaptive:
 		vols := make([]int64, len(counts))
 		for i, v := range counts {
 			vols[i] = int64(v)
 		}
 		if kselect.IsNonuniform(vols, cfg.Outlier) {
-			return short()
+			return short(), true
 		}
 		if total >= cfg.RingThresholdBytes {
-			return AGRing
+			return AGRing, false
 		}
-		return short()
+		return short(), false
 	}
 	panic("mpi: unknown allgatherv policy")
 }

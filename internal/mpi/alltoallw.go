@@ -2,8 +2,10 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 
 	"nccd/internal/datatype"
+	"nccd/internal/obs"
 )
 
 // TypeSpec describes one peer's slot in an Alltoallw exchange: Count
@@ -49,6 +51,8 @@ func (c *Comm) Alltoallw(sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs
 	}
 	c.collStart("Alltoallw")
 	tag := c.collTag()
+	opStart := c.me.clock
+	var zero, small, large int
 	switch c.w.cfg.Alltoallw {
 	case ATRoundRobin:
 		// The baseline couples every pair; it cannot route around a dead
@@ -56,9 +60,24 @@ func (c *Comm) Alltoallw(sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs
 		c.requireLive()
 		c.a2awRoundRobin(tag, sendbuf, sends, recvbuf, recvs)
 	case ATBinned:
-		c.a2awBinned(tag, sendbuf, sends, recvbuf, recvs)
+		zero, small, large = c.a2awBinned(tag, sendbuf, sends, recvbuf, recvs)
 	default:
 		panic("mpi: unknown alltoallw algorithm")
+	}
+	if c.me.tracer.Enabled() {
+		var vol int64
+		for _, s := range sends {
+			vol += int64(s.Bytes())
+		}
+		attrs := []obs.Attr{{Key: "algo", Val: c.w.cfg.Alltoallw.String()}}
+		if c.w.cfg.Alltoallw == ATBinned {
+			attrs = append(attrs,
+				obs.Attr{Key: "zero_bin", Val: strconv.Itoa(zero)},
+				obs.Attr{Key: "small_bin", Val: strconv.Itoa(small)},
+				obs.Attr{Key: "large_bin", Val: strconv.Itoa(large)})
+		}
+		c.me.tracer.Emit(obs.Span{Rank: c.me.rank, Kind: "alltoallw", Peer: -1,
+			Bytes: vol, Start: opStart, End: c.me.clock, Clock: obs.ClockVirtual, Attrs: attrs})
 	}
 }
 
@@ -102,8 +121,9 @@ func (c *Comm) a2awRoundRobin(tag int, sendbuf []byte, sends []TypeSpec, recvbuf
 // rest are processed small-bin first.  Dead peers degrade gracefully: they
 // are treated as zero-volume — nothing is sent to them, their receive
 // regions are left untouched, and they never enter a bin — so the exchange
-// completes among the survivors.
-func (c *Comm) a2awBinned(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs []TypeSpec) {
+// completes among the survivors.  It returns the send-side bin sizes
+// (zero-exempted, small, large peers) for the collective's trace span.
+func (c *Comm) a2awBinned(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs []TypeSpec) (zeroBin, smallBin, largeBin int) {
 	n := c.Size()
 	me := c.rank
 	thresh := c.w.cfg.BinThresholdBytes
@@ -146,6 +166,7 @@ func (c *Comm) a2awBinned(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []b
 		b := sends[dst].Bytes()
 		switch {
 		case b == 0: // zero bin: exempted entirely
+			zeroBin++
 		case b <= thresh:
 			small = append(small, dst)
 		default:
@@ -160,6 +181,7 @@ func (c *Comm) a2awBinned(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []b
 	}
 
 	c.Waitall(reqs)
+	return zeroBin, len(small), len(large)
 }
 
 // Alltoall performs the uniform all-to-all exchange of blockBytes per peer

@@ -2,8 +2,10 @@ package mpi
 
 import (
 	"fmt"
+	"strconv"
 
 	"nccd/internal/datatype"
+	"nccd/internal/obs"
 )
 
 // Comm is a rank's handle on a communicator: all communication goes through
@@ -63,6 +65,22 @@ func (c *Comm) World() *World { return c.w }
 
 // Clock returns the rank's virtual clock in seconds.
 func (c *Comm) Clock() float64 { return c.me.clock }
+
+// Tracer returns the world's span recorder; layers above mpi (the solver
+// stack) emit their phases through it with Clock() timestamps.
+func (c *Comm) Tracer() *obs.Tracer { return c.me.tracer }
+
+// Span records a virtual-clock span for this rank, from start (a Clock()
+// timestamp taken when the operation began) to the current clock.  This is
+// the hook layers above mpi use to trace their phases; it costs one atomic
+// load when tracing is off.
+func (c *Comm) Span(kind string, start float64, attrs ...obs.Attr) {
+	if !c.me.tracer.Enabled() {
+		return
+	}
+	c.me.tracer.Emit(obs.Span{Rank: c.me.rank, Kind: kind, Peer: -1,
+		Start: start, End: c.me.clock, Clock: obs.ClockVirtual, Attrs: attrs})
+}
 
 // Stats returns a copy of the rank's statistics.
 func (c *Comm) Stats() Stats { return c.me.stats }
@@ -184,6 +202,8 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 
 	c.maybeCrash()
 	opStart := p.clock
+	packStart := p.clock + prm.SendOverhead/p.speed
+	totalPackSec := 0.0
 	packer := datatype.NewPacker(c.w.cfg.Engine, t, count, buf, opt)
 	wire := make([]byte, 0, packer.TotalBytes())
 	scratch := p.scratchBuf(opt.Pipeline)
@@ -215,6 +235,7 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 		p.clock += packSec + searchSec
 		p.stats.PackSec += packSec
 		p.stats.SearchSec += searchSec
+		totalPackSec += packSec + searchSec
 		prev = m
 
 		start := p.clock
@@ -245,6 +266,14 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	p.stats.BytesSent += int64(len(wire))
 	p.stats.Datatype.Add(prev)
 	c.dispatch(dst, tag, wire, arrival, prm.WireTime(len(wire)))
+	if p.tracer.Enabled() && totalPackSec > 0 {
+		// The modeled pack time, nested inside the send span.  Pack work is
+		// really interleaved with wire granules; the span shows its total.
+		p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "pack", Peer: dst, Tag: tag,
+			Bytes: int64(len(wire)), Start: packStart, End: packStart + totalPackSec,
+			Clock: obs.ClockVirtual,
+			Attrs: []obs.Attr{{Key: "segments", Val: strconv.FormatInt(prev.PackedSegments, 10)}}})
+	}
 	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
 }
 
@@ -269,6 +298,7 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 	pipelined := nbytes > opt.Pipeline
 	p.clock += prm.SendOverhead / p.speed
 	wireDone := p.clock
+	packStart := p.clock
 	chunks := (nbytes + opt.Pipeline - 1) / opt.Pipeline
 	if chunks < 1 {
 		chunks = 1
@@ -309,6 +339,16 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 		PackedSegments: int64(nsegs),
 	})
 	c.dispatch(dst, tag, wire, arrival, prm.WireTime(nbytes))
+	if p.tracer.Enabled() {
+		packSec := packPerChunk * float64(chunks)
+		p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "pack", Peer: dst, Tag: tag,
+			Bytes: int64(nbytes), Start: packStart, End: packStart + packSec,
+			Clock: obs.ClockVirtual,
+			Attrs: []obs.Attr{
+				{Key: "engine", Val: "compiled-plan"},
+				{Key: "segments", Val: strconv.Itoa(nsegs)},
+			}})
+	}
 	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock})
 }
 
@@ -394,9 +434,15 @@ func (c *Comm) unpackInto(payload []byte, t *datatype.Type, count int, buf []byt
 	}
 	packSec := (prm.PackPerByte*float64(m.PackedBytes) +
 		prm.SegOverhead*float64(m.PackedSegments)) / p.speed
+	unpackStart := p.clock
 	p.clock += packSec
 	p.stats.PackSec += packSec
 	p.stats.Datatype.Add(m)
+	if p.tracer.Enabled() {
+		p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "unpack", Peer: -1,
+			Bytes: int64(want), Start: unpackStart, End: p.clock, Clock: obs.ClockVirtual,
+			Attrs: []obs.Attr{{Key: "segments", Val: strconv.FormatInt(m.PackedSegments, 10)}}})
+	}
 	datatype.PutBuffer(payload)
 }
 

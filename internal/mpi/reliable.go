@@ -4,8 +4,10 @@ import (
 	"errors"
 	"hash/crc32"
 	"math"
+	"strconv"
 	"time"
 
+	"nccd/internal/obs"
 	"nccd/internal/transport"
 )
 
@@ -49,6 +51,7 @@ func (c *Comm) callOr(def string) string {
 func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 	w := c.w
 	worldDst := c.worldRank(dst)
+	mMsgBytes.Observe(int64(len(wire)))
 	if w.isRevoked(c.ctx) {
 		throwErr(&RevokedError{Call: c.callOr("Send")})
 	}
@@ -109,9 +112,17 @@ func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 			throwErr(&TimeoutError{Rank: worldDst, Call: c.callOr("Send"), Attempts: attempt + 1})
 		}
 		// No ack: wait out the timeout, back off, retransmit from now.
+		retransStart := p.clock
 		p.clock += timeout
 		p.stats.RetransSec += timeout
 		p.stats.Retransmits++
+		mRetransmits.Inc()
+		if p.tracer.Enabled() {
+			p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "retransmit", Peer: worldDst,
+				Tag: tag, Bytes: int64(len(wire)), Start: retransStart, End: p.clock,
+				Clock: obs.ClockVirtual,
+				Attrs: []obs.Attr{{Key: "attempt", Val: strconv.Itoa(attempt + 1)}}})
+		}
 		timeout *= rel.Backoff
 		arrival = p.clock + wireSec + lat
 	}

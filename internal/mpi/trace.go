@@ -1,8 +1,15 @@
 package mpi
 
-import "sort"
+import (
+	"sort"
 
-// Event is one traced operation on a rank's virtual timeline.
+	"nccd/internal/obs"
+)
+
+// Event is one traced operation on a rank's virtual timeline.  It is the
+// legacy narrow view (cmd/timeline's input): the full record — collective
+// decisions, pack/unpack phases, reliability rejections, solver phases —
+// lives in the obs spans behind World.Tracer().
 type Event struct {
 	Rank  int     // world rank
 	Kind  string  // "send", "recv", "compute", "skew"
@@ -13,34 +20,38 @@ type Event struct {
 	End   float64
 }
 
-// EnableTrace starts recording per-rank events.  Tracing costs some memory
-// per operation; call before Run.
-func (w *World) EnableTrace() {
-	for _, p := range w.procs {
-		p.traceOn = true
-	}
+// timelineKinds are the virtual-clock span kinds Trace projects onto the
+// legacy Event view.  Everything else (collective spans, pack phases,
+// reliability instants) is visible only through Tracer().
+var timelineKinds = map[string]bool{
+	"send": true, "recv": true, "compute": true, "skew": true,
 }
 
-// DisableTrace stops recording (existing events are kept).
-func (w *World) DisableTrace() {
-	for _, p := range w.procs {
-		p.traceOn = false
-	}
-}
+// EnableTrace starts recording spans.  Tracing costs bounded memory (each
+// rank's lane is a fixed-capacity ring; see obs).  Safe at any time, but
+// spans of operations already in flight are not recorded retroactively.
+func (w *World) EnableTrace() { w.tracer.Enable() }
 
-// ClearTrace drops all recorded events.
-func (w *World) ClearTrace() {
-	for _, p := range w.procs {
-		p.events = nil
-	}
-}
+// DisableTrace stops recording (existing spans are kept).
+func (w *World) DisableTrace() { w.tracer.Disable() }
 
-// Trace returns all recorded events sorted by start time.  Must not race
-// with a Run in progress.
+// ClearTrace drops all recorded spans.  Safe to call while a wall-clock
+// transport is still delivering: recording and draining share the obs
+// ring-buffer locks, so a concurrent Emit either lands before the clear
+// (and is dropped) or after (and is kept) — never torn.
+func (w *World) ClearTrace() { w.tracer.Clear() }
+
+// Trace returns the recorded virtual-timeline events sorted by start time.
+// Like ClearTrace, safe concurrently with delivery; events recorded after
+// the call starts may or may not be included.
 func (w *World) Trace() []Event {
 	var out []Event
-	for _, p := range w.procs {
-		out = append(out, p.events...)
+	for _, s := range w.tracer.Spans() {
+		if s.Clock != obs.ClockVirtual || !timelineKinds[s.Kind] {
+			continue
+		}
+		out = append(out, Event{Rank: s.Rank, Kind: s.Kind, Peer: s.Peer,
+			Tag: s.Tag, Bytes: int(s.Bytes), Start: s.Start, End: s.End})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
@@ -51,11 +62,17 @@ func (w *World) Trace() []Event {
 	return out
 }
 
-// record appends an event if tracing is on.
+// record traces a virtual-timeline event if tracing is on.
 func (p *proc) record(e Event) {
-	if !p.traceOn {
+	if !p.tracer.Enabled() {
 		return
 	}
-	e.Rank = p.rank
-	p.events = append(p.events, e)
+	p.tracer.Emit(obs.Span{Rank: p.rank, Kind: e.Kind, Peer: e.Peer, Tag: e.Tag,
+		Bytes: int64(e.Bytes), Start: e.Start, End: e.End, Clock: obs.ClockVirtual})
+}
+
+// span traces an arbitrary virtual-clock span for the rank.
+func (p *proc) span(kind string, start, end float64, attrs ...obs.Attr) {
+	p.tracer.Emit(obs.Span{Rank: p.rank, Kind: kind, Peer: -1,
+		Start: start, End: end, Clock: obs.ClockVirtual, Attrs: attrs})
 }

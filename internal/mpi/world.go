@@ -9,8 +9,19 @@ import (
 	"sync/atomic"
 
 	"nccd/internal/datatype"
+	"nccd/internal/obs"
 	"nccd/internal/simnet"
 	"nccd/internal/transport"
+)
+
+// Process-global reliability and traffic metrics, summed over every world
+// in the process.  Counters are single atomic adds, cheap enough to stay
+// always-on; per-world breakdowns come from World.Stats and the tracer.
+var (
+	mMsgBytes    = obs.Metrics.Histogram("mpi.msg_bytes")
+	mCrcRejects  = obs.Metrics.Counter("mpi.crc_rejects")
+	mDupRejects  = obs.Metrics.Counter("mpi.dup_rejects")
+	mRetransmits = obs.Metrics.Counter("mpi.retransmits")
 )
 
 // World hosts a fixed set of ranks on a simulated cluster.  Create one with
@@ -55,6 +66,11 @@ type World struct {
 	revoked    sync.Map
 	anyRevoked atomic.Bool
 
+	// tracer records structured spans for every rank this world hosts.
+	// Per-world (not process-global) because tests run several worlds in
+	// one process; see internal/obs.
+	tracer *obs.Tracer
+
 	wd *watchdog // live while a Run is in flight
 }
 
@@ -96,8 +112,9 @@ type proc struct {
 
 	scratch []byte // pipeline buffer reused across SendType calls
 
-	traceOn bool
-	events  []Event
+	// tracer is the world's span recorder (never nil).  Emission is safe
+	// from any goroutine, which is what lets delivery-side events trace.
+	tracer *obs.Tracer
 }
 
 // blockedWait records what a blocked rank is waiting for.
@@ -177,22 +194,31 @@ func NewWorldTransport(tr transport.Transport, cluster *simnet.Cluster, cfg Conf
 	if wall {
 		cfg.Watchdog.Disable = true
 	}
-	w := &World{cluster: cluster, cfg: cfg, tr: tr, wall: wall}
+	w := &World{cluster: cluster, cfg: cfg, tr: tr, wall: wall, tracer: obs.NewTracer(0)}
 	w.agreeCond = sync.NewCond(&w.agreeMu)
 	w.agreeSlots = make(map[agreeID]*agreeSlot)
 	w.procs = make([]*proc, n)
 	w.states = make([]atomic.Int32, n)
 	for i := range w.procs {
-		p := &proc{rank: i, speed: cluster.SpeedOf(i), crashAt: math.Inf(1)}
+		p := &proc{rank: i, speed: cluster.SpeedOf(i), crashAt: math.Inf(1), tracer: w.tracer}
 		p.cond = sync.NewCond(&p.mu)
 		p.sendSeq = make([]uint64, n)
 		w.procs[i] = p
+	}
+	// A transport that can trace (the TCP endpoint) shares the world's
+	// tracer, wired before Start so reader goroutines never see it change.
+	if tt, ok := tr.(interface{ SetTracer(*obs.Tracer) }); ok {
+		tt.SetTracer(w.tracer)
 	}
 	if err := tr.Start(w.onFrame, w.onPeerDown); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
+
+// Tracer returns the world's span recorder.  Enable it (or EnableTrace) to
+// start recording; export with obs.WriteChromeTraceFile.
+func (w *World) Tracer() *obs.Tracer { return w.tracer }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.procs) }
@@ -432,6 +458,8 @@ func (w *World) deliver(dst int, env *envelope) {
 		if crc32.ChecksumIEEE(env.data) != env.sum {
 			p.mu.Unlock()
 			w.checksumRejects.Add(1)
+			mCrcRejects.Inc()
+			w.rejectSpan(dst, env, "crc_reject")
 			return
 		}
 		key := dedupKey{src: env.wsrc, seq: env.seq}
@@ -441,6 +469,8 @@ func (w *World) deliver(dst int, env *envelope) {
 		if _, dup := p.seen[key]; dup {
 			p.mu.Unlock()
 			w.duplicateRejects.Add(1)
+			mDupRejects.Inc()
+			w.rejectSpan(dst, env, "dup_reject")
 			return
 		}
 		p.seen[key] = struct{}{}
@@ -449,6 +479,24 @@ func (w *World) deliver(dst int, env *envelope) {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	w.progress.Add(1)
+}
+
+// rejectSpan traces a receiver-side reliability rejection as an instant on
+// the destination rank's lane.  Runs on the delivering goroutine — the
+// tracer is safe for that.  In virtual mode the reject is stamped at the
+// copy's arrival time; on a wall-clock transport the arrival stamp is a
+// foreign virtual clock, so the local wall clock is used instead.
+func (w *World) rejectSpan(dst int, env *envelope, kind string) {
+	if !w.tracer.Enabled() {
+		return
+	}
+	s := obs.Span{Rank: dst, Kind: kind, Peer: env.wsrc, Tag: env.tag,
+		Bytes: int64(len(env.data)), Start: env.arrival, End: env.arrival}
+	if w.wall {
+		now := w.tracer.Now()
+		s.Start, s.End, s.Clock = now, now, obs.ClockWall
+	}
+	w.tracer.Emit(s)
 }
 
 func (p *proc) scratchBuf(n int) []byte {

@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export (the "JSON Array Format" Perfetto and
+// chrome://tracing load).  Spans are stored complete in the rings and
+// lowered to begin/end ("B"/"E") pairs only here, so the output is balanced
+// by construction even after ring overwrites; instants become "i" events.
+//
+// Lane mapping: a rank's virtual-clock spans land on tid = rank, its
+// wall-clock spans on tid = wallTidBase + rank, and rank -1 (the global
+// lane: plan compiles, pool traffic) on tid = globalTid.  Virtual and wall
+// timestamps share a file but never share a lane, so within-lane ordering
+// is always meaningful.  The multi-process merge assigns one pid per rank
+// file and re-zeroes each file's wall lanes to its own earliest wall
+// timestamp, which lines ranks up well enough to read (clock skew between
+// processes on one host is far below span durations).
+
+const (
+	wallTidBase = 1000
+	globalTid   = 1999
+)
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`    // instant scope
+	Args map[string]string `json:"args,omitempty"` // annotations
+}
+
+// chromeFile is the on-disk wrapper object.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func spanTid(s *Span) int {
+	if s.Rank < 0 {
+		return globalTid
+	}
+	if s.Clock == ClockWall {
+		return wallTidBase + s.Rank
+	}
+	return s.Rank
+}
+
+func spanArgs(s *Span) map[string]string {
+	var a map[string]string
+	put := func(k, v string) {
+		if a == nil {
+			a = make(map[string]string, 4+len(s.Attrs))
+		}
+		a[k] = v
+	}
+	if s.Peer >= 0 {
+		put("peer", strconv.Itoa(s.Peer))
+	}
+	if s.Tag != 0 {
+		put("tag", strconv.Itoa(s.Tag))
+	}
+	if s.Bytes != 0 {
+		put("bytes", strconv.FormatInt(s.Bytes, 10))
+	}
+	for _, at := range s.Attrs {
+		put(at.Key, at.Val)
+	}
+	return a
+}
+
+// spanEvents lowers one span to its trace events.
+func spanEvents(s *Span, pid int) []chromeEvent {
+	tid := spanTid(s)
+	args := spanArgs(s)
+	ts := s.Start * 1e6
+	if s.Instant() {
+		return []chromeEvent{{Name: s.Kind, Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t", Args: args}}
+	}
+	return []chromeEvent{
+		{Name: s.Kind, Ph: "B", Ts: ts, Pid: pid, Tid: tid, Args: args},
+		{Name: s.Kind, Ph: "E", Ts: s.End * 1e6, Pid: pid, Tid: tid},
+	}
+}
+
+// sortedEvent pairs a lowered event with the nesting keys the sort needs:
+// the source span's duration and its emission index.
+type sortedEvent struct {
+	ev   chromeEvent
+	dur  float64
+	span int
+}
+
+// sortEvents orders events the way trace viewers (and our validator)
+// require: per (pid, tid) by timestamp; at equal timestamps E before i
+// before B so adjacent spans don't overlap; among same-timestamp Bs the
+// longer (outer) span opens first, among Es the shorter (inner) closes
+// first.  Identical intervals fall back on emission order — earlier-emitted
+// opens first and closes last — which is arbitrary but consistent, so
+// begin/end stay stack-balanced.
+func sortEvents(evs []sortedEvent) {
+	phOrder := func(ph string) int {
+		switch ph {
+		case "E":
+			return 0
+		case "i":
+			return 1
+		case "B":
+			return 2
+		default:
+			return 3
+		}
+	}
+	sort.SliceStable(evs, func(a, b int) bool {
+		x, y := &evs[a], &evs[b]
+		if x.ev.Pid != y.ev.Pid {
+			return x.ev.Pid < y.ev.Pid
+		}
+		if x.ev.Tid != y.ev.Tid {
+			return x.ev.Tid < y.ev.Tid
+		}
+		if x.ev.Ts != y.ev.Ts {
+			return x.ev.Ts < y.ev.Ts
+		}
+		if po, qo := phOrder(x.ev.Ph), phOrder(y.ev.Ph); po != qo {
+			return po < qo
+		}
+		switch x.ev.Ph {
+		case "B":
+			if x.dur != y.dur {
+				return x.dur > y.dur
+			}
+			return x.span < y.span
+		case "E":
+			if x.dur != y.dur {
+				return x.dur < y.dur
+			}
+			return x.span > y.span
+		}
+		return false
+	})
+}
+
+// laneMeta emits thread_name metadata so viewers label the lanes.
+func laneMeta(evs []chromeEvent) []chromeEvent {
+	type key struct{ pid, tid int }
+	seen := make(map[key]bool)
+	var meta []chromeEvent
+	for i := range evs {
+		k := key{evs[i].Pid, evs[i].Tid}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		var name string
+		switch {
+		case k.tid == globalTid:
+			name = "global (wall)"
+		case k.tid >= wallTidBase:
+			name = fmt.Sprintf("rank %d (wall)", k.tid-wallTidBase)
+		default:
+			name = fmt.Sprintf("rank %d (virtual)", k.tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: k.pid, Tid: k.tid,
+			Args: map[string]string{"name": name},
+		})
+	}
+	return meta
+}
+
+// WriteChromeTrace lowers spans to Chrome trace-event JSON on w.  pid
+// labels the process lane group (0 for single-process traces).
+func WriteChromeTrace(w io.Writer, spans []Span, pid int) error {
+	var sevs []sortedEvent
+	for i := range spans {
+		s := &spans[i]
+		for _, e := range spanEvents(s, pid) {
+			sevs = append(sevs, sortedEvent{ev: e, dur: s.End - s.Start, span: i})
+		}
+	}
+	sortEvents(sevs)
+	evs := make([]chromeEvent, len(sevs))
+	for i := range sevs {
+		evs[i] = sevs[i].ev
+	}
+	evs = append(laneMeta(evs), evs...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: evs})
+}
+
+// WriteChromeTraceFile writes spans as a Chrome trace to path.
+func WriteChromeTraceFile(path string, spans []Span, pid int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, spans, pid); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadChromeTraceFile parses a Chrome trace file written by this package
+// (or any {"traceEvents": [...]} array-format file).
+func ReadChromeTraceFile(path string) ([]chromeEvent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cf chromeFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cf.TraceEvents, nil
+}
+
+// MergeChromeTraceFiles combines per-rank trace files (paths[i] is rank
+// i's file) into one multi-process timeline at outPath.  Each input keeps
+// its events but moves to pid = its rank, and its wall lanes are re-zeroed
+// to the earliest wall timestamp across all inputs so the processes line
+// up on a shared axis; virtual lanes are already a shared axis and pass
+// through untouched.
+func MergeChromeTraceFiles(outPath string, paths []string) error {
+	type fileEvents struct {
+		evs []chromeEvent
+	}
+	files := make([]fileEvents, len(paths))
+	minWall := math.Inf(1)
+	for i, p := range paths {
+		evs, err := ReadChromeTraceFile(p)
+		if err != nil {
+			return err
+		}
+		files[i].evs = evs
+		for j := range evs {
+			if evs[j].Ph != "M" && evs[j].Tid >= wallTidBase && evs[j].Ts < minWall {
+				minWall = evs[j].Ts
+			}
+		}
+	}
+	if math.IsInf(minWall, 1) {
+		minWall = 0
+	}
+	var merged []chromeEvent
+	for rank, f := range files {
+		// Each file normalizes its own wall epoch: its earliest wall event
+		// aligns with the global earliest, preserving within-file deltas.
+		fileMin := math.Inf(1)
+		for j := range f.evs {
+			e := &f.evs[j]
+			if e.Ph != "M" && e.Tid >= wallTidBase && e.Ts < fileMin {
+				fileMin = e.Ts
+			}
+		}
+		for j := range f.evs {
+			e := f.evs[j]
+			e.Pid = rank
+			if e.Ph != "M" && e.Tid >= wallTidBase && !math.IsInf(fileMin, 1) {
+				e.Ts -= fileMin - minWall
+			}
+			merged = append(merged, e)
+		}
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(chromeFile{TraceEvents: merged}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// The expvar-style debug endpoint: GET /debug/metrics returns the
+// registry's Snapshot as indented JSON.  nccdd serves it per rank on an
+// ephemeral port so multiple daemons coexist on one host.
+
+// MetricsServer is a running metrics HTTP server.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the listener's address (useful with addr ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the server down.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// MetricsHandler returns an http.Handler serving the registry snapshot as
+// JSON.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// ServeMetrics starts an HTTP server on addr (":0" for an ephemeral port)
+// exposing the registry at /debug/metrics (and at / for convenience).  The
+// server runs until Close.
+func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	h := MetricsHandler(r)
+	mux.Handle("/debug/metrics", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}

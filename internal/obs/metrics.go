@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry: cheap always-on counters and fixed-bucket
+// histograms, plus snapshot functions for subsystems that already keep
+// their own typed counters (the plan cache, the TCP endpoint).  Counters
+// and histograms are single atomic adds on the hot path — cheap enough to
+// stay unconditional — while snapshot functions are evaluated only when a
+// snapshot is taken (the nccdd debug endpoint, a test, a report).
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// histBuckets is the fixed bucket count: bucket i counts observations v
+// with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1).  63 buckets cover the
+// whole int64 range, so no observation is ever out of bounds.
+const histBuckets = 63
+
+// Histogram is a fixed power-of-two-bucket histogram of int64 observations
+// (message sizes, pack volumes).  Observe is two atomic adds plus one
+// bucket add.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one observation.  Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Smallest i with 2^i >= v.
+	i := 0
+	for vv := v - 1; vv > 0; vv >>= 1 {
+		i++
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// BucketCount is one non-empty histogram bucket: N observations with value
+// <= Le (and greater than the previous bucket's Le).
+type BucketCount struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram, with empty
+// buckets omitted.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: int64(1) << uint(i), N: n})
+		}
+	}
+	return s
+}
+
+// Registry names and snapshots a process's metrics.  Counter and Histogram
+// are get-or-create, so hot paths grab their metric once at package init
+// and pay only the atomic add per operation; the map is never touched on
+// the hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	funcs    map[string]func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() any),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterFunc installs (or replaces) a snapshot function evaluated at
+// Snapshot time.  The returned value must be JSON-marshalable.
+func (r *Registry) RegisterFunc(name string, f func() any) {
+	r.mu.Lock()
+	r.funcs[name] = f
+	r.mu.Unlock()
+}
+
+// Unregister removes a snapshot function.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	delete(r.funcs, name)
+	r.mu.Unlock()
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters)+len(r.hists)+len(r.funcs))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns every metric's current value keyed by name: counters as
+// int64, histograms as HistogramSnapshot, snapshot functions evaluated.
+// The result marshals directly as the debug endpoint's JSON body.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	funcs := make(map[string]func() any, len(r.funcs))
+	for n, f := range r.funcs {
+		funcs[n] = f
+	}
+	r.mu.RUnlock()
+
+	out := make(map[string]any, len(counters)+len(hists)+len(funcs))
+	for n, c := range counters {
+		out[n] = c.Load()
+	}
+	for n, h := range hists {
+		out[n] = h.Snapshot()
+	}
+	for n, f := range funcs {
+		out[n] = f()
+	}
+	return out
+}
+
+// WriteSnapshotFile writes the registry's JSON snapshot to path, the
+// offline counterpart of the ServeMetrics debug endpoint.
+func (r *Registry) WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Metrics is the process-global registry.
+var Metrics = NewRegistry()

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_sent").Add(3)
+	r.Counter("frames_sent").Inc()
+	r.Histogram("msg_bytes").Observe(100)
+	r.Histogram("msg_bytes").Observe(1000)
+	r.Histogram("msg_bytes").Observe(-5) // clamps to 0
+	r.RegisterFunc("cache", func() any { return map[string]int{"hits": 7} })
+
+	snap := r.Snapshot()
+	if got := snap["frames_sent"]; got != int64(4) {
+		t.Fatalf("frames_sent = %v, want 4", got)
+	}
+	h, ok := snap["msg_bytes"].(HistogramSnapshot)
+	if !ok {
+		t.Fatalf("msg_bytes is %T", snap["msg_bytes"])
+	}
+	if h.Count != 3 || h.Sum != 1100 {
+		t.Fatalf("histogram count/sum = %d/%d, want 3/1100", h.Count, h.Sum)
+	}
+	// 100 lands in the le=128 bucket, 1000 in le=1024, 0 in le=1.
+	want := map[int64]int64{1: 1, 128: 1, 1024: 1}
+	for _, b := range h.Buckets {
+		if want[b.Le] != b.N {
+			t.Fatalf("bucket le=%d n=%d, want %v", b.Le, b.N, want)
+		}
+		delete(want, b.Le)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing buckets: %v", want)
+	}
+
+	names := r.Names()
+	if len(names) != 3 || names[0] != "cache" || names[1] != "frames_sent" || names[2] != "msg_bytes" {
+		t.Fatalf("Names() = %v", names)
+	}
+
+	r.Unregister("cache")
+	if _, ok := r.Snapshot()["cache"]; ok {
+		t.Fatal("Unregister left the snapshot func")
+	}
+
+	// The snapshot must be JSON-marshalable as-is (the HTTP body contract).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("retransmits").Add(42)
+	srv, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("body not JSON: %v\n%s", err, body)
+	}
+	if got["retransmits"] != float64(42) {
+		t.Fatalf("retransmits = %v, want 42", got["retransmits"])
+	}
+}

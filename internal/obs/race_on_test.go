@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build;
+// the overhead guard relaxes its bound under it, since instrumented atomic
+// loads cost an order of magnitude more than production ones.
+const raceEnabled = true

@@ -1,0 +1,83 @@
+package obs
+
+import "fmt"
+
+// ValidateChromeTrace checks that a set of trace events is a well-formed
+// timeline: every phase is one we emit, per-lane timestamps are monotone
+// non-decreasing, durations are non-negative, and begin/end events are
+// stack-balanced per lane with matching names.  This is the schema checker
+// the golden tests and the CI smoke step run over exported traces.
+func ValidateChromeTrace(evs []chromeEvent) error {
+	type lane struct{ pid, tid int }
+	lastTs := make(map[lane]float64)
+	stacks := make(map[lane][]chromeEvent)
+	for i := range evs {
+		e := &evs[i]
+		switch e.Ph {
+		case "M":
+			continue
+		case "B", "E", "X", "i", "C":
+		default:
+			return fmt.Errorf("event %d (%q): unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		k := lane{e.Pid, e.Tid}
+		if prev, ok := lastTs[k]; ok && e.Ts < prev {
+			return fmt.Errorf("event %d (%q): lane %d/%d timestamp went backwards (%.3f < %.3f)",
+				i, e.Name, e.Pid, e.Tid, e.Ts, prev)
+		}
+		lastTs[k] = e.Ts
+		switch e.Ph {
+		case "B":
+			stacks[k] = append(stacks[k], *e)
+		case "E":
+			st := stacks[k]
+			if len(st) == 0 {
+				return fmt.Errorf("event %d (%q): end with no open span on lane %d/%d", i, e.Name, e.Pid, e.Tid)
+			}
+			top := st[len(st)-1]
+			if top.Name != e.Name {
+				return fmt.Errorf("event %d: end %q does not match open span %q on lane %d/%d",
+					i, e.Name, top.Name, e.Pid, e.Tid)
+			}
+			stacks[k] = st[:len(st)-1]
+		}
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("lane %d/%d: %d unclosed span(s), first %q",
+				k.pid, k.tid, len(st), st[0].Name)
+		}
+	}
+	return nil
+}
+
+// ValidateChromeTraceFile reads and validates a trace file.
+func ValidateChromeTraceFile(path string) error {
+	evs, err := ReadChromeTraceFile(path)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+	if err := ValidateChromeTrace(evs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// CountEvents tallies non-metadata events by name — the assertion helper
+// golden tests use to check that expected span kinds actually appear.
+func CountEvents(evs []chromeEvent) map[string]int {
+	out := make(map[string]int)
+	for i := range evs {
+		if evs[i].Ph == "M" || evs[i].Ph == "E" {
+			continue
+		}
+		out[evs[i].Name]++
+	}
+	return out
+}

@@ -7,11 +7,13 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nccd/internal/datatype"
+	"nccd/internal/obs"
 	"nccd/internal/simnet"
 )
 
@@ -50,6 +52,11 @@ type TCP struct {
 	wg     sync.WaitGroup
 
 	stats tcpCounters
+
+	// tracer, when set, records wall-clock spans for wire operations.  An
+	// atomic pointer so reader goroutines may race SetTracer safely; the
+	// world wires it before Start in practice.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // TCPConfig parameterizes a TCP endpoint.
@@ -179,6 +186,30 @@ func (t *TCP) Local(r int) bool { return r == t.cfg.Rank }
 
 // Wallclock reports true: this transport has no virtual-time coupling.
 func (t *TCP) Wallclock() bool { return true }
+
+// SetTracer attaches a span recorder to the endpoint.  Wire operations
+// trace as ClockWall spans on the hosted rank's wall lane.
+func (t *TCP) SetTracer(tr *obs.Tracer) { t.tracer.Store(tr) }
+
+// trace emits a wall-clock span if a tracer is attached and enabled.
+func (t *TCP) trace(kind string, peer int, bytes int64, start, end float64, attrs ...obs.Attr) {
+	tr := t.tracer.Load()
+	if tr == nil || !tr.Enabled() {
+		return
+	}
+	tr.Emit(obs.Span{Rank: t.cfg.Rank, Kind: kind, Peer: peer, Bytes: bytes,
+		Start: start, End: end, Clock: obs.ClockWall, Attrs: attrs})
+}
+
+// traceNow returns the attached tracer's wall clock, or 0 with ok=false
+// when tracing is off (the span sites skip timestamping entirely then).
+func (t *TCP) traceNow() (float64, bool) {
+	tr := t.tracer.Load()
+	if tr == nil || !tr.Enabled() {
+		return 0, false
+	}
+	return tr.Now(), true
+}
 
 // Stats returns a snapshot of the wire and reliability counters.
 func (t *TCP) Stats() TCPStats {
@@ -382,6 +413,9 @@ func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
 		f, err := t.readFrame(br)
 		if err == ErrChecksum {
 			t.stats.crcRejects.Add(1)
+			if now, ok := t.traceNow(); ok {
+				t.trace("tcp_crc_reject", p.rank, 0, now, now)
+			}
 			continue
 		}
 		if err != nil {
@@ -397,12 +431,18 @@ func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
 					// retransmission whose ack was in flight): re-ack so the
 					// sender stops, discard the copy.
 					t.stats.dupRejects.Add(1)
+					if now, ok := t.traceNow(); ok {
+						t.trace("tcp_dup_reject", p.rank, int64(len(f.Payload)), now, now)
+					}
 					t.sendAck(p, f.TSeq)
 					datatype.PutBuffer(f.Payload)
 					continue
 				}
 				p.next = f.TSeq + 1
 				t.sendAck(p, f.TSeq)
+			}
+			if now, ok := t.traceNow(); ok {
+				t.trace("tcp_recv", p.rank, int64(len(f.Payload)), now, now)
 			}
 			t.deliver(t.cfg.Rank, f.Hdr, f.Payload)
 		case KindAck:
@@ -479,9 +519,18 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 	if !p.alive.Load() {
 		return &PeerDownError{Rank: to}
 	}
+	start, traced := t.traceNow()
+	nbytes := int64(len(payload))
 	fp := t.cfg.Faults
 	if fp.Lossy() {
-		return t.sendReliable(p, hdr, payload)
+		err := t.sendReliable(p, hdr, payload)
+		if traced && err == nil {
+			if end, ok := t.traceNow(); ok {
+				t.trace("tcp_send", to, nbytes, start, end,
+					obs.Attr{Key: "reliable", Val: "true"})
+			}
+		}
+		return err
 	}
 	err := t.writeData(p, &Frame{Kind: KindData, Hdr: hdr, Payload: payload})
 	datatype.PutBuffer(payload)
@@ -490,6 +539,11 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 		return &PeerDownError{Rank: to}
 	}
 	t.stats.framesSent.Add(1)
+	if traced {
+		if end, ok := t.traceNow(); ok {
+			t.trace("tcp_send", to, nbytes, start, end)
+		}
+	}
 	return nil
 }
 
@@ -599,6 +653,10 @@ func (t *TCP) sendReliable(p *tcpPeer, hdr Header, payload []byte) error {
 			return &RetriesError{Rank: p.rank, Attempts: attempt + 1}
 		}
 		t.stats.retransmits.Add(1)
+		if now, ok := t.traceNow(); ok {
+			t.trace("tcp_retransmit", p.rank, int64(len(payload)), now, now,
+				obs.Attr{Key: "attempt", Val: strconv.Itoa(attempt + 1)})
+		}
 		timeout = time.Duration(float64(timeout) * t.cfg.Backoff)
 	}
 }
