@@ -7,13 +7,17 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"nccd/internal/bench"
 	"nccd/internal/core"
 	"nccd/internal/obs"
+	"nccd/internal/transport"
 )
 
 // rankTracePath names rank r's intermediate trace file; the per-rank files
@@ -35,12 +39,65 @@ type launchConfig struct {
 	seed       uint64
 	skipVerify bool
 	trace      string // merged Chrome trace output path; "" = no tracing
+
+	// Self-healing / chaos.
+	selfheal     bool
+	chaos        bool // SIGKILL killRank after its first checkpoint, expect full recovery
+	killRank     int
+	ckptDir      string
+	ckptEvery    int
+	hb           time.Duration
+	hbMiss       int
+	recoveryJSON string // BENCH_recovery.json output path for chaos runs
+}
+
+// procTable tracks the live rank daemons so the launcher can take every
+// child down with it — on a rank failure, a chaos kill gone wrong, or a
+// signal — instead of leaving orphaned nccdd processes holding ports.
+type procTable struct {
+	mu   sync.Mutex
+	cmds map[int]*exec.Cmd
+}
+
+func newProcTable() *procTable { return &procTable{cmds: make(map[int]*exec.Cmd)} }
+
+func (pt *procTable) set(rank int, cmd *exec.Cmd) {
+	pt.mu.Lock()
+	pt.cmds[rank] = cmd
+	pt.mu.Unlock()
+}
+
+func (pt *procTable) remove(rank int) {
+	pt.mu.Lock()
+	delete(pt.cmds, rank)
+	pt.mu.Unlock()
+}
+
+func (pt *procTable) get(rank int) *exec.Cmd {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.cmds[rank]
+}
+
+// killAll SIGKILLs every live daemon.  Reaping stays with the runDaemon
+// goroutines' cmd.Wait, so no zombie outlives the launcher.
+func (pt *procTable) killAll() {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	for _, cmd := range pt.cmds {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
 }
 
 // runLauncher spawns lc.n nccdd rank daemons on localhost, collects their
 // results, replays the identical problem on the in-process virtual-time
 // transport, and verifies that both converge through the same residual
-// history.  Returns the process exit code.
+// history.  With lc.chaos it additionally SIGKILLs lc.killRank after its
+// first durable checkpoint, relaunches it as a -rejoin replacement, and
+// requires the healed full-size run to reproduce the reference history from
+// the restored cycle on.  Returns the process exit code.
 func runLauncher(lc launchConfig) int {
 	addrs, err := freeAddrs(lc.n)
 	if err != nil {
@@ -52,9 +109,48 @@ func runLauncher(lc launchConfig) int {
 		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
 		return 1
 	}
+	if lc.chaos {
+		lc.selfheal = true
+		if lc.killRank < 0 || lc.killRank >= lc.n {
+			fmt.Fprintf(os.Stderr, "mgsolve: -killrank %d out of range for %d ranks\n", lc.killRank, lc.n)
+			return 1
+		}
+	}
+	if lc.selfheal && lc.ckptDir == "" {
+		dir, err := os.MkdirTemp("", "nccd-ckpt-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: checkpoint dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		lc.ckptDir = dir
+	}
 	worldID := uint64(os.Getpid())
+	pt := newProcTable()
+
+	// Take the children down with us: on SIGINT/SIGTERM every daemon is
+	// killed, the runDaemon goroutines reap them, and the launcher exits
+	// nonzero.  Same on any single rank failing — survivors would
+	// otherwise block forever on the dead peer's port.
+	aborted := false
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		s, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mgsolve: %v: killing rank daemons\n", s)
+		aborted = true
+		pt.killAll()
+	}()
 
 	fmt.Printf("spawning %d rank daemons (%s) over TCP localhost\n", lc.n, daemon)
+	var chaosMu sync.Mutex
+	var killTime, resumeTime time.Time
+	chaosKilled := false
+
 	reports := make([]*bench.RankReport, lc.n)
 	procErrs := make([]error, lc.n)
 	var wg sync.WaitGroup
@@ -62,11 +158,51 @@ func runLauncher(lc launchConfig) int {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			reports[r], procErrs[r] = runDaemon(daemon, r, addrs, worldID, lc)
+			onLine := func(line string) {
+				if !lc.chaos {
+					return
+				}
+				chaosMu.Lock()
+				defer chaosMu.Unlock()
+				if r == lc.killRank && !chaosKilled && strings.HasPrefix(line, "CKPT ") {
+					if cmd := pt.get(r); cmd != nil && cmd.Process != nil {
+						chaosKilled = true
+						killTime = time.Now()
+						fmt.Printf("chaos: SIGKILL rank %d after %s\n", r, line)
+						_ = cmd.Process.Kill()
+					}
+				}
+				if chaosKilled && resumeTime.IsZero() && strings.HasPrefix(line, "RESUMED ") {
+					resumeTime = time.Now()
+				}
+			}
+			rep, derr := runDaemon(daemon, r, addrs, worldID, lc, nil, pt, onLine)
+			if derr != nil && lc.chaos && r == lc.killRank {
+				chaosMu.Lock()
+				wasKilled := chaosKilled
+				chaosMu.Unlock()
+				if wasKilled {
+					// Expected death: relaunch the rank as a replacement
+					// on the same address, joining the bumped epoch.
+					fmt.Printf("chaos: respawning rank %d as a rejoin replacement\n", r)
+					rep, derr = runDaemon(daemon, r, addrs, worldID, lc,
+						[]string{"-rejoin", "-epoch", "1"}, pt, onLine)
+				}
+			}
+			reports[r], procErrs[r] = rep, derr
+			if derr != nil {
+				// One dead rank means the run cannot complete: take the
+				// rest down instead of leaving them orphaned.
+				pt.killAll()
+			}
 		}(r)
 	}
 	wg.Wait()
 
+	if aborted {
+		fmt.Fprintln(os.Stderr, "mgsolve: aborted by signal; all rank daemons killed")
+		return 1
+	}
 	failed := false
 	for r := 0; r < lc.n; r++ {
 		if procErrs[r] != nil {
@@ -75,6 +211,10 @@ func runLauncher(lc launchConfig) int {
 		}
 	}
 	if failed {
+		return 1
+	}
+	if lc.chaos && !chaosKilled {
+		fmt.Fprintln(os.Stderr, "mgsolve: chaos kill never fired (no checkpoint observed before completion)")
 		return 1
 	}
 
@@ -115,10 +255,19 @@ func runLauncher(lc launchConfig) int {
 			return 1
 		}
 	}
+	if lc.chaos {
+		return verifyChaos(lc, reports, killTime, resumeTime)
+	}
 	if lc.skipVerify {
 		return 0
 	}
+	return verifyAgainstReference(lc, r0.History, 0)
+}
 
+// verifyAgainstReference replays the problem on the in-process virtual-time
+// transport and requires history to equal the reference's from cycle `from`
+// on, bitwise.
+func verifyAgainstReference(lc launchConfig, history []float64, from int) int {
 	cfg, mode, err := bench.ArmByName(lc.arm)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
@@ -126,16 +275,83 @@ func runLauncher(lc launchConfig) int {
 	}
 	fmt.Printf("verifying against in-process reference run...\n")
 	ref := bench.RunMultigridWorld(core.NewUniformWorld(lc.n, cfg), lc.p, mode)
-	if err := historiesEqual(r0.History, ref.History); err != nil {
-		fmt.Fprintf(os.Stderr, "mgsolve: tcp run diverged from in-process reference: %v\n", err)
+	if from > len(ref.History) {
+		fmt.Fprintf(os.Stderr, "mgsolve: restored cycle %d beyond the reference's %d cycles\n", from, len(ref.History))
 		return 1
 	}
-	fmt.Printf("OK: tcp and in-process runs converged through identical residual histories (%d cycles)\n", ref.Cycles)
+	if err := historiesEqual(history, ref.History[from:]); err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: tcp run diverged from in-process reference (from cycle %d): %v\n", from, err)
+		return 1
+	}
+	fmt.Printf("OK: tcp and in-process runs converged through identical residual histories (%d cycles, compared from cycle %d)\n", ref.Cycles, from)
 	return 0
 }
 
-// runDaemon spawns one rank daemon and parses its RESULT line.
-func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launchConfig) (*bench.RankReport, error) {
+// verifyChaos checks the healed run end to end — full size, committed
+// epoch, agreed restore point, reference-identical resumed history — and
+// writes the recovery benchmark JSON.
+func verifyChaos(lc launchConfig, reports []*bench.RankReport, killTime, resumeTime time.Time) int {
+	base := reports[0].RestoredAt
+	for r, rep := range reports {
+		if !rep.Healed || rep.Recoveries < 1 {
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d did not heal (healed=%v recoveries=%d)\n", r, rep.Healed, rep.Recoveries)
+			return 1
+		}
+		if rep.FinalSize != lc.n {
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d finished at size %d, want full %d\n", r, rep.FinalSize, lc.n)
+			return 1
+		}
+		if rep.Epoch == 0 {
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d never committed an epoch bump\n", r)
+			return 1
+		}
+		if rep.RestoredAt != base {
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d restored at %d, rank 0 at %d — availability agreement violated\n", r, rep.RestoredAt, base)
+			return 1
+		}
+	}
+	mttr := 0.0
+	if !killTime.IsZero() && !resumeTime.IsZero() {
+		mttr = resumeTime.Sub(killTime).Seconds()
+	}
+	fmt.Printf("chaos: healed at full size %d, epoch %d, restored from cycle %d, MTTR %.3fs\n",
+		lc.n, reports[0].Epoch, base, mttr)
+	if base < 0 {
+		base = 0
+	}
+	if code := verifyAgainstReference(lc, reports[0].History, base); code != 0 {
+		return code
+	}
+	if lc.recoveryJSON != "" {
+		hb := transport.HeartbeatConfig{Interval: lc.hb, Miss: lc.hbMiss}
+		if hb.Interval <= 0 {
+			hb.Interval = 10 * time.Millisecond
+		}
+		// Detection latency and in-process MTTR run on a small fixed
+		// problem; the TCP numbers come from the chaos run just measured.
+		rep, err := bench.RunRecovery(4, bench.MultigridParams{Extent: 16, Levels: 2, Rtol: 1e-6, MaxCycles: 20}, hb)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: recovery benchmark: %v\n", err)
+			return 1
+		}
+		rep.TCPMTTRMS = mttr * 1e3
+		rep.TCPRespawns = 1
+		rep.TCPWorldSize = lc.n
+		rep.TCPKilledRank = lc.killRank
+		rep.TCPRestoredAt = base
+		rep.TCPTotalCycles = reports[0].Cycles
+		if err := bench.WriteRecoveryJSON(lc.recoveryJSON, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: writing %s: %v\n", lc.recoveryJSON, err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", lc.recoveryJSON)
+	}
+	return 0
+}
+
+// runDaemon spawns one rank daemon, registers it for cleanup, streams its
+// progress lines through onLine, and parses its RESULT line.
+func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launchConfig, extra []string, pt *procTable, onLine func(line string)) (*bench.RankReport, error) {
 	args := []string{
 		"-rank", fmt.Sprint(rank),
 		"-n", fmt.Sprint(lc.n),
@@ -152,9 +368,16 @@ func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launc
 		"-delaymean", fmt.Sprint(lc.delayMean),
 		"-seed", fmt.Sprint(lc.seed),
 	}
+	if lc.selfheal {
+		args = append(args, "-selfheal", "-ckpt", lc.ckptDir, "-ckptevery", fmt.Sprint(lc.ckptEvery))
+		if lc.hb > 0 {
+			args = append(args, "-hb", lc.hb.String(), "-hbmiss", fmt.Sprint(lc.hbMiss))
+		}
+	}
 	if lc.trace != "" {
 		args = append(args, "-trace", rankTracePath(lc.trace, rank))
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(daemon, args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
@@ -164,6 +387,8 @@ func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launc
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
+	pt.set(rank, cmd)
+	defer pt.remove(rank)
 	var rep *bench.RankReport
 	sc := bufio.NewScanner(out)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -175,6 +400,9 @@ func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launc
 				return nil, fmt.Errorf("parsing result: %w", err)
 			}
 			continue
+		}
+		if onLine != nil {
+			onLine(line)
 		}
 		fmt.Printf("[rank %d] %s\n", rank, line)
 	}

@@ -6,12 +6,19 @@
 // daemons as separate OS processes connected over TCP localhost, runs the
 // same solve across them, and verifies the distributed residual history
 // bitwise against an in-process reference run.
+//
+// With -tcp N -selfheal it also supervises the daemons — durable
+// checkpoints, heartbeat failure detection, respawn of dead ranks into a
+// regrown full-size world — and -chaos smoke-tests that path by killing
+// -killrank after its first checkpoint and demanding a bitwise-identical
+// resumed history plus a BENCH_recovery.json report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nccd/internal/bench"
 	"nccd/internal/core"
@@ -35,6 +42,18 @@ func main() {
 	trace := flag.String("trace", "", "write a merged Chrome trace JSON here (with -tcp: per-rank files <path>.rank<N> are merged; without: one traced in-process solve instead of the Fig 17 sweep)")
 	np := flag.Int("np", 4, "rank count for a traced in-process solve (-trace without -tcp)")
 	metrics := flag.String("metrics", "", "write a JSON snapshot of the process metrics registry here after the run")
+	selfheal := flag.Bool("selfheal", false, "run the -tcp daemons with durable checkpoints and the epoch/rejoin recovery protocol")
+	chaos := flag.Bool("chaos", false, "self-healing smoke test: SIGKILL -killrank after its first checkpoint, respawn it, and require full-size recovery (implies -selfheal)")
+	killRank := flag.Int("killrank", 2, "the rank -chaos kills")
+	ckptDir := flag.String("ckpt", "", "shared durable checkpoint directory for -selfheal runs (default: a fresh temp dir)")
+	ckptEvery := flag.Int("ckptevery", 1, "checkpoint period in V-cycles for -selfheal runs")
+	// 25 ms × 3 misses × the detector's 3× hard-fail factor gives a 225 ms
+	// failure window: wide enough that a scheduler stall on a loaded host
+	// (observed at ~100-150 ms with four local daemons) does not read as a
+	// mass failure, yet still a small fraction of any solve's runtime.
+	hb := flag.Duration("hb", 25*time.Millisecond, "heartbeat interval for -selfheal failure detection (0 = rely on connection loss only)")
+	hbMiss := flag.Int("hbmiss", 3, "missed heartbeat intervals before a peer is suspected")
+	recoveryJSON := flag.String("recoveryjson", "BENCH_recovery.json", "where a -chaos run writes the recovery benchmark report (\"\" = skip)")
 	flag.Parse()
 	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
 	code := 0
@@ -44,6 +63,9 @@ func main() {
 			n: *tcp, daemon: *daemon, arm: *arm, p: p,
 			drop: *drop, corrupt: *corrupt, dup: *dup, delayMean: *delayMean,
 			seed: *seed, skipVerify: *noVerify, trace: *trace,
+			selfheal: *selfheal, chaos: *chaos, killRank: *killRank,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, hb: *hb, hbMiss: *hbMiss,
+			recoveryJSON: *recoveryJSON,
 		})
 	case *trace != "":
 		code = runTracedSolve(*np, *arm, p, *trace)

@@ -11,6 +11,13 @@
 // below the TCP framing layer, exercising the transport's CRC trailer and
 // ack/retransmission protocol against real sockets; -crashat schedules a
 // local-rank crash in virtual time for fault-tolerance experiments.
+//
+// With -selfheal (or -ckpt) the daemon checkpoints the solve and rides out
+// peer failures through the epoch/rejoin recovery protocol instead of
+// aborting; a supervisor relaunches a killed rank with -rejoin -epoch N
+// and the same rank/address, and the replacement restores the agreed
+// checkpoint into the regrown full-size world.  -hb enables the heartbeat
+// failure detector so hung (not just dead) peers are caught.
 package main
 
 import (
@@ -45,6 +52,13 @@ func main() {
 	ackTimeout := flag.Duration("acktimeout", 20*time.Millisecond, "wall-clock wait before the first retransmission")
 	trace := flag.String("trace", "", "write this rank's Chrome trace JSON to the given path")
 	metrics := flag.String("metrics", "", "serve the metrics registry over HTTP at this address (e.g. 127.0.0.1:0); the bound address is printed as a METRICS line")
+	selfheal := flag.Bool("selfheal", false, "ride out peer failures: checkpoint, and recover via epoch bump + rejoin instead of aborting")
+	ckptDir := flag.String("ckpt", "", "durable checkpoint directory (shared across ranks; implies -selfheal)")
+	ckptEvery := flag.Int("ckptevery", 1, "checkpoint period in V-cycles for -selfheal runs")
+	rejoin := flag.Bool("rejoin", false, "this process replaces a failed rank: dial the whole surviving mesh and restore from checkpoint")
+	epoch := flag.Uint64("epoch", 0, "membership epoch a -rejoin replacement joins at (the launcher's respawn count)")
+	hb := flag.Duration("hb", 0, "heartbeat interval for the failure detector (0 = disabled; hung-peer detection then relies on connection loss)")
+	hbMiss := flag.Int("hbmiss", 3, "missed heartbeat intervals before a peer is suspected")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -67,14 +81,29 @@ func main() {
 		}
 	}
 
-	rep, err := bench.RunMultigridDaemon(
-		transport.TCPConfig{Rank: *rank, Size: *n, WorldID: *worldID, Addrs: addrs,
-			Faults: fp, AckTimeout: *ackTimeout},
-		cfg,
-		bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles},
-		mode,
-		bench.DaemonObs{TracePath: *trace, MetricsAddr: *metrics},
-	)
+	tcfg := transport.TCPConfig{Rank: *rank, Size: *n, WorldID: *worldID, Addrs: addrs,
+		Faults: fp, AckTimeout: *ackTimeout,
+		Heartbeat: transport.HeartbeatConfig{Interval: *hb, Miss: *hbMiss},
+		Epoch:     *epoch, Rejoin: *rejoin}
+	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
+	ob := bench.DaemonObs{TracePath: *trace, MetricsAddr: *metrics}
+
+	var rep bench.RankReport
+	if *selfheal || *ckptDir != "" || *rejoin {
+		rep, err = bench.RunMultigridSelfHealDaemon(tcfg, cfg, p, mode, ob, bench.SelfHealDaemon{
+			CkptDir:         *ckptDir,
+			CheckpointEvery: *ckptEvery,
+			RejoinEpoch:     *epoch,
+			// Progress lines the launcher's chaos controller keys off:
+			// CKPT marks a durable checkpoint, RESUMED a committed
+			// recovery.  Stdout is line-buffered through the launcher's
+			// scanner, so these arrive promptly.
+			OnCheckpoint: func(it int) { fmt.Printf("CKPT %d\n", it) },
+			OnRecovered:  func(e uint64, at int) { fmt.Printf("RESUMED epoch=%d from=%d\n", e, at) },
+		})
+	} else {
+		rep, err = bench.RunMultigridDaemon(tcfg, cfg, p, mode, ob)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nccdd: rank %d: %v\n", *rank, err)
 		os.Exit(1)

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
+	"nccd/internal/ksp"
 	"nccd/internal/mpi"
 	"nccd/internal/obs"
 	"nccd/internal/petsc"
@@ -22,6 +24,15 @@ type RankReport struct {
 	// Trace is the path of this rank's Chrome trace file, when tracing
 	// was requested.
 	Trace string `json:"trace,omitempty"`
+	// Self-healing outcome (zero values outside -selfheal runs): the
+	// committed membership epoch, the checkpoint iteration the final
+	// attempt resumed from (-1 = never interrupted), how many failures
+	// were ridden out, and the final communicator size.
+	Epoch      uint64 `json:"epoch,omitempty"`
+	RestoredAt int    `json:"restored_at,omitempty"`
+	Recoveries int    `json:"recoveries,omitempty"`
+	FinalSize  int    `json:"final_size,omitempty"`
+	Healed     bool   `json:"healed,omitempty"`
 }
 
 // DaemonObs configures a rank daemon's observability surfaces.
@@ -98,6 +109,123 @@ func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridPar
 		RelRes:  res.RelRes,
 		History: res.History,
 		Stats:   tr.Stats(),
+	}
+	if ob.TracePath != "" {
+		if err := obs.WriteChromeTraceFile(ob.TracePath, w.Tracer().Spans(), tcfg.Rank); err != nil {
+			return RankReport{}, fmt.Errorf("writing trace: %w", err)
+		}
+		rep.Trace = ob.TracePath
+	}
+	return rep, nil
+}
+
+// SelfHealDaemon configures a rank daemon's self-healing additions.
+type SelfHealDaemon struct {
+	// CkptDir, when non-empty, spills checkpoints durably through a
+	// ksp.FileStore there (per-rank file names, so ranks share the
+	// directory); empty keeps them in process memory, which a respawn
+	// cannot recover.
+	CkptDir string
+	// CheckpointEvery is the V-cycle checkpoint period.  Default 1.
+	CheckpointEvery int
+	// RejoinEpoch marks this process as a replacement joining recovery
+	// number RejoinEpoch (the launcher's respawn count).
+	RejoinEpoch uint64
+	// AwaitTimeout bounds how long survivors wait for a replacement.
+	AwaitTimeout time.Duration
+	// OnCheckpoint and OnRecovered announce progress (the launcher's
+	// chaos controller keys its kill and MTTR clock off these).
+	OnCheckpoint func(iteration int)
+	OnRecovered  func(epoch uint64, restoredAt int)
+}
+
+// announceStore decorates a checkpoint store with a Put notification.
+type announceStore struct {
+	ksp.Store
+	onPut func(iteration int)
+}
+
+func (a announceStore) Put(cp ksp.Checkpoint) {
+	a.Store.Put(cp)
+	a.onPut(cp.Iteration)
+}
+
+// RunMultigridSelfHealDaemon hosts one rank of the self-healing multigrid
+// solve over TCP: like RunMultigridDaemon, but checkpoints durably, rides
+// out peer failures through the epoch/rejoin recovery loop, and — when
+// launched with RejoinEpoch — comes up as a replacement that restores the
+// agreed checkpoint into the regrown world instead of starting over.
+func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode, ob DaemonObs, hd SelfHealDaemon) (RankReport, error) {
+	tr, err := transport.NewTCP(tcfg)
+	if err != nil {
+		return RankReport{}, err
+	}
+	cl := simnet.Uniform(tcfg.Size, simnet.IBDDR())
+	cl.Faults = tcfg.Faults
+	w, err := mpi.NewWorldTransport(tr, cl, cfg)
+	if err != nil {
+		tr.Close()
+		return RankReport{}, err
+	}
+	defer w.Close()
+	if ob.TracePath != "" {
+		w.Tracer().Enable()
+	}
+	if ob.MetricsAddr != "" {
+		obs.Metrics.RegisterFunc("transport.tcp", func() any { return tr.Stats() })
+		defer obs.Metrics.Unregister("transport.tcp")
+		srv, err := obs.ServeMetrics(ob.MetricsAddr, obs.Metrics)
+		if err != nil {
+			return RankReport{}, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("METRICS %s\n", srv.Addr())
+	}
+
+	var store ksp.Store
+	if hd.CkptDir != "" {
+		fs, err := ksp.NewFileStore(hd.CkptDir, tcfg.Rank)
+		if err != nil {
+			return RankReport{}, err
+		}
+		store = fs
+	} else {
+		store = &ksp.CheckpointStore{}
+	}
+	if hd.OnCheckpoint != nil {
+		store = announceStore{Store: store, onPut: hd.OnCheckpoint}
+	}
+
+	var res SelfHealResult
+	wall0 := time.Now()
+	err = w.Run(func(c *mpi.Comm) error {
+		r, herr := SelfHealMultigrid(c, p, mode, store, HealParams{
+			CheckpointEvery: hd.CheckpointEvery,
+			RejoinEpoch:     hd.RejoinEpoch,
+			AwaitTimeout:    hd.AwaitTimeout,
+			OnRecovered:     hd.OnRecovered,
+		})
+		if herr != nil {
+			return herr
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return RankReport{}, err
+	}
+	rep := RankReport{
+		Rank:       tcfg.Rank,
+		Seconds:    time.Since(wall0).Seconds(),
+		Cycles:     res.Cycles,
+		RelRes:     res.RelRes,
+		History:    res.History,
+		Stats:      tr.Stats(),
+		Epoch:      res.Epoch,
+		RestoredAt: res.RestoredAt,
+		Recoveries: res.Recoveries,
+		FinalSize:  res.FinalSize,
+		Healed:     res.Healed,
 	}
 	if ob.TracePath != "" {
 		if err := obs.WriteChromeTraceFile(ob.TracePath, w.Tracer().Spans(), tcfg.Rank); err != nil {

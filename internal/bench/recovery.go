@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"nccd/internal/transport"
+)
+
+// RecoveryReport is the self-healing benchmark written to
+// BENCH_recovery.json: what failure detection costs when nothing is wrong,
+// how fast it fires when something is, and how long the full
+// respawn → rejoin → restore loop takes end to end.
+type RecoveryReport struct {
+	// Failure-detector configuration the measurements ran under.
+	HeartbeatIntervalMS float64 `json:"heartbeat_interval_ms"`
+	MissThreshold       int     `json:"miss_threshold"`
+	FailAfter           int     `json:"fail_after"`
+
+	// Detection: wall-clock time from a peer going silent (heartbeats
+	// paused, connection intact — the hung-process case a dead TCP
+	// connection never reports) to suspicion, and to the hard failure.
+	DetectionMS    float64 `json:"detection_ms"`
+	HardFailureMS  float64 `json:"hard_failure_ms"`
+	DetectionBeats int64   `json:"detection_beats"` // beats exchanged while measuring
+
+	// Steady-state overhead of the detector on a healthy idle link.
+	BeatsPerSecPerPeer float64 `json:"beats_per_sec_per_peer"`
+	BeatBytesPerSec    float64 `json:"beat_bytes_per_sec_per_peer"`
+
+	// In-process chaos run: a mid-solve rank kill, ridden out by
+	// Respawn + Restore + checkpoint resume.
+	InprocMTTRMS          float64 `json:"inproc_mttr_ms"`
+	InprocRespawns        int     `json:"inproc_respawns"`
+	InprocHistoryMatches  bool    `json:"inproc_history_matches"`
+	InprocRestoredAtCycle int     `json:"inproc_restored_at_cycle"`
+	InprocTotalCycles     int     `json:"inproc_total_cycles"`
+
+	// Multi-process chaos run over TCP, filled by the mgsolve launcher
+	// (zero when the report comes from RunRecovery alone).
+	TCPMTTRMS      float64 `json:"tcp_mttr_ms,omitempty"`
+	TCPRespawns    int     `json:"tcp_respawns,omitempty"`
+	TCPWorldSize   int     `json:"tcp_world_size,omitempty"`
+	TCPKilledRank  int     `json:"tcp_killed_rank,omitempty"`
+	TCPRestoredAt  int     `json:"tcp_restored_at_cycle,omitempty"`
+	TCPTotalCycles int     `json:"tcp_total_cycles,omitempty"`
+}
+
+// beatWireBytes is a heartbeat frame's wire footprint: 4-byte length
+// prefix, 9-byte body (kind + epoch), 4-byte CRC.
+const beatWireBytes = 17
+
+// measureDetection brings up a healthy 2-endpoint heartbeating mesh on
+// loopback, lets it idle to measure steady-state beat traffic, then pauses
+// one side's heartbeats — the deterministic stand-in for a SIGSTOPped
+// process whose TCP connection stays open — and times how long the other
+// side takes to suspect and then hard-fail it.
+func measureDetection(hb transport.HeartbeatConfig) (rep RecoveryReport, err error) {
+	addrs := make([]string, 2)
+	lns := make([]net.Listener, 2)
+	for r := 0; r < 2; r++ {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return rep, lerr
+		}
+		defer ln.Close()
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	suspectCh := make(chan time.Time, 4)
+	downCh := make(chan time.Time, 4)
+	eps := make([]*transport.TCP, 2)
+	startErrs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		cfg := transport.TCPConfig{
+			Rank: r, Size: 2, WorldID: 0xbeef, Addrs: addrs, Listener: lns[r],
+			AckTimeout: 50 * time.Millisecond, DialTimeout: 5 * time.Second,
+			Heartbeat: hb,
+		}
+		tr, terr := transport.NewTCP(cfg)
+		if terr != nil {
+			return rep, terr
+		}
+		defer tr.Close()
+		down := func(peer int) {}
+		if r == 0 {
+			tr.SetHealth(transport.HealthFuncs{Suspect: func(peer int, suspect bool, silent time.Duration) {
+				if suspect {
+					select {
+					case suspectCh <- time.Now():
+					default:
+					}
+				}
+			}})
+			down = func(peer int) {
+				select {
+				case downCh <- time.Now():
+				default:
+				}
+			}
+		}
+		eps[r] = tr
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			startErrs[r] = tr.Start(func(to int, hdr transport.Header, payload []byte) {}, down)
+		}(r)
+	}
+	wg.Wait()
+	for r, serr := range startErrs {
+		if serr != nil {
+			return rep, fmt.Errorf("bench: endpoint %d: %w", r, serr)
+		}
+	}
+
+	rep.HeartbeatIntervalMS = float64(hb.Interval) / float64(time.Millisecond)
+	rep.MissThreshold = hb.Miss
+	rep.FailAfter = hb.FailAfter
+
+	// Steady state: idle long enough for the beat rate to dominate setup.
+	idle := 20 * hb.Interval
+	time.Sleep(idle)
+	st := eps[0].Stats()
+	rep.DetectionBeats = st.BeatsSent + st.BeatsRecv
+	rep.BeatsPerSecPerPeer = float64(st.BeatsSent) / idle.Seconds()
+	rep.BeatBytesPerSec = rep.BeatsPerSecPerPeer * beatWireBytes
+
+	// Hang endpoint 1 and time the detector.
+	hung := time.Now()
+	eps[1].PauseHeartbeats(true)
+	select {
+	case at := <-suspectCh:
+		rep.DetectionMS = at.Sub(hung).Seconds() * 1e3
+	case <-time.After(100 * time.Duration(hb.FailAfter) * hb.Interval):
+		return rep, fmt.Errorf("bench: detector never suspected the hung peer")
+	}
+	select {
+	case at := <-downCh:
+		rep.HardFailureMS = at.Sub(hung).Seconds() * 1e3
+	case <-time.After(100 * time.Duration(hb.FailAfter) * hb.Interval):
+		return rep, fmt.Errorf("bench: detector never hard-failed the hung peer")
+	}
+	return rep, nil
+}
+
+// RunRecovery produces the self-healing benchmark: heartbeat detection
+// latency and steady-state cost on a real TCP link, plus the in-process
+// mid-solve kill → respawn → restore → resume MTTR with its bitwise history
+// verification.  The launcher adds the multi-process TCP chaos numbers on
+// top before writing the report.
+func RunRecovery(n int, p MultigridParams, hb transport.HeartbeatConfig) (RecoveryReport, error) {
+	if hb.Interval <= 0 {
+		hb.Interval = 10 * time.Millisecond
+	}
+	if hb.Miss <= 0 {
+		hb.Miss = 3
+	}
+	if hb.FailAfter <= 0 {
+		hb.FailAfter = 3 * hb.Miss
+	}
+	rep, err := measureDetection(hb)
+	if err != nil {
+		return rep, err
+	}
+	run, err := RunMultigridSelfHeal(n, p, n/2, 0.5, nil)
+	if err != nil {
+		return rep, err
+	}
+	rep.InprocMTTRMS = run.MTTRSeconds * 1e3
+	rep.InprocRespawns = run.Respawns
+	rep.InprocHistoryMatches = run.HistoryMatches
+	rep.InprocRestoredAtCycle = run.Result.RestoredAt
+	rep.InprocTotalCycles = run.Result.Cycles
+	if !run.HistoryMatches {
+		return rep, fmt.Errorf("bench: healed run's history diverged from the fault-free reference")
+	}
+	return rep, nil
+}
+
+// WriteRecoveryJSON writes the report to path (BENCH_recovery.json).
+func WriteRecoveryJSON(path string, rep RecoveryReport) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

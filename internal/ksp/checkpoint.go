@@ -1,6 +1,9 @@
 package ksp
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Checkpoint is a decomposition-independent snapshot of solver state: the
 // iterate in natural (global grid) order plus where the solve was.  For the
@@ -10,35 +13,70 @@ import "sync"
 // descent from a much better guess.
 type Checkpoint struct {
 	Iteration int
-	Residual  float64
-	X         []float64 // natural-order iterate, replicated on every rank
+	Residual  float64 // relative residual at Iteration
+	// R0 is the initial absolute residual norm of the original solve.
+	// Resuming with it keeps relative residuals — and the caller's rtol —
+	// meaning exactly what they meant before the interruption, so a resumed
+	// history is directly comparable to the fault-free one.
+	R0 float64
+	X  []float64 // natural-order iterate, replicated on every rank
 }
 
-// CheckpointStore holds the most recent checkpoint of a solve.  In this
-// in-process runtime all ranks share the store, so the checkpoint survives
-// any subset of rank crashes; a distributed implementation would back it
-// with replicated storage (the natural-order X is already gathered onto
-// every rank for exactly that reason).  Safe for concurrent use.
+// Store is the checkpoint spill a solver writes to and a recovery reads
+// from.  CheckpointStore keeps recent checkpoints in memory (shared by all
+// ranks of an in-process world); FileStore spills them to disk so they
+// survive the death of the process itself.  After a failure the ranks agree
+// on an iteration every survivor can produce (stores may have diverged —
+// a replacement rank starts from whatever its spill directory still holds),
+// hence At and Iterations alongside Latest.
+type Store interface {
+	// Put records cp.  Every rank of a solve calls Put with an identical
+	// snapshot; implementations are idempotent under those racing writes.
+	Put(cp Checkpoint)
+	// Latest returns the most recent checkpoint, if any.  The returned X
+	// must not be modified.
+	Latest() (Checkpoint, bool)
+	// At returns the checkpoint taken at exactly the given iteration.
+	At(iteration int) (Checkpoint, bool)
+	// Iterations lists the retained checkpoint iterations, ascending.
+	Iterations() []int
+}
+
+// keepCheckpoints bounds how many recent checkpoints the in-memory store
+// retains: enough that ranks whose latest snapshots diverged (a rank died
+// mid-Put) still share an older common iteration, without unbounded growth.
+const keepCheckpoints = 4
+
+// CheckpointStore holds the most recent checkpoints of a solve in memory.
+// In the in-process runtime all ranks share the store, so a checkpoint
+// survives any subset of rank crashes; FileStore is the durable counterpart
+// for multi-process runs.  Safe for concurrent use.
 type CheckpointStore struct {
-	mu sync.Mutex
-	cp Checkpoint
-	ok bool
+	mu  sync.Mutex
+	cps []Checkpoint // ascending by iteration
 }
 
-// Put records cp if it is at least as far along as the stored one.  Every
-// rank of a solve calls Put with an identical snapshot; the monotonicity
-// test makes the store idempotent under those racing writes and under a
+// Put records cp, keeping the keepCheckpoints most recent iterations.  A
+// duplicate iteration overwrites in place (replicas write identical data),
+// which makes the store idempotent under racing rank writes and under a
 // restarted solve re-saving an earlier iteration.
 func (st *CheckpointStore) Put(cp Checkpoint) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.ok && cp.Iteration < st.cp.Iteration {
-		return
-	}
 	x := make([]float64, len(cp.X))
 	copy(x, cp.X)
 	cp.X = x
-	st.cp, st.ok = cp, true
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	i := sort.Search(len(st.cps), func(i int) bool { return st.cps[i].Iteration >= cp.Iteration })
+	if i < len(st.cps) && st.cps[i].Iteration == cp.Iteration {
+		st.cps[i] = cp
+		return
+	}
+	st.cps = append(st.cps, Checkpoint{})
+	copy(st.cps[i+1:], st.cps[i:])
+	st.cps[i] = cp
+	if len(st.cps) > keepCheckpoints {
+		st.cps = append(st.cps[:0:0], st.cps[len(st.cps)-keepCheckpoints:]...)
+	}
 }
 
 // Latest returns the most recent checkpoint, if any.  The returned X must
@@ -46,12 +84,38 @@ func (st *CheckpointStore) Put(cp Checkpoint) {
 func (st *CheckpointStore) Latest() (Checkpoint, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.cp, st.ok
+	if len(st.cps) == 0 {
+		return Checkpoint{}, false
+	}
+	return st.cps[len(st.cps)-1], true
 }
 
-// Clear drops the stored checkpoint (between unrelated solves).
+// At returns the checkpoint taken at exactly the given iteration.
+func (st *CheckpointStore) At(iteration int) (Checkpoint, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, cp := range st.cps {
+		if cp.Iteration == iteration {
+			return cp, true
+		}
+	}
+	return Checkpoint{}, false
+}
+
+// Iterations lists the retained checkpoint iterations, ascending.
+func (st *CheckpointStore) Iterations() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	its := make([]int, len(st.cps))
+	for i, cp := range st.cps {
+		its[i] = cp.Iteration
+	}
+	return its
+}
+
+// Clear drops every stored checkpoint (between unrelated solves).
 func (st *CheckpointStore) Clear() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.cp, st.ok = Checkpoint{}, false
+	st.cps = nil
 }

@@ -1,0 +1,222 @@
+package ksp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FileStore is the durable checkpoint spill: each Put writes one
+// self-validating file under the store's directory, so checkpoints survive
+// the death of the process that wrote them — the point of spilling at all;
+// a respawned rank restores from whatever its directory still holds.
+//
+// Each checkpoint is a single file
+//
+//	[8]  magic "NCCDCKPT"
+//	[4]  format version
+//	[8]  iteration
+//	[8]  residual (float64 bits)
+//	[8]  r0 (float64 bits)
+//	[8]  element count n
+//	[8n] iterate, float64 bits LE
+//	[4]  CRC-32 of everything above
+//
+// written to a temporary name and renamed into place, so a crash mid-write
+// never leaves a live path with partial content; and read back only if the
+// magic, version, length and checksum all hold, so a torn or corrupted file
+// degrades to "checkpoint absent" rather than a wrong restore.  The store
+// keeps the most recent DefaultKeepFiles checkpoints and prunes older ones.
+//
+// Ranks share a directory but own distinct file names, so one directory can
+// serve a whole multi-process world.
+type FileStore struct {
+	mu   sync.Mutex
+	dir  string
+	rank int
+	keep int
+}
+
+const (
+	fileMagic   = "NCCDCKPT"
+	fileVersion = 1
+	fileHdrLen  = 8 + 4 + 8 + 8 + 8 + 8
+	// DefaultKeepFiles bounds how many checkpoint files a FileStore retains.
+	DefaultKeepFiles = 8
+)
+
+// NewFileStore opens (creating if needed) a checkpoint directory for one
+// rank.  Existing valid checkpoint files are picked up as-is — that is how
+// a respawned rank finds its pre-crash state.
+func NewFileStore(dir string, rank int) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ksp: checkpoint dir: %w", err)
+	}
+	return &FileStore{dir: dir, rank: rank, keep: DefaultKeepFiles}, nil
+}
+
+// SetKeep overrides how many checkpoints the store retains (minimum 1).
+func (fs *FileStore) SetKeep(n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	fs.keep = n
+}
+
+// Dir returns the store's directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+func (fs *FileStore) path(iteration int) string {
+	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-r%03d-i%09d.nccd", fs.rank, iteration))
+}
+
+func encodeCheckpoint(cp Checkpoint) []byte {
+	buf := make([]byte, fileHdrLen+8*len(cp.X)+4)
+	copy(buf, fileMagic)
+	binary.LittleEndian.PutUint32(buf[8:], fileVersion)
+	binary.LittleEndian.PutUint64(buf[12:], uint64(cp.Iteration))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(cp.Residual))
+	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(cp.R0))
+	binary.LittleEndian.PutUint64(buf[36:], uint64(len(cp.X)))
+	for i, v := range cp.X {
+		binary.LittleEndian.PutUint64(buf[fileHdrLen+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc32.ChecksumIEEE(buf[:len(buf)-4]))
+	return buf
+}
+
+func decodeCheckpoint(buf []byte) (Checkpoint, error) {
+	if len(buf) < fileHdrLen+4 {
+		return Checkpoint{}, fmt.Errorf("ksp: checkpoint file truncated (%d bytes)", len(buf))
+	}
+	if string(buf[:8]) != fileMagic {
+		return Checkpoint{}, fmt.Errorf("ksp: checkpoint file bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != fileVersion {
+		return Checkpoint{}, fmt.Errorf("ksp: checkpoint file version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(buf[36:])
+	if uint64(len(buf)) != fileHdrLen+8*n+4 {
+		return Checkpoint{}, fmt.Errorf("ksp: checkpoint file length %d for %d elements", len(buf), n)
+	}
+	if crc32.ChecksumIEEE(buf[:len(buf)-4]) != binary.LittleEndian.Uint32(buf[len(buf)-4:]) {
+		return Checkpoint{}, fmt.Errorf("ksp: checkpoint file checksum mismatch")
+	}
+	cp := Checkpoint{
+		Iteration: int(binary.LittleEndian.Uint64(buf[12:])),
+		Residual:  math.Float64frombits(binary.LittleEndian.Uint64(buf[20:])),
+		R0:        math.Float64frombits(binary.LittleEndian.Uint64(buf[28:])),
+		X:         make([]float64, n),
+	}
+	for i := range cp.X {
+		cp.X[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[fileHdrLen+8*i:]))
+	}
+	return cp, nil
+}
+
+// Put writes cp durably (temp file + rename) and prunes beyond the
+// retention limit.  Failures are swallowed: checkpointing is best-effort
+// and must never take the solve down with it.
+func (fs *FileStore) Put(cp Checkpoint) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	final := fs.path(cp.Iteration)
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, encodeCheckpoint(cp), 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return
+	}
+	its := fs.listLocked()
+	for len(its) > fs.keep {
+		_ = os.Remove(fs.path(its[0]))
+		its = its[1:]
+	}
+}
+
+// listLocked returns the iterations with a (plausibly valid) checkpoint
+// file, ascending, by parsing file names.  Content validation happens at
+// load time.
+func (fs *FileStore) listLocked() []int {
+	ents, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil
+	}
+	var its []int
+	for _, e := range ents {
+		var r, it int
+		if n, _ := fmt.Sscanf(e.Name(), "ckpt-r%03d-i%09d.nccd", &r, &it); n == 2 && r == fs.rank {
+			its = append(its, it)
+		}
+	}
+	sort.Ints(its)
+	return its
+}
+
+// load reads and validates one checkpoint file.
+func (fs *FileStore) load(iteration int) (Checkpoint, bool) {
+	buf, err := os.ReadFile(fs.path(iteration))
+	if err != nil {
+		return Checkpoint{}, false
+	}
+	cp, err := decodeCheckpoint(buf)
+	if err != nil || cp.Iteration != iteration {
+		return Checkpoint{}, false
+	}
+	return cp, true
+}
+
+// Latest returns the most recent checkpoint that validates, skipping newer
+// files that turn out damaged.
+func (fs *FileStore) Latest() (Checkpoint, bool) {
+	fs.mu.Lock()
+	its := fs.listLocked()
+	fs.mu.Unlock()
+	for i := len(its) - 1; i >= 0; i-- {
+		if cp, ok := fs.load(its[i]); ok {
+			return cp, true
+		}
+	}
+	return Checkpoint{}, false
+}
+
+// At returns the checkpoint taken at exactly the given iteration, if its
+// file validates.
+func (fs *FileStore) At(iteration int) (Checkpoint, bool) {
+	return fs.load(iteration)
+}
+
+// Iterations lists the iterations whose checkpoint files validate,
+// ascending.  Every listed iteration will load; a file that fails
+// validation is not advertised, so a rank never promises a checkpoint it
+// cannot produce during the availability agreement.
+func (fs *FileStore) Iterations() []int {
+	fs.mu.Lock()
+	cand := fs.listLocked()
+	fs.mu.Unlock()
+	var its []int
+	for _, it := range cand {
+		if _, ok := fs.load(it); ok {
+			its = append(its, it)
+		}
+	}
+	return its
+}
+
+// Clear removes every checkpoint file of this rank.
+func (fs *FileStore) Clear() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, it := range fs.listLocked() {
+		_ = os.Remove(fs.path(it))
+	}
+}

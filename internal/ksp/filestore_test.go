@@ -1,0 +1,155 @@
+package ksp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fsCheckpoint(iter int) Checkpoint {
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(iter*1000+i) / 7.0
+	}
+	return Checkpoint{Iteration: iter, Residual: 1.0 / float64(iter+1), R0: 42.5, X: x}
+}
+
+// TestFileStoreRoundTrip: Put/Latest/At/Iterations through the on-disk
+// format, bitwise, including a reopen with a fresh handle (the respawned-
+// process path).
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range []int{2, 4, 6} {
+		fs.Put(fsCheckpoint(it))
+	}
+	if its := fs.Iterations(); len(its) != 3 || its[0] != 2 || its[2] != 6 {
+		t.Fatalf("Iterations = %v, want [2 4 6]", its)
+	}
+	reopened, err := NewFileStore(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, ok := reopened.Latest()
+	if !ok || cp.Iteration != 6 {
+		t.Fatalf("Latest after reopen: %+v ok=%v", cp, ok)
+	}
+	want := fsCheckpoint(6)
+	if cp.Residual != want.Residual || cp.R0 != want.R0 {
+		t.Fatalf("metadata drifted: %+v", cp)
+	}
+	for i := range want.X {
+		if cp.X[i] != want.X[i] {
+			t.Fatalf("X[%d] = %v, want %v", i, cp.X[i], want.X[i])
+		}
+	}
+	if _, ok := reopened.At(4); !ok {
+		t.Fatal("At(4) missing")
+	}
+	if _, ok := reopened.At(5); ok {
+		t.Fatal("At(5) invented a checkpoint")
+	}
+}
+
+// TestFileStoreRanksShareDir: two ranks in one directory never shadow each
+// other.
+func TestFileStoreRanksShareDir(t *testing.T) {
+	dir := t.TempDir()
+	fs0, _ := NewFileStore(dir, 0)
+	fs1, _ := NewFileStore(dir, 1)
+	fs0.Put(fsCheckpoint(2))
+	fs1.Put(fsCheckpoint(4))
+	if its := fs0.Iterations(); len(its) != 1 || its[0] != 2 {
+		t.Fatalf("rank 0 sees %v", its)
+	}
+	if its := fs1.Iterations(); len(its) != 1 || its[0] != 4 {
+		t.Fatalf("rank 1 sees %v", its)
+	}
+}
+
+// TestFileStorePrunes: retention keeps only the newest SetKeep files.
+func TestFileStorePrunes(t *testing.T) {
+	fs, _ := NewFileStore(t.TempDir(), 0)
+	fs.SetKeep(3)
+	for it := 1; it <= 10; it++ {
+		fs.Put(fsCheckpoint(it))
+	}
+	its := fs.Iterations()
+	if len(its) != 3 || its[0] != 8 || its[2] != 10 {
+		t.Fatalf("retained %v, want [8 9 10]", its)
+	}
+}
+
+// TestFileStoreSkipsDamage: a corrupted byte, a truncated file, and a
+// leftover temp file from a crash mid-write must all degrade to
+// "checkpoint absent" — never to a wrong restore, and never advertised by
+// Iterations.
+func TestFileStoreSkipsDamage(t *testing.T) {
+	dir := t.TempDir()
+	fs, _ := NewFileStore(dir, 0)
+	fs.Put(fsCheckpoint(2))
+	fs.Put(fsCheckpoint(4))
+	fs.Put(fsCheckpoint(6))
+
+	// Corrupt one payload byte of iteration 6.
+	p6 := filepath.Join(dir, "ckpt-r000-i000000006.nccd")
+	buf, err := os.ReadFile(p6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(p6, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate iteration 4 (a torn write that somehow got the final name).
+	p4 := filepath.Join(dir, "ckpt-r000-i000000004.nccd")
+	if err := os.Truncate(p4, 50); err != nil {
+		t.Fatal(err)
+	}
+	// A crash between write and rename leaves a .tmp; it must be inert.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-r000-i000000008.nccd.tmp"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := fs.At(6); ok {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+	if _, ok := fs.At(4); ok {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	if its := fs.Iterations(); len(its) != 1 || its[0] != 2 {
+		t.Fatalf("Iterations advertises damaged checkpoints: %v", its)
+	}
+	cp, ok := fs.Latest()
+	if !ok || cp.Iteration != 2 {
+		t.Fatalf("Latest did not fall back to the intact checkpoint: %+v ok=%v", cp, ok)
+	}
+}
+
+// TestCheckpointStoreRetention: the in-memory store keeps the most recent
+// keepCheckpoints iterations, overwrites duplicates idempotently, and
+// serves At/Iterations for the availability agreement.
+func TestCheckpointStoreRetention(t *testing.T) {
+	var st CheckpointStore
+	for it := 1; it <= 6; it++ {
+		st.Put(fsCheckpoint(it))
+	}
+	st.Put(fsCheckpoint(5)) // duplicate: overwrite, not grow
+	its := st.Iterations()
+	if len(its) != keepCheckpoints || its[0] != 3 || its[len(its)-1] != 6 {
+		t.Fatalf("retained %v", its)
+	}
+	if cp, ok := st.At(4); !ok || cp.Iteration != 4 {
+		t.Fatalf("At(4): %+v ok=%v", cp, ok)
+	}
+	if cp, ok := st.Latest(); !ok || cp.Iteration != 6 {
+		t.Fatalf("Latest: %+v ok=%v", cp, ok)
+	}
+	st.Clear()
+	if _, ok := st.Latest(); ok || len(st.Iterations()) != 0 {
+		t.Fatal("Clear left checkpoints behind")
+	}
+}

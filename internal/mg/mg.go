@@ -69,8 +69,10 @@ type Solver struct {
 
 	// Checkpoints, when non-nil, receives a decomposition-independent
 	// snapshot of the finest-level iterate every CheckpointEvery V-cycles
-	// of Solve, enabling restart on a different (e.g. shrunk) communicator.
-	Checkpoints     *ksp.CheckpointStore
+	// of Solve, enabling restart on a different (e.g. shrunk or regrown)
+	// communicator.  An in-memory ksp.CheckpointStore survives rank
+	// crashes in-process; a ksp.FileStore survives process death.
+	Checkpoints     ksp.Store
 	CheckpointEvery int
 
 	// coarseComm, when non-nil on active ranks, confines the coarsest
@@ -643,12 +645,6 @@ func (s *Solver) Precondition(r, z *petsc.Vec) {
 // the initial residual norm, or maxCycles is reached.  It returns the cycle
 // count and the final relative residual.  Collective.
 func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int, relres float64) {
-	solveStart := s.c.Clock()
-	defer func() {
-		s.c.Span("mg_solve", solveStart,
-			obs.Attr{Key: "cycles", Val: strconv.Itoa(cycles)},
-			obs.Attr{Key: "relres", Val: strconv.FormatFloat(relres, 'g', 4, 64)})
-	}()
 	lv := s.levels[0]
 	s.History = s.History[:0]
 	s.residual(0, b, x, lv.r)
@@ -656,6 +652,41 @@ func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int
 	if r0 == 0 {
 		return 0, 0
 	}
+	return s.solve(b, x, rtol, maxCycles, r0, 0)
+}
+
+// SolveFrom resumes an interrupted solve from a restored checkpoint: base
+// cycles have already run (cycle numbering, and hence checkpoint
+// iterations, continue from there) and r0 is the original solve's initial
+// residual norm, so relative residuals — and rtol — mean exactly what they
+// meant before the interruption.  On the same problem at the same world
+// size, the resumed History is therefore the fault-free run's history from
+// cycle base+1 on.  maxCycles is the remaining cycle budget; the returned
+// cycle count excludes base.  R0 and base travel inside each Checkpoint,
+// so a restore hands both straight back here.  Collective.
+func (s *Solver) SolveFrom(b, x *petsc.Vec, rtol float64, maxCycles, base int, r0 float64) (cycles int, relres float64) {
+	s.History = s.History[:0]
+	if r0 <= 0 {
+		s.residual(0, b, x, s.levels[0].r)
+		r0 = s.levels[0].r.Norm2()
+		if r0 == 0 {
+			return 0, 0
+		}
+	}
+	return s.solve(b, x, rtol, maxCycles, r0, base)
+}
+
+// solve is the shared V-cycle iteration of Solve and SolveFrom: residuals
+// are measured against r0, cycles are numbered from base+1, and History
+// holds one entry per executed cycle.
+func (s *Solver) solve(b, x *petsc.Vec, rtol float64, maxCycles int, r0 float64, base int) (cycles int, relres float64) {
+	solveStart := s.c.Clock()
+	defer func() {
+		s.c.Span("mg_solve", solveStart,
+			obs.Attr{Key: "cycles", Val: strconv.Itoa(cycles)},
+			obs.Attr{Key: "relres", Val: strconv.FormatFloat(relres, 'g', 4, 64)})
+	}()
+	lv := s.levels[0]
 	for cycles = 0; cycles < maxCycles; cycles++ {
 		cycleStart := s.c.Clock()
 		s.VCycle(b, x)
@@ -663,21 +694,22 @@ func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int
 		relres = lv.r.Norm2() / r0
 		s.History = append(s.History, relres)
 		s.c.Span("mg_cycle", cycleStart,
-			obs.Attr{Key: "cycle", Val: strconv.Itoa(cycles + 1)},
+			obs.Attr{Key: "cycle", Val: strconv.Itoa(base + cycles + 1)},
 			obs.Attr{Key: "relres", Val: strconv.FormatFloat(relres, 'g', 4, 64)})
 		if relres <= rtol {
 			cycles++
 			break
 		}
-		if s.Checkpoints != nil && s.CheckpointEvery > 0 && (cycles+1)%s.CheckpointEvery == 0 {
+		if s.Checkpoints != nil && s.CheckpointEvery > 0 && (base+cycles+1)%s.CheckpointEvery == 0 {
 			cpStart := s.c.Clock()
 			s.Checkpoints.Put(ksp.Checkpoint{
-				Iteration: cycles + 1,
+				Iteration: base + cycles + 1,
 				Residual:  relres,
+				R0:        r0,
 				X:         lv.da.GatherNatural(x),
 			})
 			s.c.Span("checkpoint", cpStart,
-				obs.Attr{Key: "iteration", Val: strconv.Itoa(cycles + 1)})
+				obs.Attr{Key: "iteration", Val: strconv.Itoa(base + cycles + 1)})
 		}
 	}
 	return cycles, relres
@@ -687,7 +719,7 @@ func (s *Solver) Solve(b, x *petsc.Vec, rtol float64, maxCycles int) (cycles int
 // this solver's — possibly re-decomposed — DA) and returns the iteration it
 // was taken at.  Purely local: the checkpoint is replicated.  Returns -1
 // when the store holds nothing.
-func (s *Solver) Restore(st *ksp.CheckpointStore, x *petsc.Vec) int {
+func (s *Solver) Restore(st ksp.Store, x *petsc.Vec) int {
 	cp, ok := st.Latest()
 	if !ok {
 		return -1
@@ -696,4 +728,31 @@ func (s *Solver) Restore(st *ksp.CheckpointStore, x *petsc.Vec) int {
 	s.c.Span("restore", s.c.Clock(),
 		obs.Attr{Key: "iteration", Val: strconv.Itoa(cp.Iteration)})
 	return cp.Iteration
+}
+
+// RestoreAt loads the checkpoint taken at exactly the given iteration into
+// x and returns it (for its R0 and Residual).  The recovery path uses it
+// after the ranks agree on an iteration everyone can produce.  Purely
+// local: the checkpoint is replicated.
+func (s *Solver) RestoreAt(st ksp.Store, iteration int, x *petsc.Vec) (ksp.Checkpoint, bool) {
+	cp, ok := st.At(iteration)
+	if !ok {
+		return ksp.Checkpoint{}, false
+	}
+	s.levels[0].da.ScatterNatural(cp.X, x)
+	s.c.Span("restore", s.c.Clock(),
+		obs.Attr{Key: "iteration", Val: strconv.Itoa(cp.Iteration)})
+	return cp, true
+}
+
+// RevokeComms revokes the solver's communicators — the one it was built on
+// and the agglomerated coarse sub-communicator, if any — so members still
+// blocked in a broken collective abandon it with ErrRevoked and join the
+// recovery.  The first rank to observe a failure calls this before
+// mpi.Comm.Restore or Shrink.
+func (s *Solver) RevokeComms() {
+	s.c.Revoke()
+	if s.coarseComm != nil {
+		s.coarseComm.Revoke()
+	}
 }

@@ -3,6 +3,9 @@ package mpi
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"os"
+	"time"
 
 	"nccd/internal/datatype"
 	"nccd/internal/transport"
@@ -53,6 +56,9 @@ func (w *World) onFrame(to int, hdr transport.Header, payload []byte) {
 			target = stateExited
 		}
 		if w.states[hdr.Src].CompareAndSwap(stateRunning, target) {
+			if debugMPI {
+				fmt.Fprintf(os.Stderr, "mpidbg: %d rank %d: goodbye from %d target %d\n", time.Now().UnixMilli()%1000000, w.firstLocal(), hdr.Src, target)
+			}
 			w.noteDown()
 		}
 		return
@@ -71,7 +77,13 @@ func (w *World) onFrame(to int, hdr transport.Header, payload []byte) {
 // onPeerDown is the transport failure callback: an abrupt connection loss
 // (no goodbye first) means the peer's process failed.
 func (w *World) onPeerDown(r int) {
+	// A death invalidates any standing rejoin-readiness: it referred to the
+	// connection that just died, and Restore must wait for the next one.
+	w.rejoinReady[r].Store(false)
 	if w.states[r].CompareAndSwap(stateRunning, stateDead) {
+		if debugMPI {
+			fmt.Fprintf(os.Stderr, "mpidbg: %d rank %d: onPeerDown(%d)\n", time.Now().UnixMilli()%1000000, w.firstLocal(), r)
+		}
 		w.noteDown()
 	}
 }
@@ -111,15 +123,24 @@ func mapTransportErr(err error, dst int, call string) error {
 // trySend is a best-effort internal send: a peer that died mid-recovery
 // must not abort the caller.  Injected crashes still propagate.
 func (c *Comm) trySend(dst, tag int, data []byte) {
+	c.trySendOK(dst, tag, data)
+}
+
+// trySendOK is trySend reporting whether the send went out: false means the
+// peer was down (or its connection broke under the write) and the message
+// died, so a recovery protocol knows to resend to the replacement.
+func (c *Comm) trySendOK(dst, tag int, data []byte) (ok bool) {
 	defer func() {
 		if p := recover(); p != nil {
-			if _, ok := p.(commPanic); ok {
+			if _, ok2 := p.(commPanic); ok2 {
+				ok = false
 				return
 			}
 			panic(p)
 		}
 	}()
 	c.send(dst, tag, data)
+	return true
 }
 
 // agreeWall is the distributed form of agree: an all-to-all exchange of
@@ -167,3 +188,100 @@ func (c *Comm) agreeWall(words []uint64) ([]uint64, error) {
 	}
 	return val, nil
 }
+
+// agreeFullWall is agreeWall under full-membership semantics — Restore's
+// commit barrier.  Skipping a dead member, correct for Agree and Shrink,
+// is wrong here: a survivor that entered recovery on the revoke broadcast
+// may pass awaitRejoin before locally observing the failure, and its first
+// contribution send then dies against the old incarnation's broken
+// connection.  Were the member skipped, this rank would commit the epoch
+// with the failed rank still marked dead — poisoning its resumed solve —
+// while the replacement hangs in its own agreement forever, one
+// contribution short.  So a member that appears dead is waited out
+// instead: its replacement is readmitted the moment it is rejoin-ready,
+// our contribution is resent (the first copy died with the old
+// incarnation), and the wait resumes on the same side-channel context.
+func (c *Comm) agreeFullWall(words []uint64, deadline time.Time) ([]uint64, error) {
+	c.maybeCrash()
+	seq := c.agreeSeq
+	c.agreeSeq++
+	ac := &Comm{w: c.w, me: c.me, group: c.group, rank: c.rank,
+		ctx: splitmixCtx(c.ctx ^ 0x5bf03635aca2ee2d ^ (seq+1)*0x94d049bb133111eb)}
+
+	buf := make([]byte, 8*len(words))
+	for i, v := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	val := append([]uint64(nil), words...)
+	n := c.Size()
+	for r := 0; r < n; r++ {
+		if r != c.rank {
+			ac.trySendOK(r, tagCollBase, buf)
+		}
+	}
+	c.me.call = "Agree"
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			continue
+		}
+		for {
+			env, err := ac.matchE(r, tagCollBase, 50*time.Millisecond)
+			if err == nil {
+				for i := range val {
+					if 8*i+8 <= len(env.data) {
+						val[i] |= binary.LittleEndian.Uint64(env.data[8*i:])
+					}
+				}
+				datatype.PutBuffer(env.data)
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, &TimeoutError{Rank: c.worldRank(r), Call: "Restore"}
+			}
+			switch {
+			case errors.Is(err, ErrRankFailed):
+				if werr := c.w.awaitReadmit(c.worldRank(r), deadline); werr != nil {
+					return nil, werr
+				}
+				// The incarnation now running postdates the death we just
+				// observed; whatever we sent before it died with that
+				// incarnation's connection.
+				ac.trySendOK(r, tagCollBase, buf)
+			case errors.Is(err, ErrTimeout):
+				// Member alive but slow, still establishing its mesh — or our
+				// contribution silently died: a send can land in a doomed
+				// incarnation's socket buffer and still report success.  Offer
+				// a fresh copy each round; the match is the implicit ack, and
+				// duplicates land on a context that is never reused.
+				ac.trySendOK(r, tagCollBase, buf)
+			default:
+				return nil, err
+			}
+		}
+	}
+	// Commit succeeded: every member contributed on the current mesh.  Two
+	// races can still leave debris.  A member may be marked dead locally
+	// even though its replacement's contribution matched — matchE scans the
+	// queue before consulting the failure state — so readmit any
+	// rejoin-ready member now, or the resumed solve fails over on a rank
+	// that is in fact healthy.  And our contribution may never have reached
+	// the member's current incarnation — a send to the old one can report
+	// success yet die in its socket buffer — which would leave that member's
+	// own commit one contribution short forever.  We cannot tell delivered
+	// from doomed, so resend to everyone still running: a duplicate is
+	// harmless, a missing copy is a deadlock.
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			continue
+		}
+		wr := c.worldRank(r)
+		c.w.tryReadmit(wr)
+		if c.w.states[wr].Load() == stateRunning {
+			ac.trySendOK(r, tagCollBase, buf)
+		}
+	}
+	c.w.recheckDown()
+	c.w.wakeAll()
+	return val, nil
+}
+

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nccd/internal/datatype"
 	"nccd/internal/obs"
@@ -43,6 +45,21 @@ type World struct {
 	// Run; anyDown short-circuits liveness checks on the happy path.
 	states  []atomic.Int32
 	anyDown atomic.Bool
+	// Self-healing state (see restore.go).  suspected mirrors the
+	// transport failure detector's suspicion per rank; rejoinReady marks a
+	// failed rank whose replacement is connected and waiting to be
+	// re-admitted by Comm.Restore; epoch is the committed membership epoch.
+	suspected   []atomic.Bool
+	silentNanos []atomic.Int64
+	rejoinReady []atomic.Bool
+	epoch       atomic.Uint64
+
+	// runMu guards the in-flight Run's bookkeeping so Respawn can attach a
+	// replacement goroutine to it (see restore.go).
+	runMu   sync.Mutex
+	runWG   *sync.WaitGroup
+	runErrs []error
+	runFn   func(c *Comm) error
 	// progress counts deliveries, successful matches and state changes.
 	// The watchdog declares a deadlock only after it stays frozen.
 	progress atomic.Uint64
@@ -199,6 +216,9 @@ func NewWorldTransport(tr transport.Transport, cluster *simnet.Cluster, cfg Conf
 	w.agreeSlots = make(map[agreeID]*agreeSlot)
 	w.procs = make([]*proc, n)
 	w.states = make([]atomic.Int32, n)
+	w.suspected = make([]atomic.Bool, n)
+	w.silentNanos = make([]atomic.Int64, n)
+	w.rejoinReady = make([]atomic.Bool, n)
 	for i := range w.procs {
 		p := &proc{rank: i, speed: cluster.SpeedOf(i), crashAt: math.Inf(1), tracer: w.tracer}
 		p.cond = sync.NewCond(&p.mu)
@@ -209,6 +229,17 @@ func NewWorldTransport(tr transport.Transport, cluster *simnet.Cluster, cfg Conf
 	// tracer, wired before Start so reader goroutines never see it change.
 	if tt, ok := tr.(interface{ SetTracer(*obs.Tracer) }); ok {
 		tt.SetTracer(w.tracer)
+	}
+	// A transport with a failure detector (the TCP endpoint's heartbeat
+	// protocol) reports liveness through the world: beat/suspect events
+	// feed the suspicion state and metrics, reconnections of failed ranks
+	// arm the rejoin path (see restore.go).
+	if ht, ok := tr.(interface{ SetHealth(transport.HealthFuncs) }); ok {
+		ht.SetHealth(transport.HealthFuncs{
+			Beat:    func(int) { mHeartbeats.Inc() },
+			Suspect: w.onSuspect,
+			Up:      w.onPeerUp,
+		})
 	}
 	if err := tr.Start(w.onFrame, w.onPeerDown); err != nil {
 		return nil, err
@@ -243,34 +274,21 @@ func (w *World) Run(f func(c *Comm) error) error {
 	w.startRun()
 	errs := make([]error, n)
 	var wg sync.WaitGroup
+	// Publish the run's bookkeeping so Respawn (restore.go) can attach a
+	// replacement rank goroutine to this Run while it is in flight.
+	w.runMu.Lock()
+	w.runWG, w.runErrs, w.runFn = &wg, errs, f
+	w.runMu.Unlock()
 	for r := 0; r < n; r++ {
 		if !w.tr.Local(r) {
 			continue
 		}
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				state := stateExited
-				if p := recover(); p != nil {
-					state = stateDead
-					switch v := p.(type) {
-					case crashPanic:
-						w.recordCrash(rank)
-					case commPanic:
-						errs[rank] = v.err
-					default:
-						errs[rank] = fmt.Errorf("panicked: %v", p)
-					}
-				} else if errs[rank] != nil {
-					state = stateDead
-				}
-				w.setState(rank, state)
-			}()
-			errs[rank] = f(&Comm{w: w, me: w.procs[rank], rank: rank})
-		}(r)
+		w.spawnRank(r, f, &wg, errs)
 	}
 	wg.Wait()
+	w.runMu.Lock()
+	w.runWG, w.runErrs, w.runFn = nil, nil, nil
+	w.runMu.Unlock()
 	w.stopRun()
 	if w.wall {
 		w.sayGoodbye()
@@ -282,6 +300,35 @@ func (w *World) Run(f func(c *Comm) error) error {
 		}
 	}
 	return errors.Join(joined...)
+}
+
+// spawnRank starts rank's goroutine for the current Run.  Both the initial
+// launch and a Respawn go through here, so the lifecycle accounting — error
+// capture, crash recording, final state transition — is identical for an
+// original rank and its replacement.
+func (w *World) spawnRank(rank int, f func(c *Comm) error, wg *sync.WaitGroup, errs []error) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			state := stateExited
+			if p := recover(); p != nil {
+				state = stateDead
+				switch v := p.(type) {
+				case crashPanic:
+					w.recordCrash(rank)
+				case commPanic:
+					errs[rank] = v.err
+				default:
+					errs[rank] = fmt.Errorf("panicked: %v", p)
+				}
+			} else if errs[rank] != nil {
+				state = stateDead
+			}
+			w.setState(rank, state)
+		}()
+		errs[rank] = f(&Comm{w: w, me: w.procs[rank], rank: rank})
+	}()
 }
 
 // startRun resets per-run failure state and starts the watchdog.  On a
@@ -300,6 +347,9 @@ func (w *World) startRun() {
 		}
 	}
 	w.anyDown.Store(anyDown)
+	for r := range w.rejoinReady {
+		w.rejoinReady[r].Store(false)
+	}
 	// Revocations and agreement slots describe failures of one Run; a new
 	// Run starts from a clean failure state, like the rank states above.
 	w.revoked.Range(func(k, _ any) bool { w.revoked.Delete(k); return true })
@@ -326,6 +376,9 @@ func (w *World) stopRun() {
 // setState transitions rank r and wakes every blocked rank so waits on r
 // can fail over.
 func (w *World) setState(r int, s int32) {
+	if debugMPI {
+		fmt.Fprintf(os.Stderr, "mpidbg: %d rank %d: setState(%d, %d)\n", time.Now().UnixMilli()%1000000, w.firstLocal(), r, s)
+	}
 	w.states[r].Store(s)
 	if s != stateRunning {
 		w.anyDown.Store(true)
@@ -545,3 +598,6 @@ func (s *Stats) Add(other Stats) {
 	s.CorruptSent += other.CorruptSent
 	s.Datatype.Add(other.Datatype)
 }
+
+// debugMPI enables rank-liveness diagnostics on stderr.
+var debugMPI = os.Getenv("NCCD_DEBUG_TCP") != ""

@@ -23,13 +23,20 @@ import (
 
 // Frame kinds.
 const (
-	// KindHello opens a connection: world id, sender rank, world size.
+	// KindHello opens a connection: world id, sender rank, world size, and
+	// the sender's membership epoch.  An accepting endpoint rejects a hello
+	// from an older epoch, fencing stale traffic after a rank is replaced.
 	KindHello byte = 1
 	// KindData carries one runtime message (Header + payload).
 	KindData byte = 2
 	// KindAck acknowledges the reliable data frame with the same sequence
 	// number on this link.
 	KindAck byte = 3
+	// KindBeat is a heartbeat beacon carrying the sender's membership
+	// epoch.  Beats prove liveness of a peer that has nothing to send; a
+	// peer that stops producing frames of any kind for longer than the
+	// configured miss window becomes suspect and eventually failed.
+	KindBeat byte = 4
 )
 
 // FlagReliable marks a data frame the sender will retransmit until
@@ -50,6 +57,9 @@ type Frame struct {
 	WorldID uint64
 	Rank    int32
 	WSize   int32
+
+	// Hello and beat frames: the sender's membership epoch.
+	Epoch uint64
 }
 
 // Frame geometry.
@@ -57,8 +67,9 @@ const (
 	framePrefixLen  = 4                  // length prefix
 	frameTrailerLen = 4                  // CRC-32 trailer
 	dataHeadLen     = 1 + 8 + 1 + hdrLen // kind + tseq + flags + header
-	helloBodyLen    = 1 + 8 + 4 + 4      // kind + world id + rank + size
+	helloBodyLen    = 1 + 8 + 4 + 4 + 8  // kind + world id + rank + size + epoch
 	ackBodyLen      = 1 + 8              // kind + tseq
+	beatBodyLen     = 1 + 8              // kind + epoch
 	hdrLen          = 8 + 4 + 4 + 8 + 1 + 4 + 8 + 4
 
 	// DefaultMaxFrame bounds a frame's wire size; a length prefix above the
@@ -117,10 +128,11 @@ func EncodeFrame(dst []byte, f *Frame) []byte {
 	dst = append(dst, f.Kind)
 	switch f.Kind {
 	case KindHello:
-		var b [16]byte
+		var b [24]byte
 		binary.LittleEndian.PutUint64(b[0:], f.WorldID)
 		binary.LittleEndian.PutUint32(b[8:], uint32(f.Rank))
 		binary.LittleEndian.PutUint32(b[12:], uint32(f.WSize))
+		binary.LittleEndian.PutUint64(b[16:], f.Epoch)
 		dst = append(dst, b[:]...)
 	case KindData:
 		var b [9]byte
@@ -132,6 +144,10 @@ func EncodeFrame(dst []byte, f *Frame) []byte {
 	case KindAck:
 		var b [8]byte
 		binary.LittleEndian.PutUint64(b[0:], f.TSeq)
+		dst = append(dst, b[:]...)
+	case KindBeat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[0:], f.Epoch)
 		dst = append(dst, b[:]...)
 	default:
 		panic(fmt.Sprintf("transport: encoding unknown frame kind %d", f.Kind))
@@ -182,6 +198,7 @@ func decodeBody(body []byte) (Frame, error) {
 		f.WorldID = binary.LittleEndian.Uint64(body[1:])
 		f.Rank = int32(binary.LittleEndian.Uint32(body[9:]))
 		f.WSize = int32(binary.LittleEndian.Uint32(body[13:]))
+		f.Epoch = binary.LittleEndian.Uint64(body[17:])
 	case KindData:
 		if len(body) < dataHeadLen {
 			return Frame{}, ErrBadFrame
@@ -195,6 +212,11 @@ func decodeBody(body []byte) (Frame, error) {
 			return Frame{}, ErrBadFrame
 		}
 		f.TSeq = binary.LittleEndian.Uint64(body[1:])
+	case KindBeat:
+		if len(body) != beatBodyLen {
+			return Frame{}, ErrBadFrame
+		}
+		f.Epoch = binary.LittleEndian.Uint64(body[1:])
 	default:
 		return Frame{}, ErrBadFrame
 	}

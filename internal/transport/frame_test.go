@@ -31,7 +31,8 @@ func randomDataFrame(rng *rand.Rand) Frame {
 func framesEqual(a, b *Frame) bool {
 	return a.Kind == b.Kind && a.TSeq == b.TSeq && a.Flags == b.Flags &&
 		a.Hdr == b.Hdr && bytes.Equal(a.Payload, b.Payload) &&
-		a.WorldID == b.WorldID && a.Rank == b.Rank && a.WSize == b.WSize
+		a.WorldID == b.WorldID && a.Rank == b.Rank && a.WSize == b.WSize &&
+		a.Epoch == b.Epoch
 }
 
 // TestFrameRoundTrip is the codec property: decode(encode(f)) == f for
@@ -57,7 +58,9 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameRoundTripControl(t *testing.T) {
 	for _, f := range []Frame{
 		{Kind: KindHello, WorldID: 0xdeadbeef, Rank: 3, WSize: 8},
+		{Kind: KindHello, WorldID: 1, Rank: 0, WSize: 4, Epoch: 1<<40 + 9},
 		{Kind: KindAck, TSeq: 1<<63 + 17},
+		{Kind: KindBeat, Epoch: 42},
 		{Kind: KindData, TSeq: 0, Hdr: Header{}, Payload: nil},
 	} {
 		wire := EncodeFrame(nil, &f)
@@ -146,8 +149,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		fr := randomDataFrame(rng)
 		f.Add(EncodeFrame(nil, &fr))
 	}
-	f.Add(EncodeFrame(nil, &Frame{Kind: KindHello, WorldID: 5, Rank: 1, WSize: 4}))
+	f.Add(EncodeFrame(nil, &Frame{Kind: KindHello, WorldID: 5, Rank: 1, WSize: 4, Epoch: 2}))
 	f.Add(EncodeFrame(nil, &Frame{Kind: KindAck, TSeq: 3}))
+	f.Add(EncodeFrame(nil, &Frame{Kind: KindBeat, Epoch: 7}))
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {

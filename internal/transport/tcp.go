@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -36,12 +37,16 @@ import (
 // timeout with exponential backoff — the same protocol the mpi layer
 // simulates in virtual time for the inproc transport, now executed against
 // real sockets.
+// debugTCP enables connection-lifecycle diagnostics on stderr.
+var debugTCP = os.Getenv("NCCD_DEBUG_TCP") != ""
+
 type TCP struct {
 	cfg TCPConfig
 	ln  net.Listener
 
 	deliver Handler
 	down    DownFunc
+	health  atomic.Pointer[HealthFuncs]
 
 	mu        sync.Mutex
 	connected int
@@ -50,6 +55,17 @@ type TCP struct {
 	peers  []*tcpPeer
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	hbStop chan struct{}
+
+	// epoch is the membership epoch stamped into hellos and beats.  The
+	// accept path rejects hellos from an older epoch, fencing traffic from
+	// a process that was replaced.
+	epoch atomic.Uint64
+
+	// beatsPaused suppresses outbound heartbeats while still reading — the
+	// deterministic stand-in for a SIGSTOPped process (connection open,
+	// nothing sent) in failure-detection tests.
+	beatsPaused atomic.Bool
 
 	stats tcpCounters
 
@@ -57,6 +73,22 @@ type TCP struct {
 	// atomic pointer so reader goroutines may race SetTracer safely; the
 	// world wires it before Start in practice.
 	tracer atomic.Pointer[obs.Tracer]
+}
+
+// HeartbeatConfig parameterizes the failure detector.  Every interval the
+// endpoint sends a beat to each connected peer and scores how long each
+// peer has been silent (no frame of any kind).  A peer silent for Miss
+// intervals becomes suspect (HealthFuncs.Suspect, recoverable); one silent
+// for FailAfter intervals is declared down exactly as if its connection had
+// closed — which is how a hung process, unlike a crashed one, is caught.
+type HeartbeatConfig struct {
+	// Interval between beats; 0 disables the detector entirely.
+	Interval time.Duration
+	// Miss is the suspicion threshold in missed intervals.  Default 3.
+	Miss int
+	// FailAfter is the hard-failure threshold in missed intervals.
+	// Default 3*Miss.
+	FailAfter int
 }
 
 // TCPConfig parameterizes a TCP endpoint.
@@ -90,6 +122,17 @@ type TCPConfig struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds a single frame's wire size.  Default 256 MiB.
 	MaxFrame int
+	// Heartbeat configures the failure detector; a zero Interval disables
+	// it (clean-close detection still works via connection loss).
+	Heartbeat HeartbeatConfig
+	// Epoch is the membership epoch this endpoint starts in.  A respawned
+	// rank is launched with the bumped epoch so survivors can tell it from
+	// a stale connection of its previous incarnation.
+	Epoch uint64
+	// Rejoin makes Start dial every peer instead of only lower ranks: a
+	// respawned rank re-enters an established mesh whose survivors are not
+	// dialing anyone.
+	Rejoin bool
 }
 
 func (c TCPConfig) withDefaults() TCPConfig {
@@ -108,6 +151,14 @@ func (c TCPConfig) withDefaults() TCPConfig {
 	if c.MaxFrame == 0 {
 		c.MaxFrame = DefaultMaxFrame
 	}
+	if c.Heartbeat.Interval > 0 {
+		if c.Heartbeat.Miss == 0 {
+			c.Heartbeat.Miss = 3
+		}
+		if c.Heartbeat.FailAfter == 0 {
+			c.Heartbeat.FailAfter = 3 * c.Heartbeat.Miss
+		}
+	}
 	return c
 }
 
@@ -120,6 +171,8 @@ type TCPStats struct {
 	// Sender-side protocol and injected-fault accounting.
 	Retransmits, Dropped, Corrupted, Duplicated int64
 	AcksSent, AcksRecv                          int64
+	// Failure-detector traffic.
+	BeatsSent, BeatsRecv int64
 }
 
 type tcpCounters struct {
@@ -129,24 +182,41 @@ type tcpCounters struct {
 	retransmits, dropped   atomic.Int64
 	corrupted, duplicated  atomic.Int64
 	acksSent, acksRecv     atomic.Int64
+	beatsSent, beatsRecv   atomic.Int64
 }
 
-// tcpPeer is one pooled peer connection and its reliability state.
+// tcpPeer is one pooled peer connection and its reliability state.  The
+// connection is generational: a respawned peer replaces a torn-down
+// connection in place, resetting the per-link reliability state, and the
+// generation counter keeps a stale reader or writer of the old connection
+// from tearing down the new one.
 type tcpPeer struct {
 	rank int
 
-	wmu     sync.Mutex // serializes frame writes (data from the rank, acks from the reader)
+	wmu     sync.Mutex // serializes frame writes (data from the rank, acks and beats)
 	conn    net.Conn   // guarded by wmu
+	gen     uint64     // connection generation, guarded by wmu
 	scratch []byte     // frame-head assembly buffer, under wmu
 	alive   atomic.Bool
+
+	// liveMu serializes the down/up liveness callbacks for this peer so
+	// their order matches connection-generation order: a stale down — one
+	// whose generation has already been replaced by a rejoined connection —
+	// is suppressed rather than delivered after the replacement's up, which
+	// would re-mark a healthy rejoined rank as dead with no recovery left.
+	liveMu sync.Mutex
 
 	seq atomic.Uint64 // next outbound reliable sequence on this link
 
 	ackMu sync.Mutex
 	acks  map[uint64]chan struct{}
 
-	next     uint64 // next inbound reliable sequence expected (dedup line)
-	downOnce sync.Once
+	// lastHeard is when any frame last arrived from this peer (unix nanos);
+	// the failure detector scores silence against it.
+	lastHeard atomic.Int64
+	// suspect marks a peer past the miss threshold but not yet declared
+	// down; cleared if it resumes.
+	suspect atomic.Bool
 }
 
 // NewTCP creates (but does not connect) a TCP endpoint.  It binds the
@@ -159,7 +229,8 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	if len(cfg.Addrs) != cfg.Size {
 		return nil, fmt.Errorf("transport: %d addrs for %d ranks", len(cfg.Addrs), cfg.Size)
 	}
-	t := &TCP{cfg: cfg, ln: cfg.Listener}
+	t := &TCP{cfg: cfg, ln: cfg.Listener, hbStop: make(chan struct{})}
+	t.epoch.Store(cfg.Epoch)
 	t.connCond = sync.NewCond(&t.mu)
 	t.peers = make([]*tcpPeer, cfg.Size)
 	for r := range t.peers {
@@ -191,6 +262,62 @@ func (t *TCP) Wallclock() bool { return true }
 // trace as ClockWall spans on the hosted rank's wall lane.
 func (t *TCP) SetTracer(tr *obs.Tracer) { t.tracer.Store(tr) }
 
+// SetHealth wires the liveness callbacks.  Safe to call at any time,
+// including after Start.
+func (t *TCP) SetHealth(h HealthFuncs) { t.health.Store(&h) }
+
+// Epoch returns the endpoint's current membership epoch.
+func (t *TCP) Epoch() uint64 { return t.epoch.Load() }
+
+// SetEpoch raises the membership epoch.  Future hellos and beats carry it,
+// and inbound hellos below it are rejected; survivors bump it when they
+// commit a recovery so a stale incarnation of a replaced rank cannot
+// reconnect.
+func (t *TCP) SetEpoch(e uint64) {
+	for {
+		old := t.epoch.Load()
+		if e <= old || t.epoch.CompareAndSwap(old, e) {
+			return
+		}
+	}
+}
+
+// PauseHeartbeats suppresses (true) or resumes (false) outbound beats while
+// the endpoint keeps reading — the deterministic equivalent of SIGSTOPping
+// the process, for failure-detection tests.
+func (t *TCP) PauseHeartbeats(pause bool) { t.beatsPaused.Store(pause) }
+
+// LastHeard returns when any frame last arrived from rank r (zero time if
+// never), letting callers distinguish a hung peer from a merely slow one.
+func (t *TCP) LastHeard(r int) time.Time {
+	if r < 0 || r >= t.cfg.Size || r == t.cfg.Rank {
+		return time.Time{}
+	}
+	ns := t.peers[r].lastHeard.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// PeerHealth is the failure detector's view of one peer.
+type PeerHealth struct {
+	Rank      int
+	Alive     bool // connection up
+	Suspect   bool // past the miss threshold, not yet declared down
+	LastHeard time.Time
+}
+
+// Health returns the failure detector's view of rank r.
+func (t *TCP) Health(r int) PeerHealth {
+	h := PeerHealth{Rank: r, LastHeard: t.LastHeard(r)}
+	if r >= 0 && r < t.cfg.Size && r != t.cfg.Rank {
+		h.Alive = t.peers[r].alive.Load()
+		h.Suspect = t.peers[r].suspect.Load()
+	}
+	return h
+}
+
 // trace emits a wall-clock span if a tracer is attached and enabled.
 func (t *TCP) trace(kind string, peer int, bytes int64, start, end float64, attrs ...obs.Attr) {
 	tr := t.tracer.Load()
@@ -221,11 +348,13 @@ func (t *TCP) Stats() TCPStats {
 		Retransmits: c.retransmits.Load(), Dropped: c.dropped.Load(),
 		Corrupted: c.corrupted.Load(), Duplicated: c.duplicated.Load(),
 		AcksSent: c.acksSent.Load(), AcksRecv: c.acksRecv.Load(),
+		BeatsSent: c.beatsSent.Load(), BeatsRecv: c.beatsRecv.Load(),
 	}
 }
 
 // Start establishes the full connection mesh — dialing every lower rank,
-// accepting every higher one — and begins delivering inbound frames.
+// accepting every higher one (or dialing everyone when rejoining an
+// established mesh) — and begins delivering inbound frames.
 func (t *TCP) Start(deliver Handler, down DownFunc) error {
 	if t.deliver != nil {
 		return fmt.Errorf("transport: tcp already started")
@@ -238,12 +367,25 @@ func (t *TCP) Start(deliver Handler, down DownFunc) error {
 
 	t.wg.Add(1)
 	go t.acceptLoop()
+	if t.cfg.Heartbeat.Interval > 0 {
+		// Beat from the first registered connection on: a rejoining
+		// endpoint may spend a while establishing the rest of its mesh, and
+		// peers already connected must not hard-fail it for that silence.
+		t.wg.Add(1)
+		go t.heartbeatLoop()
+	}
 
-	dialErr := make(chan error, t.cfg.Rank)
-	for r := 0; r < t.cfg.Rank; r++ {
+	var dials []int
+	for r := 0; r < t.cfg.Size; r++ {
+		if r < t.cfg.Rank || (t.cfg.Rejoin && r != t.cfg.Rank) {
+			dials = append(dials, r)
+		}
+	}
+	dialErr := make(chan error, len(dials))
+	for _, r := range dials {
 		go func(r int) { dialErr <- t.dialPeer(r) }(r)
 	}
-	for r := 0; r < t.cfg.Rank; r++ {
+	for range dials {
 		if err := <-dialErr; err != nil {
 			t.Close()
 			return err
@@ -285,12 +427,17 @@ func (t *TCP) acceptLoop() {
 }
 
 // handshakeAccept validates an inbound dialer and registers its connection.
+// During initial mesh formation only higher ranks dial in; a lower rank
+// dialing is a respawned peer rejoining, accepted when its slot is free and
+// its hello carries the current (or a newer) membership epoch — a stale
+// incarnation from before a committed recovery is fenced out here.
 func (t *TCP) handshakeAccept(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout))
 	f, err := t.readFrame(br)
 	if err != nil || f.Kind != KindHello || f.WorldID != t.cfg.WorldID ||
-		f.WSize != int32(t.cfg.Size) || f.Rank <= int32(t.cfg.Rank) || f.Rank >= int32(t.cfg.Size) {
+		f.WSize != int32(t.cfg.Size) || f.Rank == int32(t.cfg.Rank) ||
+		f.Rank < 0 || f.Rank >= int32(t.cfg.Size) || f.Epoch < t.epoch.Load() {
 		conn.Close()
 		return
 	}
@@ -314,19 +461,37 @@ func (t *TCP) dialPeer(r int) error {
 		conn, err := net.DialTimeout("tcp", t.cfg.Addrs[r], time.Until(deadline))
 		if err == nil {
 			conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout))
-			if err := t.writeHello(conn); err != nil {
-				conn.Close()
-				return fmt.Errorf("transport: hello to rank %d: %w", r, err)
+			herr := t.writeHello(conn)
+			var br *bufio.Reader
+			if herr == nil {
+				br = bufio.NewReader(conn)
+				f, ferr := t.readFrame(br)
+				switch {
+				case ferr != nil:
+					herr = fmt.Errorf("transport: bad hello reply from rank %d: %v", r, ferr)
+				case f.Kind != KindHello || f.WorldID != t.cfg.WorldID || f.Rank != int32(r):
+					herr = fmt.Errorf("transport: bad hello reply from rank %d", r)
+				}
+			} else {
+				herr = fmt.Errorf("transport: hello to rank %d: %w", r, herr)
 			}
-			br := bufio.NewReader(conn)
-			f, err := t.readFrame(br)
-			if err != nil || f.Kind != KindHello || f.WorldID != t.cfg.WorldID || f.Rank != int32(r) {
-				conn.Close()
-				return fmt.Errorf("transport: bad hello reply from rank %d: %v", r, err)
+			if herr == nil {
+				conn.SetDeadline(time.Time{})
+				t.register(r, conn, br)
+				return nil
 			}
-			conn.SetDeadline(time.Time{})
-			t.register(r, conn, br)
-			return nil
+			conn.Close()
+			// A rejoining replacement can race the peer's teardown of the
+			// old incarnation's connection; keep redialing until the
+			// deadline.  On initial mesh formation a hello failure is a
+			// configuration error and aborts immediately.
+			if !t.cfg.Rejoin {
+				return herr
+			}
+			if debugTCP {
+				fmt.Fprintf(os.Stderr, "tcpdbg: %d rank %d: redialing %d: %v\n", time.Now().UnixMilli()%1000000, t.cfg.Rank, r, herr)
+			}
+			err = herr
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("transport: dial rank %d (%s): %w", r, t.cfg.Addrs[r], err)
@@ -339,32 +504,69 @@ func (t *TCP) dialPeer(r int) error {
 }
 
 func (t *TCP) writeHello(conn net.Conn) error {
-	f := Frame{Kind: KindHello, WorldID: t.cfg.WorldID, Rank: int32(t.cfg.Rank), WSize: int32(t.cfg.Size)}
+	f := Frame{Kind: KindHello, WorldID: t.cfg.WorldID, Rank: int32(t.cfg.Rank),
+		WSize: int32(t.cfg.Size), Epoch: t.epoch.Load()}
 	_, err := conn.Write(EncodeFrame(nil, &f))
 	return err
 }
 
 // register installs a completed connection in the pool and starts its
-// reader.  A duplicate (protocol violation) is dropped.
+// reader.  A connection arriving while the slot is still occupied evicts
+// the old one: a peer only ever redials after its previous incarnation
+// died, so the newcomer's valid hello proves the occupant is a zombie
+// whose EOF simply has not been read yet — eviction tears it down through
+// peerGone (firing the down callback, which IS the failure detection on
+// this path) and then installs the replacement.  A connection filling a
+// torn-down slot is a peer rejoining — the per-link reliability state
+// restarts from zero with the new connection generation, and the Up
+// callback reports the reconnection.
 func (t *TCP) register(rank int, conn net.Conn, br *bufio.Reader) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
 	p := t.peers[rank]
 	p.wmu.Lock()
-	if p.conn != nil || t.closed.Load() {
+	for p.conn != nil && !t.closed.Load() {
+		gen := p.gen
+		p.wmu.Unlock()
+		t.peerGone(p, gen, "evicted by replacement connection")
+		p.wmu.Lock()
+	}
+	if t.closed.Load() {
 		p.wmu.Unlock()
 		conn.Close()
 		return
 	}
+	rejoined := p.gen > 0
+	if debugTCP {
+		fmt.Fprintf(os.Stderr, "tcpdbg: %d rank %d: peer %d registered gen %d (rejoined=%v)\n", time.Now().UnixMilli()%1000000, t.cfg.Rank, rank, p.gen+1, rejoined)
+	}
+	p.gen++
+	gen := p.gen
 	p.conn = conn
+	p.seq.Store(0) // fresh link: reliable sequences and the dedup line restart
 	p.alive.Store(true)
+	p.suspect.Store(false)
 	p.wmu.Unlock()
+	p.lastHeard.Store(time.Now().UnixNano())
 	t.mu.Lock()
 	t.connected++
 	t.connCond.Broadcast()
 	t.mu.Unlock()
+	if h := t.health.Load(); rejoined && !t.closed.Load() && h != nil && h.Up != nil {
+		p.liveMu.Lock()
+		if debugTCP {
+			fmt.Fprintf(os.Stderr, "tcpdbg: %d rank %d: peer %d up\n", time.Now().UnixMilli()%1000000, t.cfg.Rank, rank)
+		}
+		h.Up(rank)
+		p.liveMu.Unlock()
+	}
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		t.readLoop(p, br)
+		t.readLoop(p, br, gen)
 	}()
 }
 
@@ -406,12 +608,18 @@ func (t *TCP) readFrame(br *bufio.Reader) (Frame, error) {
 
 // readLoop drains one peer connection: data frames are deduplicated,
 // acknowledged (when reliable) and delivered; acks complete pending
-// reliable sends; CRC-rejected frames are dropped where the retransmission
-// protocol will recover them.
-func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
+// reliable sends; beats refresh the failure detector; CRC-rejected frames
+// are dropped where the retransmission protocol will recover them.  The
+// inbound dedup line is per connection — a rejoined peer restarts at
+// sequence zero on its fresh connection.
+func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader, gen uint64) {
+	var next uint64 // next inbound reliable sequence expected
 	for {
 		f, err := t.readFrame(br)
 		if err == ErrChecksum {
+			// Even a damaged frame proves the peer's process is producing
+			// bytes; count it as liveness.
+			p.lastHeard.Store(time.Now().UnixNano())
 			t.stats.crcRejects.Add(1)
 			if now, ok := t.traceNow(); ok {
 				t.trace("tcp_crc_reject", p.rank, 0, now, now)
@@ -419,14 +627,15 @@ func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
 			continue
 		}
 		if err != nil {
-			t.peerGone(p)
+			t.peerGone(p, gen, fmt.Sprintf("read: %v", err))
 			return
 		}
+		p.lastHeard.Store(time.Now().UnixNano())
 		switch f.Kind {
 		case KindData:
 			t.stats.framesRecv.Add(1)
 			if f.Flags&FlagReliable != 0 {
-				if f.TSeq < p.next {
+				if f.TSeq < next {
 					// Duplicate of an accepted frame (injected dup or a
 					// retransmission whose ack was in flight): re-ack so the
 					// sender stops, discard the copy.
@@ -438,7 +647,7 @@ func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
 					datatype.PutBuffer(f.Payload)
 					continue
 				}
-				p.next = f.TSeq + 1
+				next = f.TSeq + 1
 				t.sendAck(p, f.TSeq)
 			}
 			if now, ok := t.traceNow(); ok {
@@ -453,6 +662,14 @@ func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
 				close(ch)
 			}
 			p.ackMu.Unlock()
+		case KindBeat:
+			t.stats.beatsRecv.Add(1)
+			if now, ok := t.traceNow(); ok {
+				t.trace("heartbeat", p.rank, 0, now, now)
+			}
+			if h := t.health.Load(); h != nil && h.Beat != nil {
+				h.Beat(p.rank)
+			}
 		default:
 			// Hello after establishment: protocol violation; ignore.
 			if f.Payload != nil {
@@ -462,27 +679,47 @@ func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader) {
 	}
 }
 
-// peerGone marks a lost connection and fires the failure callback once.
-func (t *TCP) peerGone(p *tcpPeer) {
-	p.downOnce.Do(func() {
-		p.alive.Store(false)
-		p.wmu.Lock()
-		if p.conn != nil {
-			p.conn.Close()
-			p.conn = nil
-		}
+// peerGone tears down connection generation gen to p and fires the failure
+// callback.  A stale caller — the reader or a writer of an already-replaced
+// connection — is a no-op, so a rejoined peer's fresh connection survives
+// its predecessor's death throes.
+func (t *TCP) peerGone(p *tcpPeer, gen uint64, reason string) {
+	p.wmu.Lock()
+	if p.gen != gen || p.conn == nil {
 		p.wmu.Unlock()
-		// Fail any sends still waiting for acks from this peer.
-		p.ackMu.Lock()
-		for seq, ch := range p.acks {
-			delete(p.acks, seq)
-			close(ch)
-		}
-		p.ackMu.Unlock()
-		if !t.closed.Load() && t.down != nil {
-			t.down(p.rank)
-		}
-	})
+		return
+	}
+	if debugTCP {
+		fmt.Fprintf(os.Stderr, "tcpdbg: %d rank %d: peer %d gen %d gone: %s\n", time.Now().UnixMilli()%1000000, t.cfg.Rank, p.rank, gen, reason)
+	}
+	p.alive.Store(false)
+	p.suspect.Store(false)
+	p.conn.Close()
+	p.conn = nil
+	p.wmu.Unlock()
+	// Fail any sends still waiting for acks from this peer.
+	p.ackMu.Lock()
+	for seq, ch := range p.acks {
+		delete(p.acks, seq)
+		close(ch)
+	}
+	p.ackMu.Unlock()
+	// Deliver the failure callback only if this generation is still the
+	// peer's newest: once a replacement connection registers, this death
+	// belongs to a previous incarnation and reporting it would clobber the
+	// rejoined peer's liveness.  liveMu makes the check-and-call atomic
+	// against register's up callback.
+	p.liveMu.Lock()
+	defer p.liveMu.Unlock()
+	p.wmu.Lock()
+	stale := p.gen != gen
+	p.wmu.Unlock()
+	if debugTCP {
+		fmt.Fprintf(os.Stderr, "tcpdbg: %d rank %d: peer %d gen %d down (stale=%v)\n", time.Now().UnixMilli()%1000000, t.cfg.Rank, p.rank, gen, stale)
+	}
+	if !stale && !t.closed.Load() && t.down != nil {
+		t.down(p.rank)
+	}
 }
 
 func (t *TCP) sendAck(p *tcpPeer, seq uint64) {
@@ -532,10 +769,10 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 		}
 		return err
 	}
-	err := t.writeData(p, &Frame{Kind: KindData, Hdr: hdr, Payload: payload})
+	gen, err := t.writeData(p, &Frame{Kind: KindData, Hdr: hdr, Payload: payload})
 	datatype.PutBuffer(payload)
 	if err != nil {
-		t.peerGone(p)
+		t.peerGone(p, gen, fmt.Sprintf("write: %v", err))
 		return &PeerDownError{Rank: to}
 	}
 	t.stats.framesSent.Add(1)
@@ -549,12 +786,13 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 
 // writeData writes a data frame without copying the payload: the frame
 // head and CRC trailer are assembled in the peer's scratch buffer and the
-// three pieces go out in one vectored write.
-func (t *TCP) writeData(p *tcpPeer, f *Frame) error {
+// three pieces go out in one vectored write.  It returns the connection
+// generation written to, for a failure-path peerGone.
+func (t *TCP) writeData(p *tcpPeer, f *Frame) (uint64, error) {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	if p.conn == nil {
-		return ErrPeerDown
+		return p.gen, ErrPeerDown
 	}
 	head := p.scratch[:0]
 	head = append(head, 0, 0, 0, 0)
@@ -574,7 +812,7 @@ func (t *TCP) writeData(p *tcpPeer, f *Frame) error {
 	bufs := net.Buffers{head, f.Payload, trailer[:]}
 	n, err := bufs.WriteTo(p.conn)
 	t.stats.bytesSent.Add(n)
-	return err
+	return p.gen, err
 }
 
 // sendReliable runs the ack/retransmission protocol for one frame, with
@@ -602,6 +840,7 @@ func (t *TCP) sendReliable(p *tcpPeer, hdr Header, payload []byte) error {
 			time.Sleep(time.Duration(delay * float64(time.Second)))
 		}
 		var werr error
+		var wgen uint64
 		switch {
 		case drop:
 			t.stats.dropped.Add(1)
@@ -613,19 +852,19 @@ func (t *TCP) sendReliable(p *tcpPeer, hdr Header, payload []byte) error {
 			off := framePrefixLen + fp.CorruptByte(t.cfg.Rank, p.rank, seq, attempt, len(bad)-framePrefixLen)
 			bad[off] ^= 0xFF
 			t.stats.corrupted.Add(1)
-			werr = t.writeWire(p, bad)
+			wgen, werr = t.writeWire(p, bad)
 		default:
-			werr = t.writeWire(p, wire)
+			wgen, werr = t.writeWire(p, wire)
 			if werr == nil && dup {
 				t.stats.duplicated.Add(1)
-				werr = t.writeWire(p, wire)
+				wgen, werr = t.writeWire(p, wire)
 			}
 		}
 		if werr == nil && !drop {
 			t.stats.framesSent.Add(1)
 		}
 		if werr != nil {
-			t.peerGone(p)
+			t.peerGone(p, wgen, fmt.Sprintf("reliable write: %v", werr))
 			return &PeerDownError{Rank: p.rank}
 		}
 
@@ -661,15 +900,97 @@ func (t *TCP) sendReliable(p *tcpPeer, hdr Header, payload []byte) error {
 	}
 }
 
-func (t *TCP) writeWire(p *tcpPeer, wire []byte) error {
+func (t *TCP) writeWire(p *tcpPeer, wire []byte) (uint64, error) {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	if p.conn == nil {
-		return ErrPeerDown
+		return p.gen, ErrPeerDown
 	}
 	n, err := p.conn.Write(wire)
 	t.stats.bytesSent.Add(int64(n))
-	return err
+	return p.gen, err
+}
+
+// heartbeatLoop is the failure detector: every interval it beats each
+// connected peer and scores how long each has been silent.  Suspicion
+// (recoverable) comes before hard failure, so the layer above can surface a
+// typed "rank suspect" condition while the peer might still be merely slow;
+// a peer silent past FailAfter intervals is declared down even though its
+// connection is open — the hung-process case no close event ever covers.
+func (t *TCP) heartbeatLoop() {
+	defer t.wg.Done()
+	hb := t.cfg.Heartbeat
+	tick := time.NewTicker(hb.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-tick.C:
+		}
+		paused := t.beatsPaused.Load()
+		now := time.Now()
+		for _, p := range t.peers {
+			if p.rank == t.cfg.Rank || !p.alive.Load() {
+				continue
+			}
+			if !paused {
+				t.sendBeat(p)
+			}
+			silent := now.Sub(time.Unix(0, p.lastHeard.Load()))
+			missed := int(silent / hb.Interval)
+			switch {
+			case missed >= hb.FailAfter:
+				if wnow, ok := t.traceNow(); ok {
+					t.trace("suspect", p.rank, 0, wnow, wnow,
+						obs.Attr{Key: "hard", Val: "true"},
+						obs.Attr{Key: "silent", Val: silent.String()})
+				}
+				p.wmu.Lock()
+				gen := p.gen
+				p.wmu.Unlock()
+				t.peerGone(p, gen, fmt.Sprintf("heartbeat hard-failure after %v silence", silent))
+			case missed >= hb.Miss:
+				if p.suspect.CompareAndSwap(false, true) {
+					if wnow, ok := t.traceNow(); ok {
+						t.trace("suspect", p.rank, 0, wnow, wnow,
+							obs.Attr{Key: "silent", Val: silent.String()})
+					}
+					if h := t.health.Load(); h != nil && h.Suspect != nil {
+						h.Suspect(p.rank, true, silent)
+					}
+				}
+			default:
+				if p.suspect.CompareAndSwap(true, false) {
+					if h := t.health.Load(); h != nil && h.Suspect != nil {
+						h.Suspect(p.rank, false, silent)
+					}
+				}
+			}
+		}
+	}
+}
+
+// sendBeat writes one heartbeat.  TryLock: a data write already in flight
+// proves liveness on its own, and a writer blocked on a wedged peer must
+// not wedge the detector with it — detection reads only lastHeard.
+func (t *TCP) sendBeat(p *tcpPeer) {
+	if !p.wmu.TryLock() {
+		return
+	}
+	defer p.wmu.Unlock()
+	if p.conn == nil {
+		return
+	}
+	f := Frame{Kind: KindBeat, Epoch: t.epoch.Load()}
+	buf := EncodeFrame(p.scratch[:0], &f)
+	p.scratch = buf[:0]
+	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.Heartbeat.Interval))
+	if _, err := p.conn.Write(buf); err == nil {
+		t.stats.beatsSent.Add(1)
+		t.stats.bytesSent.Add(int64(len(buf)))
+	}
+	p.conn.SetWriteDeadline(time.Time{})
 }
 
 // Close tears the endpoint down: the listener and every pooled connection
@@ -678,6 +999,7 @@ func (t *TCP) Close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
+	close(t.hbStop)
 	if t.ln != nil {
 		t.ln.Close()
 	}

@@ -10,7 +10,10 @@
 // framing layer).
 package transport
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // Header is the runtime metadata that travels with every message.  The
 // fields mirror internal/mpi's envelope: routing (communicator context,
@@ -51,6 +54,24 @@ type Handler func(to int, hdr Header, payload []byte)
 // Clean departures are announced by the runtime itself above the transport;
 // DownFunc only reports failures detected below it.
 type DownFunc func(rank int)
+
+// HealthFuncs are optional liveness callbacks a transport with a failure
+// detector (the TCP endpoint's heartbeat protocol) fires alongside the
+// mandatory Start callbacks.  Wire them before Start with SetHealth; any
+// field may be nil.
+type HealthFuncs struct {
+	// Beat fires on every heartbeat beacon received from rank.
+	Beat func(rank int)
+	// Suspect fires when rank crosses the miss threshold without producing
+	// any frame (suspect=true, with how long it has been silent), and again
+	// with suspect=false if it resumes before being declared down.  A
+	// suspicion that ripens into a hard failure fires DownFunc as usual.
+	Suspect func(rank int, suspect bool, silentFor time.Duration)
+	// Up fires when a previously failed rank establishes a fresh connection
+	// (a respawned process rejoining the mesh).  The runtime above decides
+	// when to re-admit it; the transport only reports the reconnection.
+	Up func(rank int)
+}
 
 // Transport moves framed messages between the ranks of one world.
 type Transport interface {
