@@ -9,6 +9,12 @@
 //     default) with a rank crash injected mid-solve, recovered via
 //     Comm.Revoke + Comm.Shrink, re-decomposition over the survivors, and
 //     restart from the last replicated checkpoint.
+//
+// With -iomatrix it instead sweeps injected checkpoint-I/O faults (short
+// writes, EIO, fsync failure, ENOSPC, filesystem crash) over the collective
+// checkpoint layer while a rank is killed mid-solve: every cell of the
+// matrix must still heal with a bitwise-identical resumed history — an
+// aborted checkpoint epoch may cost a restore point, never correctness.
 package main
 
 import (
@@ -17,7 +23,52 @@ import (
 	"os"
 
 	"nccd/internal/bench"
+	"nccd/internal/ckptio"
 )
+
+// ioMatrix runs the in-process collective-checkpoint chaos harness under
+// each fault spec and returns the number of failed cells.
+func ioMatrix(n int, p bench.MultigridParams) int {
+	specs := []struct{ name, spec string }{
+		{"clean", ""},
+		{"short-writes", "short=0.3,seed=11"},
+		{"eio", "eio=0.2,seed=12"},
+		{"fsync-fail", "fsync=0.3,seed=13"},
+		{"enospc", "enospc=262144,seed=14"},
+		{"fs-crash", "crash=40,seed=15"},
+	}
+	failed := 0
+	for _, sp := range specs {
+		plan, err := ckptio.ParseFaultPlan(sp.spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: %s: %v\n", sp.name, err)
+			return 1
+		}
+		dir, err := os.MkdirTemp("", "nccd-iomatrix-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+			return 1
+		}
+		run, err := bench.RunMultigridSelfHealIO(n, p, n/2, 0.5, nil, bench.SelfHealIO{
+			CkptDir: dir,
+			Ckpt:    ckptio.Options{StripeBytes: 4096, Aggregators: 2, Faults: plan},
+		})
+		os.RemoveAll(dir)
+		switch {
+		case err != nil:
+			fmt.Printf("  %-13s FAIL: %v\n", sp.name, err)
+			failed++
+		case !run.Result.Healed || !run.HistoryMatches:
+			fmt.Printf("  %-13s FAIL: healed=%v historyMatches=%v restoredAt=%d\n",
+				sp.name, run.Result.Healed, run.HistoryMatches, run.Result.RestoredAt)
+			failed++
+		default:
+			fmt.Printf("  %-13s ok: healed at full size, restored from cycle %d, history bitwise-identical\n",
+				sp.name, run.Result.RestoredAt)
+		}
+	}
+	return failed
+}
 
 func main() {
 	procs := flag.Int("procs", 16, "process count")
@@ -28,7 +79,19 @@ func main() {
 	crashFrac := flag.Float64("crash-frac", 0.5, "crash time as a fraction of the clean solve")
 	seed := flag.Uint64("seed", 20250806, "fault plan seed")
 	iters := flag.Int("iters", 10, "iterations per overhead measurement")
+	ioMat := flag.Bool("iomatrix", false, "sweep injected checkpoint-I/O faults over the collective checkpoint layer (small grid, rank kill mid-solve)")
 	flag.Parse()
+
+	if *ioMat {
+		p := bench.MultigridParams{Extent: 16, Levels: 2, Rtol: *rtol, MaxCycles: 20}
+		fmt.Printf("FAULTSIM: collective checkpoint I/O fault matrix (4 ranks, %d^3 grid, rank kill at 50%%)\n", p.Extent)
+		if failed := ioMatrix(4, p); failed > 0 {
+			fmt.Printf("  RESULT: %d matrix cells FAILED\n", failed)
+			os.Exit(1)
+		}
+		fmt.Println("  RESULT: every fault cell healed with a bitwise-identical history")
+		return
+	}
 
 	bench.FaultOverhead(*procs, []float64{0.001, 0.01, 0.05}, *iters, *seed).Print(os.Stdout)
 

@@ -49,6 +49,12 @@ type launchConfig struct {
 	hb           time.Duration
 	hbMiss       int
 	recoveryJSON string // BENCH_recovery.json output path for chaos runs
+
+	// Collective checkpoint I/O.
+	ckptIO  bool
+	aggr    int
+	stripe  int64
+	ioFault string // ckptio fault spec forwarded to every daemon
 }
 
 // procTable tracks the live rank daemons so the launcher can take every
@@ -372,6 +378,12 @@ func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launc
 		args = append(args, "-selfheal", "-ckpt", lc.ckptDir, "-ckptevery", fmt.Sprint(lc.ckptEvery))
 		if lc.hb > 0 {
 			args = append(args, "-hb", lc.hb.String(), "-hbmiss", fmt.Sprint(lc.hbMiss))
+		}
+		if lc.ckptIO {
+			args = append(args, "-ckptio", "-aggr", fmt.Sprint(lc.aggr), "-stripe", fmt.Sprint(lc.stripe))
+		}
+		if lc.ioFault != "" {
+			args = append(args, "-iofault", lc.ioFault)
 		}
 	}
 	if lc.trace != "" {

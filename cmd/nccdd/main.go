@@ -18,6 +18,13 @@
 // and the same rank/address, and the replacement restores the agreed
 // checkpoint into the regrown full-size world.  -hb enables the heartbeat
 // failure detector so hung (not just dead) peers are caught.
+//
+// -ckptio switches the checkpoint path from per-rank replicated files to
+// collective I/O: each checkpoint becomes ONE shared file written by -aggr
+// aggregator ranks in -stripe byte stripes (two-phase aggregation), and a
+// restore is a local data-sieving read of just the owned range.  -iofault
+// injects filesystem faults (short writes, EIO, ENOSPC, fsync failure,
+// crash-between-write-and-rename) into either checkpoint path.
 package main
 
 import (
@@ -59,6 +66,10 @@ func main() {
 	epoch := flag.Uint64("epoch", 0, "membership epoch a -rejoin replacement joins at (the launcher's respawn count)")
 	hb := flag.Duration("hb", 0, "heartbeat interval for the failure detector (0 = disabled; hung-peer detection then relies on connection loss)")
 	hbMiss := flag.Int("hbmiss", 3, "missed heartbeat intervals before a peer is suspected")
+	ckptIO := flag.Bool("ckptio", false, "checkpoint through collective I/O: two-phase aggregated writes into one shared file per checkpoint under -ckpt, data-sieving restore (requires -ckpt)")
+	aggr := flag.Int("aggr", 2, "collective-I/O aggregator rank count")
+	stripe := flag.Int64("stripe", 256<<10, "collective-I/O stripe size in bytes")
+	ioFault := flag.String("iofault", "", "inject checkpoint I/O faults, e.g. short=0.2,eio=0.1,fsync=0.1,enospc=65536,crash=12,seed=7")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -94,6 +105,10 @@ func main() {
 			CkptDir:         *ckptDir,
 			CheckpointEvery: *ckptEvery,
 			RejoinEpoch:     *epoch,
+			CollectiveIO:    *ckptIO,
+			Aggregators:     *aggr,
+			StripeBytes:     *stripe,
+			IOFaults:        *ioFault,
 			// Progress lines the launcher's chaos controller keys off:
 			// CKPT marks a durable checkpoint, RESUMED a committed
 			// recovery.  Stdout is line-buffered through the launcher's

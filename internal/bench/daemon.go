@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nccd/internal/ckptio"
 	"nccd/internal/ksp"
 	"nccd/internal/mpi"
 	"nccd/internal/obs"
@@ -137,6 +138,20 @@ type SelfHealDaemon struct {
 	// chaos controller keys its kill and MTTR clock off these).
 	OnCheckpoint func(iteration int)
 	OnRecovered  func(epoch uint64, restoredAt int)
+	// CollectiveIO switches checkpointing from the per-rank replicated
+	// FileStore to the collective I/O layer: two-phase aggregated writes
+	// into one shared file per checkpoint under CkptDir, data-sieving
+	// restore of just the owned range.  Requires CkptDir.
+	CollectiveIO bool
+	// Aggregators and StripeBytes configure the collective layout
+	// (defaults: 2 aggregators, 256 KiB stripes).
+	Aggregators int
+	StripeBytes int64
+	// IOFaults, when non-empty, wraps this rank's filesystem in the
+	// fault-injecting ckptio.FaultFS — syntax as ckptio.ParseFaultPlan
+	// ("short=0.2,eio=0.1,fsync=0.1,enospc=65536,crash=12,seed=7").
+	// Applies to both the collective and the per-rank store paths.
+	IOFaults string
 }
 
 // announceStore decorates a checkpoint store with a Put notification.
@@ -148,6 +163,21 @@ type announceStore struct {
 func (a announceStore) Put(cp ksp.Checkpoint) {
 	a.Store.Put(cp)
 	a.onPut(cp.Iteration)
+}
+
+// SetEpoch and Protect forward the retention capabilities of the wrapped
+// store (ksp.FileStore implements both) through the decorator, so the
+// recovery loop's type assertions still reach them.
+func (a announceStore) SetEpoch(e uint64) {
+	if es, ok := a.Store.(interface{ SetEpoch(uint64) }); ok {
+		es.SetEpoch(e)
+	}
+}
+
+func (a announceStore) Protect(iteration int) {
+	if pr, ok := a.Store.(interface{ Protect(int) }); ok {
+		pr.Protect(iteration)
+	}
 }
 
 // RunMultigridSelfHealDaemon hosts one rank of the self-healing multigrid
@@ -182,17 +212,45 @@ func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p Mult
 		fmt.Printf("METRICS %s\n", srv.Addr())
 	}
 
+	var plan *ckptio.FaultPlan
+	if hd.IOFaults != "" {
+		plan, err = ckptio.ParseFaultPlan(hd.IOFaults)
+		if err != nil {
+			return RankReport{}, err
+		}
+	}
+
 	var store ksp.Store
-	if hd.CkptDir != "" {
-		fs, err := ksp.NewFileStore(hd.CkptDir, tcfg.Rank)
+	var collective ksp.OwnedStore
+	switch {
+	case hd.CollectiveIO:
+		if hd.CkptDir == "" {
+			return RankReport{}, fmt.Errorf("collective checkpoint I/O needs a checkpoint directory")
+		}
+		cst, err := ckptio.NewStore(hd.CkptDir, nil, ckptio.Options{
+			StripeBytes: hd.StripeBytes,
+			Aggregators: hd.Aggregators,
+			Faults:      plan,
+			OnCommit:    hd.OnCheckpoint,
+		})
+		if err != nil {
+			return RankReport{}, err
+		}
+		collective = cst
+	case hd.CkptDir != "":
+		var fsys ckptio.FS = ckptio.OSFS{}
+		if plan.Active() {
+			fsys = ckptio.NewFaultFS(fsys, plan)
+		}
+		fs, err := ksp.NewFileStoreFS(hd.CkptDir, tcfg.Rank, fsys)
 		if err != nil {
 			return RankReport{}, err
 		}
 		store = fs
-	} else {
+	default:
 		store = &ksp.CheckpointStore{}
 	}
-	if hd.OnCheckpoint != nil {
+	if store != nil && hd.OnCheckpoint != nil {
 		store = announceStore{Store: store, onPut: hd.OnCheckpoint}
 	}
 
@@ -204,6 +262,7 @@ func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p Mult
 			RejoinEpoch:     hd.RejoinEpoch,
 			AwaitTimeout:    hd.AwaitTimeout,
 			OnRecovered:     hd.OnRecovered,
+			Collective:      collective,
 		})
 		if herr != nil {
 			return herr

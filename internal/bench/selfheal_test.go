@@ -138,6 +138,18 @@ func TestRunRecoveryReport(t *testing.T) {
 	if !rep.InprocHistoryMatches || rep.InprocRespawns != 1 {
 		t.Fatalf("inproc chaos run did not heal cleanly: %+v", rep)
 	}
+	if !rep.CkptCollectiveHistoryMatches {
+		t.Fatalf("collective-I/O chaos run did not heal cleanly: %+v", rep)
+	}
+	// The point of two-phase aggregation: worst-rank write volume must drop
+	// below the replicated path's O(global) bytes.
+	if rep.CkptCollectiveMaxRankBytes <= 0 || rep.CkptCollectiveMaxRankBytes >= rep.CkptPerRankWriteBytes {
+		t.Fatalf("collective worst-rank bytes %d not below per-rank replicated bytes %d",
+			rep.CkptCollectiveMaxRankBytes, rep.CkptPerRankWriteBytes)
+	}
+	if rep.CkptPerRankWriteMS <= 0 || rep.CkptCollectiveWriteMS <= 0 || rep.CkptCollectiveSieveMS <= 0 {
+		t.Fatalf("checkpoint timings missing: %+v", rep)
+	}
 	path := t.TempDir() + "/BENCH_recovery.json"
 	if err := WriteRecoveryJSON(path, rep); err != nil {
 		t.Fatal(err)

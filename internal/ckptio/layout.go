@@ -1,0 +1,74 @@
+package ckptio
+
+// Layout is the file-domain partition of one collective write: the file is
+// cut into fixed-size stripes, stripes are dealt round-robin over the
+// aggregator ranks, and each aggregator issues one large sequential write
+// per stripe it owns.  Every rank derives the identical layout from the
+// same (total, stripe, aggregators, comm size) inputs, so no negotiation
+// traffic is needed — the same trick MPI-IO hints (cb_nodes,
+// cb_buffer_size) play.
+type Layout struct {
+	Total       int64 // file-domain bytes
+	StripeBytes int64 // bytes per stripe (last stripe may be short)
+	Aggr        []int // comm ranks acting as aggregators, ascending
+}
+
+// NewLayout computes the stripe/aggregator layout for a file of total
+// bytes over a communicator of size ranks, targeting naggr aggregators of
+// stripeBytes stripes.  Both targets are clamped to sane values: at least
+// one stripe-sized aggregator, never more aggregators than ranks or than
+// stripes (an aggregator with no stripe would be dead weight).
+func NewLayout(total, stripeBytes int64, naggr, size int) Layout {
+	if stripeBytes <= 0 {
+		stripeBytes = 1 << 20
+	}
+	nstripes := int((total + stripeBytes - 1) / stripeBytes)
+	if naggr < 1 {
+		naggr = 1
+	}
+	if naggr > size {
+		naggr = size
+	}
+	if nstripes > 0 && naggr > nstripes {
+		naggr = nstripes
+	}
+	l := Layout{Total: total, StripeBytes: stripeBytes, Aggr: make([]int, naggr)}
+	// Spread aggregators evenly over the ranks so their memory and I/O
+	// load lands on different hosts.
+	for i := 0; i < naggr; i++ {
+		l.Aggr[i] = i * size / naggr
+	}
+	return l
+}
+
+// NStripes returns how many stripes the layout has.
+func (l Layout) NStripes() int {
+	if l.StripeBytes <= 0 {
+		return 0
+	}
+	return int((l.Total + l.StripeBytes - 1) / l.StripeBytes)
+}
+
+// StripeOwner returns the comm rank that aggregates stripe s.
+func (l Layout) StripeOwner(s int) int { return l.Aggr[s%len(l.Aggr)] }
+
+// StripeRange returns stripe s's byte range [off, off+n) in the file.
+func (l Layout) StripeRange(s int) (off, n int64) {
+	off = int64(s) * l.StripeBytes
+	n = l.StripeBytes
+	if off+n > l.Total {
+		n = l.Total - off
+	}
+	return off, n
+}
+
+// stripesOf returns the ascending stripe indices owned by comm rank r.
+func (l Layout) stripesOf(r int) []int {
+	var out []int
+	for s, ns := 0, l.NStripes(); s < ns; s++ {
+		if l.StripeOwner(s) == r {
+			out = append(out, s)
+		}
+	}
+	return out
+}

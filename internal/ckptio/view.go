@@ -1,0 +1,51 @@
+package ckptio
+
+import (
+	"nccd/internal/datatype"
+)
+
+// FileView is a rank's noncontiguous window onto the checkpoint file: the
+// byte ranges of the file domain this rank owns, in ascending order, exactly
+// MPI_File_set_view with a derived datatype.  The rank's local contribution
+// buffer is the in-order concatenation of the segments, so a view built
+// from a dmda owned-subarray type consumes the global vector's local array
+// directly — no staging copy, no replicated natural array.
+type FileView struct {
+	// Total is the file-domain size in bytes (identical on every rank).
+	Total int64
+	// Segs are this rank's pieces of the file domain: ascending,
+	// non-overlapping, coalesced.  May be empty (an inactive rank on an
+	// agglomerated level still participates in the collective).
+	Segs []datatype.Segment
+}
+
+// ViewFromType builds a FileView from a derived datatype describing the
+// rank's region of a file domain of total bytes — typically a
+// datatype.Subarray over the natural-order grid.  A nil type yields an
+// empty view.
+func ViewFromType(total int64, t *datatype.Type) FileView {
+	if t == nil {
+		return FileView{Total: total}
+	}
+	return FileView{Total: total, Segs: datatype.Flatten(t, 1)}
+}
+
+// LocalBytes returns the size of the rank's contribution buffer.
+func (v FileView) LocalBytes() int {
+	n := 0
+	for _, s := range v.Segs {
+		n += s.Len
+	}
+	return n
+}
+
+// validate panics on a malformed view; called once at Bind.
+func (v FileView) validate() {
+	prev := 0
+	for _, s := range v.Segs {
+		if s.Len <= 0 || s.Off < prev || int64(s.Off+s.Len) > v.Total {
+			panic("ckptio: file view segments must be ascending, positive and in range")
+		}
+		prev = s.Off + s.Len
+	}
+}

@@ -5,13 +5,14 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"nccd/internal/ckptio"
 )
 
-// FileStore is the durable checkpoint spill: each Put writes one
+// FileStore is the durable per-rank checkpoint spill: each Put writes one
 // self-validating file under the store's directory, so checkpoints survive
 // the death of the process that wrote them — the point of spilling at all;
 // a respawned rank restores from whatever its directory still holds.
@@ -27,19 +28,30 @@ import (
 //	[8n] iterate, float64 bits LE
 //	[4]  CRC-32 of everything above
 //
-// written to a temporary name and renamed into place, so a crash mid-write
-// never leaves a live path with partial content; and read back only if the
-// magic, version, length and checksum all hold, so a torn or corrupted file
-// degrades to "checkpoint absent" rather than a wrong restore.  The store
-// keeps the most recent DefaultKeepFiles checkpoints and prunes older ones.
+// written with full crash consistency — temp file, fsync, rename, parent
+// directory fsync — so after Put returns, the checkpoint survives a host
+// crash, and a crash at any earlier point leaves the previous checkpoint
+// set untouched; and read back only if the magic, version, length and
+// checksum all hold, so a torn or corrupted file degrades to "checkpoint
+// absent" rather than a wrong restore.
+//
+// File names carry the membership epoch (ckpt-r000-e000001-i000000012.nccd)
+// and retention orders by (epoch, iteration): a respawned rank resuming at
+// epoch 1 from an early iteration writes files that sort *after* its
+// previous incarnation's epoch-0 files, so pruning eats the stale
+// incarnation first and can never evict the restore point the survivors
+// agreed on — which Protect additionally pins outright.
 //
 // Ranks share a directory but own distinct file names, so one directory can
 // serve a whole multi-process world.
 type FileStore struct {
-	mu   sync.Mutex
-	dir  string
-	rank int
-	keep int
+	mu        sync.Mutex
+	fsys      ckptio.FS
+	dir       string
+	rank      int
+	keep      int
+	epoch     uint64
+	protected map[int]bool
 }
 
 const (
@@ -51,13 +63,26 @@ const (
 )
 
 // NewFileStore opens (creating if needed) a checkpoint directory for one
-// rank.  Existing valid checkpoint files are picked up as-is — that is how
-// a respawned rank finds its pre-crash state.
+// rank on the operating system filesystem.  Existing valid checkpoint files
+// are picked up as-is — that is how a respawned rank finds its pre-crash
+// state.
 func NewFileStore(dir string, rank int) (*FileStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewFileStoreFS(dir, rank, ckptio.OSFS{})
+}
+
+// NewFileStoreFS is NewFileStore over an injectable filesystem, the hook
+// the I/O fault and crash-consistency tests drive.
+func NewFileStoreFS(dir string, rank int, fsys ckptio.FS) (*FileStore, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ksp: checkpoint dir: %w", err)
 	}
-	return &FileStore{dir: dir, rank: rank, keep: DefaultKeepFiles}, nil
+	return &FileStore{
+		fsys:      fsys,
+		dir:       dir,
+		rank:      rank,
+		keep:      DefaultKeepFiles,
+		protected: make(map[int]bool),
+	}, nil
 }
 
 // SetKeep overrides how many checkpoints the store retains (minimum 1).
@@ -70,11 +95,34 @@ func (fs *FileStore) SetKeep(n int) {
 	fs.keep = n
 }
 
+// SetEpoch sets the membership epoch stamped into subsequent file names.
+// The recovery loop advances it after each communicator restore.
+func (fs *FileStore) SetEpoch(e uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.epoch = e
+}
+
+// Protect pins an iteration: retention never removes its files, in any
+// epoch.  The recovery loop protects the consensus restore point.
+func (fs *FileStore) Protect(iteration int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.protected[iteration] = true
+}
+
 // Dir returns the store's directory.
 func (fs *FileStore) Dir() string { return fs.dir }
 
-func (fs *FileStore) path(iteration int) string {
-	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-r%03d-i%09d.nccd", fs.rank, iteration))
+// fileKey orders checkpoint files: epoch first, then iteration, so a newer
+// incarnation's early iterations outrank a stale incarnation's late ones.
+type fileKey struct {
+	epoch uint64
+	iter  int
+}
+
+func (fs *FileStore) pathFor(k fileKey) string {
+	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-r%03d-e%06d-i%09d.nccd", fs.rank, k.epoch, k.iter))
 }
 
 func encodeCheckpoint(cp Checkpoint) []byte {
@@ -121,94 +169,136 @@ func decodeCheckpoint(buf []byte) (Checkpoint, error) {
 	return cp, nil
 }
 
-// Put writes cp durably (temp file + rename) and prunes beyond the
-// retention limit.  Failures are swallowed: checkpointing is best-effort
-// and must never take the solve down with it.
+// Put writes cp durably (temp file, fsync, rename, directory fsync) and
+// prunes beyond the retention limit.  Failures are swallowed: per-rank
+// checkpointing is best-effort and must never take the solve down with it —
+// but a failed write also never becomes visible, because visibility is the
+// rename and the rename only happens after a successful fsync.
 func (fs *FileStore) Put(cp Checkpoint) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	final := fs.path(cp.Iteration)
-	tmp := final + ".tmp"
-	if err := os.WriteFile(tmp, encodeCheckpoint(cp), 0o644); err != nil {
+	final := fs.pathFor(fileKey{fs.epoch, cp.Iteration})
+	if err := ckptio.WriteFileDurable(fs.fsys, final, encodeCheckpoint(cp)); err != nil {
 		return
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
+	fs.pruneLocked()
+}
+
+// pruneLocked removes the oldest files by (epoch, iteration) beyond the
+// retention limit, skipping protected iterations and never touching the
+// newest file, then makes the unlinks durable with one directory fsync.
+func (fs *FileStore) pruneLocked() {
+	keys := fs.listLocked()
+	if len(keys) <= fs.keep {
 		return
 	}
-	its := fs.listLocked()
-	for len(its) > fs.keep {
-		_ = os.Remove(fs.path(its[0]))
-		its = its[1:]
+	excess := len(keys) - fs.keep
+	removed := false
+	for _, k := range keys[:len(keys)-1] {
+		if excess == 0 {
+			break
+		}
+		if fs.protected[k.iter] {
+			continue
+		}
+		_ = fs.fsys.Remove(fs.pathFor(k))
+		removed = true
+		excess--
+	}
+	if removed {
+		_ = fs.fsys.SyncDir(fs.dir)
 	}
 }
 
-// listLocked returns the iterations with a (plausibly valid) checkpoint
-// file, ascending, by parsing file names.  Content validation happens at
+// listLocked returns this rank's checkpoint file keys, ascending by
+// (epoch, iteration), by parsing file names.  Content validation happens at
 // load time.
-func (fs *FileStore) listLocked() []int {
-	ents, err := os.ReadDir(fs.dir)
+func (fs *FileStore) listLocked() []fileKey {
+	names, err := fs.fsys.ReadDir(fs.dir)
 	if err != nil {
 		return nil
 	}
-	var its []int
-	for _, e := range ents {
+	var keys []fileKey
+	for _, name := range names {
 		var r, it int
-		if n, _ := fmt.Sscanf(e.Name(), "ckpt-r%03d-i%09d.nccd", &r, &it); n == 2 && r == fs.rank {
-			its = append(its, it)
+		var e uint64
+		if n, _ := fmt.Sscanf(name, "ckpt-r%03d-e%06d-i%09d.nccd", &r, &e, &it); n == 3 && r == fs.rank {
+			keys = append(keys, fileKey{e, it})
 		}
 	}
-	sort.Ints(its)
-	return its
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].epoch != keys[j].epoch {
+			return keys[i].epoch < keys[j].epoch
+		}
+		return keys[i].iter < keys[j].iter
+	})
+	return keys
 }
 
 // load reads and validates one checkpoint file.
-func (fs *FileStore) load(iteration int) (Checkpoint, bool) {
-	buf, err := os.ReadFile(fs.path(iteration))
+func (fs *FileStore) load(k fileKey) (Checkpoint, bool) {
+	buf, err := fs.fsys.ReadFile(fs.pathFor(k))
 	if err != nil {
 		return Checkpoint{}, false
 	}
 	cp, err := decodeCheckpoint(buf)
-	if err != nil || cp.Iteration != iteration {
+	if err != nil || cp.Iteration != k.iter {
 		return Checkpoint{}, false
 	}
 	return cp, true
 }
 
-// Latest returns the most recent checkpoint that validates, skipping newer
-// files that turn out damaged.
+// Latest returns the checkpoint with the newest (epoch, iteration) that
+// validates, skipping files that turn out damaged.
 func (fs *FileStore) Latest() (Checkpoint, bool) {
 	fs.mu.Lock()
-	its := fs.listLocked()
+	keys := fs.listLocked()
 	fs.mu.Unlock()
-	for i := len(its) - 1; i >= 0; i-- {
-		if cp, ok := fs.load(its[i]); ok {
+	for i := len(keys) - 1; i >= 0; i-- {
+		if cp, ok := fs.load(keys[i]); ok {
 			return cp, true
 		}
 	}
 	return Checkpoint{}, false
 }
 
-// At returns the checkpoint taken at exactly the given iteration, if its
-// file validates.
+// At returns the checkpoint taken at exactly the given iteration, from the
+// newest epoch whose file validates.
 func (fs *FileStore) At(iteration int) (Checkpoint, bool) {
-	return fs.load(iteration)
+	fs.mu.Lock()
+	keys := fs.listLocked()
+	fs.mu.Unlock()
+	for i := len(keys) - 1; i >= 0; i-- {
+		if keys[i].iter != iteration {
+			continue
+		}
+		if cp, ok := fs.load(keys[i]); ok {
+			return cp, true
+		}
+	}
+	return Checkpoint{}, false
 }
 
 // Iterations lists the iterations whose checkpoint files validate,
-// ascending.  Every listed iteration will load; a file that fails
-// validation is not advertised, so a rank never promises a checkpoint it
-// cannot produce during the availability agreement.
+// ascending and deduplicated across epochs.  Every listed iteration will
+// load; a file that fails validation is not advertised, so a rank never
+// promises a checkpoint it cannot produce during the availability
+// agreement.
 func (fs *FileStore) Iterations() []int {
 	fs.mu.Lock()
-	cand := fs.listLocked()
+	keys := fs.listLocked()
 	fs.mu.Unlock()
+	seen := make(map[int]bool)
 	var its []int
-	for _, it := range cand {
-		if _, ok := fs.load(it); ok {
-			its = append(its, it)
+	for _, k := range keys {
+		if !seen[k.iter] {
+			if _, ok := fs.load(k); ok {
+				seen[k.iter] = true
+				its = append(its, k.iter)
+			}
 		}
 	}
+	sort.Ints(its)
 	return its
 }
 
@@ -216,7 +306,8 @@ func (fs *FileStore) Iterations() []int {
 func (fs *FileStore) Clear() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	for _, it := range fs.listLocked() {
-		_ = os.Remove(fs.path(it))
+	for _, k := range fs.listLocked() {
+		_ = fs.fsys.Remove(fs.pathFor(k))
 	}
+	_ = fs.fsys.SyncDir(fs.dir)
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"nccd/internal/ckptio"
 )
 
 func fsCheckpoint(iter int) Checkpoint {
@@ -95,7 +97,7 @@ func TestFileStoreSkipsDamage(t *testing.T) {
 	fs.Put(fsCheckpoint(6))
 
 	// Corrupt one payload byte of iteration 6.
-	p6 := filepath.Join(dir, "ckpt-r000-i000000006.nccd")
+	p6 := filepath.Join(dir, "ckpt-r000-e000000-i000000006.nccd")
 	buf, err := os.ReadFile(p6)
 	if err != nil {
 		t.Fatal(err)
@@ -105,12 +107,12 @@ func TestFileStoreSkipsDamage(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Truncate iteration 4 (a torn write that somehow got the final name).
-	p4 := filepath.Join(dir, "ckpt-r000-i000000004.nccd")
+	p4 := filepath.Join(dir, "ckpt-r000-e000000-i000000004.nccd")
 	if err := os.Truncate(p4, 50); err != nil {
 		t.Fatal(err)
 	}
 	// A crash between write and rename leaves a .tmp; it must be inert.
-	if err := os.WriteFile(filepath.Join(dir, "ckpt-r000-i000000008.nccd.tmp"), buf, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-r000-e000000-i000000008.nccd.tmp"), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -126,6 +128,99 @@ func TestFileStoreSkipsDamage(t *testing.T) {
 	cp, ok := fs.Latest()
 	if !ok || cp.Iteration != 2 {
 		t.Fatalf("Latest did not fall back to the intact checkpoint: %+v ok=%v", cp, ok)
+	}
+}
+
+// TestFileStoreCrashDurability sweeps a simulated host crash over every
+// filesystem operation of a Put: whatever the crash point — including
+// crash-before-fsync and crash-between-write-and-rename — the directory
+// afterwards either has the new checkpoint fully intact or still has the
+// previous one, never a torn file under a live name.
+func TestFileStoreCrashDurability(t *testing.T) {
+	for crashAt := 1; ; crashAt++ {
+		dir := t.TempDir()
+		// The previous checkpoint is written durably, fault-free.
+		pre, err := NewFileStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre.Put(fsCheckpoint(2))
+
+		ffs := ckptio.NewFaultFS(ckptio.OSFS{}, &ckptio.FaultPlan{CrashAfterOps: crashAt})
+		fs, err := NewFileStoreFS(dir, 0, ffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Put(fsCheckpoint(4)) // best-effort: may die at the crash point
+		crashed := ffs.Crashed()
+		ffs.SimulateCrash() // roll back whatever was still volatile
+
+		// Survivor's view: reopen on the real filesystem.
+		post, err := NewFileStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		its := post.Iterations()
+		switch {
+		case len(its) == 1 && its[0] == 2:
+			// Crash lost the new checkpoint; the old one must load bitwise.
+		case len(its) == 2 && its[0] == 2 && its[1] == 4:
+			want := fsCheckpoint(4)
+			cp, ok := post.At(4)
+			if !ok {
+				t.Fatalf("crashAt=%d: advertised checkpoint 4 failed to load", crashAt)
+			}
+			for i := range want.X {
+				if cp.X[i] != want.X[i] {
+					t.Fatalf("crashAt=%d: X[%d] = %v, want %v", crashAt, i, cp.X[i], want.X[i])
+				}
+			}
+		default:
+			t.Fatalf("crashAt=%d: iterations %v, want [2] or [2 4]", crashAt, its)
+		}
+		if cp, ok := post.At(2); !ok || cp.Residual != fsCheckpoint(2).Residual {
+			t.Fatalf("crashAt=%d: previous checkpoint damaged: %+v ok=%v", crashAt, cp, ok)
+		}
+		if !crashed {
+			return // the whole Put fit before the crash point: sweep done
+		}
+	}
+}
+
+// TestFileStoreEpochRetention: a respawned rank at a later epoch writes
+// lower iteration numbers than its pre-crash incarnation; retention must
+// evict the stale epoch-0 tail, not the new incarnation's files, and
+// Protect must pin the agreed restore point unconditionally.
+func TestFileStoreEpochRetention(t *testing.T) {
+	fs, _ := NewFileStore(t.TempDir(), 0)
+	fs.SetKeep(3)
+	for _, it := range []int{6, 8, 10} { // epoch 0, pre-crash
+		fs.Put(fsCheckpoint(it))
+	}
+	fs.SetEpoch(1)
+	fs.Protect(4)
+	for _, it := range []int{2, 4} { // epoch 1, resumed from before 6
+		fs.Put(fsCheckpoint(it))
+	}
+	// (epoch,iter) order is e0i6 e0i8 e0i10 e1i2 e1i4; keep=3 drops the two
+	// oldest epoch-0 files — under the old global-iteration ordering the
+	// epoch-1 files 2 and 4 would have been evicted instead.
+	its := fs.Iterations()
+	if len(its) != 3 || its[0] != 2 || its[1] != 4 || its[2] != 10 {
+		t.Fatalf("retained %v, want [2 4 10]", its)
+	}
+	// Push more epoch-1 checkpoints: protected 4 must survive any pressure.
+	for _, it := range []int{6, 8, 10, 12} {
+		fs.Put(fsCheckpoint(it))
+	}
+	found := false
+	for _, it := range fs.Iterations() {
+		if it == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("protected iteration 4 was pruned: %v", fs.Iterations())
 	}
 }
 

@@ -75,6 +75,15 @@ type Solver struct {
 	Checkpoints     ksp.Store
 	CheckpointEvery int
 
+	// OwnedCheckpoints, when non-nil, takes precedence over Checkpoints:
+	// checkpoints are written collectively — each rank contributes only
+	// its finest-level owned values and the store's two-phase aggregated
+	// write makes the union durable — and restored by per-rank data
+	// sieving, so no rank ever materializes the replicated O(global)
+	// natural array.  The store must be bound (communicator + file view)
+	// before the solve; the bench layer binds it from the finest DA.
+	OwnedCheckpoints ksp.OwnedStore
+
 	// coarseComm, when non-nil on active ranks, confines the coarsest
 	// solve's inner products to the ranks that actually hold coarse cells
 	// (inactive ranks skip the solve and wait at the next transfer).  Set
@@ -700,14 +709,26 @@ func (s *Solver) solve(b, x *petsc.Vec, rtol float64, maxCycles int, r0 float64,
 			cycles++
 			break
 		}
-		if s.Checkpoints != nil && s.CheckpointEvery > 0 && (base+cycles+1)%s.CheckpointEvery == 0 {
+		if (s.OwnedCheckpoints != nil || s.Checkpoints != nil) && s.CheckpointEvery > 0 && (base+cycles+1)%s.CheckpointEvery == 0 {
 			cpStart := s.c.Clock()
-			s.Checkpoints.Put(ksp.Checkpoint{
-				Iteration: base + cycles + 1,
-				Residual:  relres,
-				R0:        r0,
-				X:         lv.da.GatherNatural(x),
-			})
+			if s.OwnedCheckpoints != nil {
+				// Collective two-phase write of the owned values; the
+				// local array of the global vector is already the file
+				// view's contribution buffer (canonical box order).  A
+				// returned error means the checkpoint epoch aborted
+				// (injected I/O fault somewhere) — checkpointing stays
+				// best-effort, and a rank failure mid-write resurfaces
+				// in the next V-cycle's collectives for the caller's
+				// recovery path.
+				_ = s.OwnedCheckpoints.PutOwned(base+cycles+1, relres, r0, x.Array())
+			} else {
+				s.Checkpoints.Put(ksp.Checkpoint{
+					Iteration: base + cycles + 1,
+					Residual:  relres,
+					R0:        r0,
+					X:         lv.da.GatherNatural(x),
+				})
+			}
 			s.c.Span("checkpoint", cpStart,
 				obs.Attr{Key: "iteration", Val: strconv.Itoa(base + cycles + 1)})
 		}
@@ -743,6 +764,22 @@ func (s *Solver) RestoreAt(st ksp.Store, iteration int, x *petsc.Vec) (ksp.Check
 	s.c.Span("restore", s.c.Clock(),
 		obs.Attr{Key: "iteration", Val: strconv.Itoa(cp.Iteration)})
 	return cp, true
+}
+
+// RestoreOwnedAt loads this rank's owned values of the checkpoint taken at
+// exactly the given iteration into x via the store's data-sieving read —
+// per-rank, no collective, no replicated gather — and returns its residual
+// and r0 for SolveFrom.  The recovery path uses it after the ranks agree on
+// an iteration everyone can produce.
+func (s *Solver) RestoreOwnedAt(st ksp.OwnedStore, iteration int, x *petsc.Vec) (residual, r0 float64, ok bool) {
+	residual, r0, err := st.ReadOwned(iteration, x.Array())
+	if err != nil {
+		return 0, 0, false
+	}
+	s.c.Span("restore", s.c.Clock(),
+		obs.Attr{Key: "iteration", Val: strconv.Itoa(iteration)},
+		obs.Attr{Key: "sieve", Val: "1"})
+	return residual, r0, true
 }
 
 // RevokeComms revokes the solver's communicators — the one it was built on
