@@ -1,10 +1,13 @@
 // Command dtbench runs the datatype pack/unpack microbenchmark: the
 // interpreted streaming engines raced against the compiled-plan layer in
-// wall-clock time, plus the plan-cache behavior of a repeated VecScatter.
-// Results are printed as a table and written as JSON for tracking.  With
-// -obsjson it also measures the tracing subsystem's overhead (disabled
-// instrumentation site, enabled emit, and the Fig. 16 scatter path traced
-// vs. untraced) and writes BENCH_obs.json.
+// wall-clock time, the fused (zero-copy vectored) wire path raced against
+// the packed one over a localhost socket pair, plus the plan-cache behavior
+// of a repeated VecScatter.  Results are printed as a table and written as
+// JSON for tracking.  With -obsjson it also measures the tracing
+// subsystem's overhead (disabled instrumentation site, enabled emit, and
+// the Fig. 16 scatter path traced vs. untraced) and writes BENCH_obs.json.
+// With -guidelines it runs the self-consistent performance guidelines and
+// exits nonzero if any is violated beyond -margin.
 package main
 
 import (
@@ -21,6 +24,8 @@ func main() {
 	obsPath := flag.String("obsjson", "", "also run the tracer-overhead benchmark and write its JSON here (e.g. BENCH_obs.json)")
 	trace := flag.String("trace", "", "enable the global tracer (plan-compile spans) and write its Chrome trace here")
 	metrics := flag.String("metrics", "", "write a JSON snapshot of the process metrics registry here after the run")
+	guidelines := flag.String("guidelines", "", "also run the performance-guideline assertions and write their JSON here (e.g. BENCH_guidelines.json); exit 1 on violation")
+	margin := flag.Float64("margin", 1.25, "guideline noise margin: a guideline is violated when preferred > margin * baseline")
 	flag.Parse()
 
 	if *trace != "" {
@@ -54,6 +59,20 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("wrote", *metrics)
+	}
+	if *guidelines != "" {
+		g := bench.RunGuidelines(*margin)
+		g.Print(os.Stdout)
+		if err := g.WriteJSONFile(*guidelines); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *guidelines)
+		if v := g.Violations(); len(v) > 0 {
+			for _, r := range v {
+				fmt.Fprintf(os.Stderr, "dtbench: guideline violated: %s (ratio %.2f > margin %.2f)\n", r.Name, r.Ratio, r.Margin)
+			}
+			os.Exit(1)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"nccd/internal/datatype"
 	"nccd/internal/mpi"
 	"nccd/internal/petsc"
+	"nccd/internal/transport"
 )
 
 // The datatype microbenchmark measures the pack/unpack hot path in real
@@ -22,13 +23,17 @@ import (
 // DatatypeBenchRow is one (operation, engine, workload) measurement.
 type DatatypeBenchRow struct {
 	Name        string  `json:"name"`
-	Op          string  `json:"op"`     // "pack" or "unpack"
-	Engine      string  `json:"engine"` // single-context | dual-context | compiled-plan
+	Op          string  `json:"op"`     // "pack", "unpack" or "wire"
+	Engine      string  `json:"engine"` // single-context | dual-context | compiled-plan | wire-fused | wire-packed
 	Bytes       int     `json:"bytes"`
 	Segments    int     `json:"segments"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	MBPerSec    float64 `json:"mb_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// CopiedBytes is the intermediate-copy volume per op: zero on the
+	// fused wire path (the gather list references user memory), the full
+	// message size wherever a pack stage materializes the stream.
+	CopiedBytes int64 `json:"copied_bytes"`
 }
 
 // PlanCacheReport summarizes plan-cache traffic for the JSON report: the
@@ -119,6 +124,7 @@ func RunDatatypeBench() *DatatypeBench {
 				Name: "pack/" + eng.name + "/" + wl.name, Op: "pack", Engine: eng.name,
 				Bytes: plan.Bytes(), Segments: plan.NumSegments(),
 				NsPerOp: ns, MBPerSec: mb, AllocsPerOp: al,
+				CopiedBytes: int64(plan.Bytes()),
 			})
 		}
 
@@ -145,11 +151,82 @@ func RunDatatypeBench() *DatatypeBench {
 				Name: "unpack/" + eng.name + "/" + wl.name, Op: "unpack", Engine: eng.name,
 				Bytes: plan.Bytes(), Segments: plan.NumSegments(),
 				NsPerOp: ns, MBPerSec: mb, AllocsPerOp: al,
+				CopiedBytes: int64(plan.Bytes()),
 			})
 		}
 	}
+	out.Rows = append(out.Rows, wireRows()...)
 	out.ScatterCache = measureScatterCache()
 	return out
+}
+
+// wireRows races the fused (zero-copy gather-list) wire path against the
+// packed path over a real localhost socket pair, for one layout above the
+// fusion threshold and one below it.  Below the threshold the send path
+// falls back to the compiled pack, so the "fused" row records the fallback
+// decision — its copied bytes equal the message size, not zero.
+func wireRows() []DatatypeBenchRow {
+	wireWorkloads := []dtWorkload{
+		// 1 KiB segments — fusable at the default threshold.
+		{"strided-1KiB-segs", datatype.Vector(256, 128, 256, datatype.Double)},
+		// 16-byte segments — far below threshold, must fall back to pack.
+		{"strided-16B-segs", datatype.Vector(4096, 2, 4, datatype.Double)},
+	}
+	wp, err := newWirePair()
+	if err != nil {
+		panic(fmt.Sprintf("bench: wire pair: %v", err))
+	}
+	defer wp.close()
+
+	var rows []DatatypeBenchRow
+	const rounds, reps = 32, 5
+	hdr := transport.Header{Ctx: 1, Src: 0, Tag: 3}
+	for _, wl := range wireWorkloads {
+		plan := datatype.PlanFor(wl.ty, 1)
+		user := make([]byte, datatype.RequiredBytes(wl.ty, 1))
+		for i := range user {
+			user[i] = byte(i*131 + 17)
+		}
+		fusable := plan.Fusable(datatype.DefaultFusionThreshold)
+
+		// The decision path: fuse above the threshold, pack below it.
+		decided := func() error {
+			if fusable {
+				return wp.eps[0].SendVectored(1, hdr, user, plan.Segments())
+			}
+			wire := datatype.GetBuffer(plan.Bytes())
+			plan.Pack(user, wire)
+			return wp.eps[0].Send(1, hdr, wire)
+		}
+		// The forced baseline: always pack.
+		packed := func() error {
+			wire := datatype.GetBuffer(plan.Bytes())
+			plan.Pack(user, wire)
+			return wp.eps[0].Send(1, hdr, wire)
+		}
+
+		engine, copied := "wire-fused", int64(0)
+		if !fusable {
+			engine, copied = "wire-packed-fallback", int64(plan.Bytes())
+		}
+		decidedNs, packedNs, err := wp.raceWire(rounds, reps, decided, packed)
+		if err != nil {
+			panic(fmt.Sprintf("bench: wire race: %v", err))
+		}
+		rows = append(rows, DatatypeBenchRow{
+			Name: "wire/" + engine + "/" + wl.name, Op: "wire", Engine: engine,
+			Bytes: plan.Bytes(), Segments: plan.NumSegments(),
+			NsPerOp: decidedNs, MBPerSec: float64(plan.Bytes()) / decidedNs * 1e3,
+			CopiedBytes: copied,
+		})
+		rows = append(rows, DatatypeBenchRow{
+			Name: "wire/wire-packed/" + wl.name, Op: "wire", Engine: "wire-packed",
+			Bytes: plan.Bytes(), Segments: plan.NumSegments(),
+			NsPerOp: packedNs, MBPerSec: float64(plan.Bytes()) / packedNs * 1e3,
+			CopiedBytes: int64(plan.Bytes()),
+		})
+	}
+	return rows
 }
 
 // drainEngineInto packs ty from src into dst with a streaming engine,
@@ -216,10 +293,10 @@ func measureScatterCache() PlanCacheReport {
 
 // Print renders the microbenchmark as an aligned table.
 func (d *DatatypeBench) Print(w io.Writer) {
-	fmt.Fprintln(w, "DATATYPE: pack/unpack engines, wall-clock")
-	fmt.Fprintf(w, "  %-38s %12s %12s %12s %10s\n", "benchmark", "bytes", "ns/op", "MB/s", "allocs/op")
+	fmt.Fprintln(w, "DATATYPE: pack/unpack engines and wire paths, wall-clock")
+	fmt.Fprintf(w, "  %-42s %12s %12s %12s %10s %12s\n", "benchmark", "bytes", "ns/op", "MB/s", "allocs/op", "copied B/op")
 	for _, r := range d.Rows {
-		fmt.Fprintf(w, "  %-38s %12d %12.0f %12.0f %10.1f\n", r.Name, r.Bytes, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
+		fmt.Fprintf(w, "  %-42s %12d %12.0f %12.0f %10.1f %12d\n", r.Name, r.Bytes, r.NsPerOp, r.MBPerSec, r.AllocsPerOp, r.CopiedBytes)
 	}
 	fmt.Fprintf(w, "  vecscatter plan cache: %d hits / %d misses / %d evictions, %d live plans / %d B (hit rate %.0f%%)\n\n",
 		d.ScatterCache.Hits, d.ScatterCache.Misses, d.ScatterCache.Evictions,

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestGuidelinesSmoke runs the full guideline suite with a forgiving
+// margin (wall-clock rows on shared CI machines are noisy; the structural
+// assertions below are the hard ones) and checks the report's shape.
+func TestGuidelinesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-pair guideline benchmarks are slow")
+	}
+	g := RunGuidelines(2.0)
+	if len(g.Rows) != 3 {
+		t.Fatalf("expected 3 guidelines, got %d", len(g.Rows))
+	}
+	names := map[string]bool{}
+	for _, r := range g.Rows {
+		names[r.Name] = true
+		if r.PreferredNs <= 0 || r.BaselineNs <= 0 {
+			t.Fatalf("%s: non-positive measurement: %+v", r.Name, r)
+		}
+		if r.CopiedBytes != 0 {
+			t.Fatalf("%s: preferred formulation copied %d bytes, want 0", r.Name, r.CopiedBytes)
+		}
+	}
+	for _, want := range []string{"derived-send-vs-packed", "allgatherv-vs-allgather", "fused-scatter-vs-packed"} {
+		if !names[want] {
+			t.Fatalf("guideline %q missing from report", want)
+		}
+	}
+
+	// The virtual-clock guideline is deterministic: nonuniform Allgatherv
+	// must beat (or tie) the padded Allgather outright, no noise margin.
+	for _, r := range g.Rows {
+		if r.Name == "allgatherv-vs-allgather" && r.Ratio > 1.0 {
+			t.Fatalf("Allgatherv slower than padded Allgather on the virtual clock: ratio %.3f", r.Ratio)
+		}
+	}
+
+	var buf bytes.Buffer
+	g.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty guideline table")
+	}
+	js, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Contains(js, []byte("copied_bytes_preferred")) {
+		t.Fatalf("JSON report missing copied_bytes_preferred field")
+	}
+}

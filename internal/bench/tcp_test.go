@@ -8,6 +8,7 @@ import (
 
 	"nccd/internal/core"
 	"nccd/internal/mpi"
+	"nccd/internal/obs"
 	"nccd/internal/petsc"
 	"nccd/internal/simnet"
 	"nccd/internal/transport"
@@ -68,6 +69,8 @@ func runMultigridTCP(t *testing.T, n int, p MultigridParams, cfg mpi.Config, fp 
 		agg.DupRejects += s.DupRejects
 		agg.Dropped += s.Dropped
 		agg.Corrupted += s.Corrupted
+		agg.VectoredSends += s.VectoredSends
+		agg.SealSpills += s.SealSpills
 		if cr := worlds[r].ChecksumRejects(); cr != 0 {
 			t.Fatalf("rank %d accepted work from the mpi-level checksum (%d rejects); the transport must absorb all corruption", r, cr)
 		}
@@ -120,8 +123,15 @@ func TestMultigridTCPMatchesInproc(t *testing.T) {
 	if ref.Cycles == 0 || len(ref.History) == 0 {
 		t.Fatalf("inproc reference did not converge: %+v", ref)
 	}
-	got, _ := runMultigridTCP(t, n, p, cfg, nil)
+	got, stats := runMultigridTCP(t, n, p, cfg, nil)
 	multigridHistoriesEqual(t, "tcp", got, ref)
+	// At full size the fine-grid ghost segments reach the fusion threshold,
+	// so the solve must have exercised the zero-copy vectored path — and the
+	// residual equality above is exactly the fused-path bitwise witness.
+	// The short variant's 16^3 grid stays below the threshold everywhere.
+	if !testing.Short() && stats.VectoredSends == 0 {
+		t.Fatalf("full-size solve fused no sends: %+v", stats)
+	}
 }
 
 // TestMultigridTCPLossy runs the same solve with a seeded 1% drop / 1%
@@ -134,12 +144,32 @@ func TestMultigridTCPLossy(t *testing.T) {
 	cfg := mpi.Compiled()
 	ref := RunMultigridWorld(core.NewUniformWorld(n, cfg), p, petsc.ScatterDatatype)
 	fp := &simnet.FaultPlan{Seed: 42, Drop: 0.01, Corrupt: 0.01}
+
+	// Pool-balance witness.  The solve legitimately retains a fixed number
+	// of pooled buffers (payloads whose ownership passed to application
+	// code), so the reference solve establishes that baseline; the lossy
+	// TCP run — with all its retransmissions, duplicate rejects, CRC
+	// rejects and retransmit seals — must not leak a single buffer beyond
+	// it.
+	gets := obs.Metrics.Counter("datatype.pool_gets")
+	puts := obs.Metrics.Counter("datatype.pool_puts")
+	b0 := gets.Load() - puts.Load()
+	refB := RunMultigridWorld(core.NewUniformWorld(n, cfg), p, petsc.ScatterDatatype)
+	multigridHistoriesEqual(t, "baseline rerun", refB, ref)
+	refDelta := gets.Load() - puts.Load() - b0
+
+	b1 := gets.Load() - puts.Load()
 	got, stats := runMultigridTCP(t, n, p, cfg, fp)
+	lossyDelta := gets.Load() - puts.Load() - b1
+
 	multigridHistoriesEqual(t, "lossy tcp", got, ref)
 	if stats.Dropped == 0 || stats.Corrupted == 0 {
 		t.Fatalf("fault plan injected nothing: %+v", stats)
 	}
 	if stats.Retransmits == 0 || stats.CRCRejects == 0 {
 		t.Fatalf("reliability protocol never engaged: %+v", stats)
+	}
+	if lossyDelta != refDelta {
+		t.Fatalf("lossy solve leaked pooled buffers: gets-puts delta %d, reference solve %d", lossyDelta, refDelta)
 	}
 }

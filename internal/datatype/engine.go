@@ -62,10 +62,16 @@ type Options struct {
 	// CH3-era implementations packed everything but very dense layouts,
 	// since scatter/gather sends only pay off for long segments.
 	DenseThreshold int
+	// FuseMinSegBytes is the minimum mean segment length for a compiled
+	// plan to take the zero-copy fused wire path (gather-list vectored
+	// write) instead of packing into a pooled buffer.  Default
+	// DefaultFusionThreshold.
+	FuseMinSegBytes int
 }
 
 // DefaultOptions are the engine defaults used throughout the repository.
-var DefaultOptions = Options{Pipeline: 32 * 1024, LookAhead: 15, DenseThreshold: 8192}
+var DefaultOptions = Options{Pipeline: 32 * 1024, LookAhead: 15, DenseThreshold: 8192,
+	FuseMinSegBytes: DefaultFusionThreshold}
 
 // WithDefaults returns o with zero fields replaced by DefaultOptions values.
 func (o Options) WithDefaults() Options { return o.withDefaults() }
@@ -79,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DenseThreshold <= 0 {
 		o.DenseThreshold = DefaultOptions.DenseThreshold
+	}
+	if o.FuseMinSegBytes <= 0 {
+		o.FuseMinSegBytes = DefaultOptions.FuseMinSegBytes
 	}
 	return o
 }

@@ -75,6 +75,28 @@ func (p *Plan) MemBytes() int64 {
 	return int64(len(p.segs))*segSize + int64(len(p.dstOff))*8 + 64
 }
 
+// SpanBytes returns the minimum length of the noncontiguous user buffer
+// the plan gathers from or scatters into.
+func (p *Plan) SpanBytes() int { return p.span }
+
+// DefaultFusionThreshold is the minimum mean segment length, in bytes, for
+// the zero-copy fused send path to beat the compiled pack: below it the
+// per-segment cost of a vectored write (iovec setup, per-segment CRC
+// update) exceeds the one memcpy it saves, per the Eijkhout-style
+// measurements the guidelines benchmark re-runs.
+const DefaultFusionThreshold = 512
+
+// Fusable reports whether the plan's segments are long enough — mean
+// segment length at least minAvgSegBytes — for the zero-copy gather-list
+// send path to pay off.  Empty plans are not fusable (a header-only frame
+// has nothing to fuse).
+func (p *Plan) Fusable(minAvgSegBytes int) bool {
+	if p.bytes == 0 || len(p.segs) == 0 {
+		return false
+	}
+	return p.bytes >= minAvgSegBytes*len(p.segs)
+}
+
 // AvgSegment returns the mean segment length in bytes, the figure the
 // density heuristic compares against the dense threshold.
 func (p *Plan) AvgSegment() float64 {

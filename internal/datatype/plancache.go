@@ -37,6 +37,10 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
+	// Rewrites counts lookups whose type was normalized to a different
+	// canonical representative before the key was formed — the TEMPI-style
+	// collapses that let structurally equal types share one plan.
+	Rewrites int64 `json:"rewrites"`
 }
 
 // PlanCache is a bounded LRU of compiled plans, safe for concurrent use.
@@ -70,10 +74,16 @@ const DefaultPlanCacheCap = 256
 var defaultPlanCache = NewPlanCache(DefaultPlanCacheCap)
 
 // Get returns the cached plan for (t, count), compiling and inserting it on
-// a miss.
+// a miss.  The type is normalized to its canonical form first, so
+// structurally equal types — however they were constructed — share one key,
+// one compiled plan, and one fusion decision.
 func (c *PlanCache) Get(t *Type, count int) *Plan {
-	key := planKey{sig: t.sig, size: t.size, extent: t.extent, span: t.span, blocks: t.blocks, count: count}
+	ct := Canonicalize(t)
+	key := planKey{sig: ct.sig, size: ct.size, extent: ct.extent, span: ct.span, blocks: ct.blocks, count: count}
 	c.mu.Lock()
+	if ct != t {
+		c.stats.Rewrites++
+	}
 	if el, ok := c.index[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
@@ -92,7 +102,7 @@ func (c *PlanCache) Get(t *Type, count int) *Plan {
 	if traced {
 		start = obs.Default.Now()
 	}
-	p := CompilePlan(t, count)
+	p := CompilePlan(ct, count)
 	if traced {
 		obs.Emit(obs.Span{Rank: -1, Kind: "plan_compile", Peer: -1,
 			Bytes: int64(p.Bytes()), Start: start, End: obs.Default.Now(), Clock: obs.ClockWall})

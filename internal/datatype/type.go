@@ -15,6 +15,7 @@ package datatype
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates datatype tree nodes.
@@ -79,6 +80,15 @@ type Type struct {
 	// treat every composite node as a list of (childType, byteOffset)
 	// pairs without allocating during traversal.
 	blockTypes []*Type
+
+	// flat memoizes the coalesced single-instance segment list (Flatten
+	// with count 1).  Types are immutable, so the memo never invalidates;
+	// racing computations produce identical slices and either store wins.
+	// Holders treat the slice as read-only.
+	flat atomic.Pointer[[]Segment]
+
+	// canon memoizes Canonicalize(t).  A canonical type points to itself.
+	canon atomic.Pointer[Type]
 }
 
 // Predefined base types, mirroring the MPI built-ins used by PETSc.
@@ -429,13 +439,34 @@ func Subarray(sizes, subsizes, starts []int, elem *Type) *Type {
 }
 
 // resized returns t with its extent forced to extentBytes (a reduced form of
-// MPI_Type_create_resized with lb=0).
+// MPI_Type_create_resized with lb=0).  The copy is field-by-field rather
+// than a struct copy: the memo fields (flat, canon) must not be duplicated —
+// the single-instance flatten is extent-independent and carries over, while
+// the canonical form depends on the extent and is left to recompute.
 func resized(t *Type, extentBytes int) *Type {
-	c := *t
-	c.extent = extentBytes
-	c.contig = c.contig && c.size == c.extent
+	c := &Type{
+		kind:       t.kind,
+		name:       t.name,
+		size:       t.size,
+		extent:     extentBytes,
+		span:       t.span,
+		blocks:     t.blocks,
+		depth:      t.depth,
+		contig:     t.contig && t.size == extentBytes,
+		elem:       t.elem,
+		count:      t.count,
+		blocklen:   t.blocklen,
+		stride:     t.stride,
+		blockLens:  t.blockLens,
+		displs:     t.displs,
+		types:      t.types,
+		blockTypes: t.blockTypes,
+	}
 	c.sig = sigMix(sigMix(t.sig, sigResized), uint64(int64(extentBytes)))
-	return &c
+	if p := t.flat.Load(); p != nil {
+		c.flat.Store(p)
+	}
+	return c
 }
 
 // Resized returns t with extent forced to extentBytes and lower bound 0,
@@ -555,8 +586,43 @@ type Segment struct {
 // coalescing adjacent segments.  It is the O(size)-memory oracle the
 // streaming cursors are tested against, and is also used by scatter plans
 // that want an explicit index representation.
+//
+// The single-instance list is memoized on the (immutable) Type, so repeated
+// plan compiles and file-view constructions over the same type never
+// re-flatten; for count == 1 the shared memo slice is returned directly and
+// must be treated as read-only by the caller.
 func Flatten(t *Type, count int) []Segment {
-	var segs []Segment
+	if count == 0 {
+		return nil
+	}
+	one := t.flatten1()
+	if len(one) == 0 {
+		return nil
+	}
+	if count == 1 {
+		return one
+	}
+	segs := make([]Segment, 0, count*len(one))
+	for i := 0; i < count; i++ {
+		base := i * t.extent
+		for _, s := range one {
+			// Coalesce across instance boundaries, like the single pass did.
+			if k := len(segs); k > 0 && segs[k-1].Off+segs[k-1].Len == base+s.Off {
+				segs[k-1].Len += s.Len
+				continue
+			}
+			segs = append(segs, Segment{base + s.Off, s.Len})
+		}
+	}
+	return segs
+}
+
+// flatten1 returns the memoized coalesced segment list of one instance.
+func (t *Type) flatten1() []Segment {
+	if p := t.flat.Load(); p != nil {
+		return *p
+	}
+	segs := []Segment{}
 	emit := func(off, n int) {
 		if n == 0 {
 			return
@@ -567,9 +633,8 @@ func Flatten(t *Type, count int) []Segment {
 		}
 		segs = append(segs, Segment{off, n})
 	}
-	for i := 0; i < count; i++ {
-		flattenInto(t, i*t.extent, emit)
-	}
+	flattenInto(t, 0, emit)
+	t.flat.Store(&segs)
 	return segs
 }
 

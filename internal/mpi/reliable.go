@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"nccd/internal/datatype"
 	"nccd/internal/obs"
 	"nccd/internal/transport"
 )
@@ -52,13 +53,18 @@ func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 	w := c.w
 	worldDst := c.worldRank(dst)
 	mMsgBytes.Observe(int64(len(wire)))
+	// dispatch owns wire; the throw paths below abandon the send, so they
+	// must recycle it or every revoked/failed-peer send leaks a pooled
+	// buffer.
 	if w.isRevoked(c.ctx) {
+		datatype.PutBuffer(wire)
 		throwErr(&RevokedError{Call: c.callOr("Send")})
 	}
 	// Sending to a failed rank raises; sending to a cleanly exited rank
 	// keeps the old fire-and-forget semantics (the message is discarded
 	// with the mailbox, like an eager send the receiver never matched).
 	if dst != c.rank && w.anyDown.Load() && w.deadRank(worldDst) {
+		datatype.PutBuffer(wire)
 		throwErr(&RankFailedError{Rank: worldDst, Call: c.callOr("Send")})
 	}
 	if w.wall {

@@ -40,6 +40,11 @@ type World struct {
 	// in this process (see wall.go) and support a single Run.
 	tr   transport.Transport
 	wall bool
+	// vecSender is tr's zero-copy gather-list extension, non-nil only in
+	// wall-clock mode: fused sends bypass the virtual-time cost model, so
+	// the deterministic in-process path never uses it even though the
+	// Inproc transport implements the interface.
+	vecSender transport.VectoredSender
 
 	// states holds each rank's lifecycle (running/exited/dead) during a
 	// Run; anyDown short-circuits liveness checks on the happy path.
@@ -212,6 +217,11 @@ func NewWorldTransport(tr transport.Transport, cluster *simnet.Cluster, cfg Conf
 		cfg.Watchdog.Disable = true
 	}
 	w := &World{cluster: cluster, cfg: cfg, tr: tr, wall: wall, tracer: obs.NewTracer(0)}
+	if wall {
+		if vs, ok := tr.(transport.VectoredSender); ok {
+			w.vecSender = vs
+		}
+	}
 	w.agreeCond = sync.NewCond(&w.agreeMu)
 	w.agreeSlots = make(map[agreeID]*agreeSlot)
 	w.procs = make([]*proc, n)
@@ -578,6 +588,11 @@ type Stats struct {
 	DupsSent    int64 // duplicated deliveries injected by the fault plan
 	CorruptSent int64 // corrupted deliveries injected by the fault plan
 
+	// Fused-path traffic: sends that went to the wire as a gather list
+	// straight from user memory, skipping the pack copy entirely.
+	FusedSends int64
+	FusedBytes int64
+
 	Datatype datatype.Metrics
 }
 
@@ -596,6 +611,8 @@ func (s *Stats) Add(other Stats) {
 	s.Retransmits += other.Retransmits
 	s.DupsSent += other.DupsSent
 	s.CorruptSent += other.CorruptSent
+	s.FusedSends += other.FusedSends
+	s.FusedBytes += other.FusedBytes
 	s.Datatype.Add(other.Datatype)
 }
 

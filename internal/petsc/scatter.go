@@ -206,14 +206,17 @@ func checkLocal(p PeerIndices, n int, what string) {
 
 // specsFor converts per-peer index lists into MPI indexed datatypes,
 // coalescing runs of consecutive indices into blocks the way a dataloop
-// optimizer would.
+// optimizer would.  Each type is normalized to its canonical form up
+// front, so an indexed layout that is secretly a vector (or contiguous)
+// shares the cheaper representation's plan-cache entry and fusion
+// decision from the first send.
 func specsFor(size int, peers []PeerIndices) []mpi.TypeSpec {
 	specs := make([]mpi.TypeSpec, size)
 	for _, p := range peers {
 		if len(p.Local) == 0 {
 			continue
 		}
-		specs[p.Peer] = mpi.TypeSpec{Type: indexedType(p.Local), Count: 1}
+		specs[p.Peer] = mpi.TypeSpec{Type: datatype.Canonicalize(indexedType(p.Local)), Count: 1}
 	}
 	return specs
 }

@@ -1,6 +1,10 @@
 package transport
 
-import "fmt"
+import (
+	"fmt"
+
+	"nccd/internal/datatype"
+)
 
 // Inproc is the original in-process path refactored behind the Transport
 // interface: every rank lives in this process, and Send is a synchronous
@@ -46,9 +50,32 @@ func (t *Inproc) Start(deliver Handler, down DownFunc) error {
 // payload is shared by reference; the receiver owns it afterwards.
 func (t *Inproc) Send(to int, hdr Header, payload []byte) error {
 	if to < 0 || to >= t.n {
+		// Ownership passed at the call: recycle before erroring out.
+		datatype.PutBuffer(payload)
 		return fmt.Errorf("transport: rank %d out of range [0,%d)", to, t.n)
 	}
 	t.deliver(to, hdr, payload)
+	return nil
+}
+
+// SendVectored gathers segs over user into one pooled buffer and deposits
+// it synchronously — there is no wire to scatter onto in-process, so the
+// gather is the delivery copy the receiver would otherwise have made.  The
+// caller keeps ownership of user.
+func (t *Inproc) SendVectored(to int, hdr Header, user []byte, segs []datatype.Segment) error {
+	if to < 0 || to >= t.n {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", to, t.n)
+	}
+	nbytes := 0
+	for _, s := range segs {
+		nbytes += s.Len
+	}
+	buf := datatype.GetBuffer(nbytes)
+	off := 0
+	for _, s := range segs {
+		off += copy(buf[off:off+s.Len], user[s.Off:s.Off+s.Len])
+	}
+	t.deliver(to, hdr, buf)
 	return nil
 }
 

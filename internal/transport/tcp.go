@@ -173,16 +173,22 @@ type TCPStats struct {
 	AcksSent, AcksRecv                          int64
 	// Failure-detector traffic.
 	BeatsSent, BeatsRecv int64
+	// Zero-copy path accounting: frames gathered straight from user memory
+	// by SendVectored, and how many of those had to be sealed (spilled to a
+	// pooled copy) because a retransmission, duplication or corruption
+	// attempt needed a stable frame image.
+	VectoredSends, SealSpills int64
 }
 
 type tcpCounters struct {
-	framesSent, framesRecv atomic.Int64
-	bytesSent, bytesRecv   atomic.Int64
-	crcRejects, dupRejects atomic.Int64
-	retransmits, dropped   atomic.Int64
-	corrupted, duplicated  atomic.Int64
-	acksSent, acksRecv     atomic.Int64
-	beatsSent, beatsRecv   atomic.Int64
+	framesSent, framesRecv     atomic.Int64
+	bytesSent, bytesRecv       atomic.Int64
+	crcRejects, dupRejects     atomic.Int64
+	retransmits, dropped       atomic.Int64
+	corrupted, duplicated      atomic.Int64
+	acksSent, acksRecv         atomic.Int64
+	beatsSent, beatsRecv       atomic.Int64
+	vectoredSends, sealSpills  atomic.Int64
 }
 
 // tcpPeer is one pooled peer connection and its reliability state.  The
@@ -197,6 +203,7 @@ type tcpPeer struct {
 	conn    net.Conn   // guarded by wmu
 	gen     uint64     // connection generation, guarded by wmu
 	scratch []byte     // frame-head assembly buffer, under wmu
+	vecbuf  [][]byte   // reusable net.Buffers backing array, under wmu
 	alive   atomic.Bool
 
 	// liveMu serializes the down/up liveness callbacks for this peer so
@@ -349,6 +356,7 @@ func (t *TCP) Stats() TCPStats {
 		Corrupted: c.corrupted.Load(), Duplicated: c.duplicated.Load(),
 		AcksSent: c.acksSent.Load(), AcksRecv: c.acksRecv.Load(),
 		BeatsSent: c.beatsSent.Load(), BeatsRecv: c.beatsRecv.Load(),
+		VectoredSends: c.vectoredSends.Load(), SealSpills: c.sealSpills.Load(),
 	}
 }
 
@@ -742,10 +750,15 @@ func (t *TCP) sendAck(p *tcpPeer, seq uint64) {
 // to the shared pool.  With a lossy fault plan, the frame runs the
 // ack/retransmission protocol described on the type.
 func (t *TCP) Send(to int, hdr Header, payload []byte) error {
+	// Ownership of payload passed to the transport at the call, so every
+	// error return must recycle it — the early exits used to leak pooled
+	// buffers under injected send failures.
 	if to < 0 || to >= t.cfg.Size {
+		datatype.PutBuffer(payload)
 		return fmt.Errorf("transport: rank %d out of range [0,%d)", to, t.cfg.Size)
 	}
 	if t.closed.Load() {
+		datatype.PutBuffer(payload)
 		return ErrClosed
 	}
 	if to == t.cfg.Rank {
@@ -754,6 +767,7 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 	}
 	p := t.peers[to]
 	if !p.alive.Load() {
+		datatype.PutBuffer(payload)
 		return &PeerDownError{Rank: to}
 	}
 	start, traced := t.traceNow()
@@ -784,11 +798,198 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 	return nil
 }
 
+// SendVectored delivers hdr plus the in-order gather of segs over user to
+// rank to without ever packing them into an intermediate buffer: the clean
+// path hands the gather list straight to an N-segment writev whose CRC-32
+// trailer is folded incrementally across the segments.  Unlike Send, the
+// caller keeps ownership of user — nothing is recycled here — and the
+// memory must stay stable until SendVectored returns (the caller blocks,
+// so it does).  Under a lossy fault plan the frame runs the same
+// ack/retransmission protocol as Send, with copy-on-retransmit sealing:
+// the frame is spilled to a private pooled image only if an attempt
+// actually needs one.
+func (t *TCP) SendVectored(to int, hdr Header, user []byte, segs []datatype.Segment) error {
+	if to < 0 || to >= t.cfg.Size {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", to, t.cfg.Size)
+	}
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	nbytes := 0
+	for _, s := range segs {
+		nbytes += s.Len
+	}
+	if to == t.cfg.Rank {
+		// Self-send: gather into a pooled buffer the receiving handler owns,
+		// exactly as if the bytes had crossed a socket.
+		buf := datatype.GetBuffer(nbytes)
+		off := 0
+		for _, s := range segs {
+			off += copy(buf[off:off+s.Len], user[s.Off:s.Off+s.Len])
+		}
+		t.stats.vectoredSends.Add(1)
+		t.deliver(to, hdr, buf)
+		return nil
+	}
+	p := t.peers[to]
+	if !p.alive.Load() {
+		return &PeerDownError{Rank: to}
+	}
+	t.stats.vectoredSends.Add(1)
+	start, traced := t.traceNow()
+	if t.cfg.Faults.Lossy() {
+		err := t.sendVectoredReliable(p, hdr, user, segs, nbytes)
+		if traced && err == nil {
+			if end, ok := t.traceNow(); ok {
+				t.trace("tcp_send", to, int64(nbytes), start, end,
+					obs.Attr{Key: "reliable", Val: "true"},
+					obs.Attr{Key: "vectored", Val: "true"})
+			}
+		}
+		return err
+	}
+	gen, err := t.writeDataSegs(p, &Frame{Kind: KindData, Hdr: hdr}, user, segs, nbytes)
+	if err != nil {
+		t.peerGone(p, gen, fmt.Sprintf("vectored write: %v", err))
+		return &PeerDownError{Rank: to}
+	}
+	t.stats.framesSent.Add(1)
+	if traced {
+		if end, ok := t.traceNow(); ok {
+			t.trace("tcp_send", to, int64(nbytes), start, end,
+				obs.Attr{Key: "vectored", Val: "true"})
+		}
+	}
+	return nil
+}
+
+// sendVectoredReliable runs the ack/retransmission protocol for a gather-
+// list frame.  The first clean attempt goes out zero-copy straight from
+// the caller's memory; the frame is sealed — gathered and encoded into a
+// private pooled buffer — lazily, the first time an attempt needs a stable
+// image (injected corruption, duplication, or a retransmit).  A send that
+// succeeds on the first try therefore never copies the payload at all.
+func (t *TCP) sendVectoredReliable(p *tcpPeer, hdr Header, user []byte, segs []datatype.Segment, nbytes int) error {
+	fp := t.cfg.Faults
+	seq := p.seq.Add(1) - 1
+	f := Frame{Kind: KindData, TSeq: seq, Flags: FlagReliable, Hdr: hdr}
+
+	var wire []byte
+	seal := func() []byte {
+		if wire != nil {
+			return wire
+		}
+		// Gather the payload, encode the full frame into a pooled buffer
+		// sized so EncodeFrame cannot reallocate (pow2 class round-up), and
+		// release the gather scratch immediately.
+		buf := datatype.GetBuffer(nbytes)
+		off := 0
+		for _, s := range segs {
+			off += copy(buf[off:off+s.Len], user[s.Off:s.Off+s.Len])
+		}
+		f.Payload = buf
+		wbuf := datatype.GetBuffer(framePrefixLen + dataHeadLen + nbytes + frameTrailerLen)
+		wire = EncodeFrame(wbuf[:0], &f)
+		f.Payload = nil
+		datatype.PutBuffer(buf)
+		t.stats.sealSpills.Add(1)
+		return wire
+	}
+	defer func() {
+		if wire != nil {
+			datatype.PutBuffer(wire)
+		}
+	}()
+
+	timeout := t.cfg.AckTimeout
+	for attempt := 0; ; attempt++ {
+		if t.closed.Load() {
+			return ErrClosed
+		}
+		ack := make(chan struct{})
+		p.ackMu.Lock()
+		p.acks[seq] = ack
+		p.ackMu.Unlock()
+
+		drop, dup, corrupt, delay := fp.Attempt(t.cfg.Rank, p.rank, seq, attempt)
+		if delay > 0 {
+			time.Sleep(time.Duration(delay * float64(time.Second)))
+		}
+		var werr error
+		var wgen uint64
+		switch {
+		case drop:
+			t.stats.dropped.Add(1)
+		case corrupt:
+			bad := append([]byte(nil), seal()...)
+			off := framePrefixLen + fp.CorruptByte(t.cfg.Rank, p.rank, seq, attempt, len(bad)-framePrefixLen)
+			bad[off] ^= 0xFF
+			t.stats.corrupted.Add(1)
+			wgen, werr = t.writeWire(p, bad)
+		case attempt == 0 && !dup && wire == nil:
+			// The zero-copy fast path: gather straight from user memory.
+			wgen, werr = t.writeDataSegs(p, &f, user, segs, nbytes)
+		default:
+			wgen, werr = t.writeWire(p, seal())
+			if werr == nil && dup {
+				t.stats.duplicated.Add(1)
+				wgen, werr = t.writeWire(p, wire)
+			}
+		}
+		if werr == nil && !drop {
+			t.stats.framesSent.Add(1)
+		}
+		if werr != nil {
+			t.peerGone(p, wgen, fmt.Sprintf("reliable vectored write: %v", werr))
+			return &PeerDownError{Rank: p.rank}
+		}
+
+		select {
+		case <-ack:
+			if !p.alive.Load() {
+				return &PeerDownError{Rank: p.rank}
+			}
+			return nil
+		case <-time.After(timeout):
+		}
+		p.ackMu.Lock()
+		_, pending := p.acks[seq]
+		delete(p.acks, seq)
+		p.ackMu.Unlock()
+		if !pending {
+			if !p.alive.Load() {
+				return &PeerDownError{Rank: p.rank}
+			}
+			return nil
+		}
+		if attempt+1 >= t.cfg.MaxRetries {
+			return &RetriesError{Rank: p.rank, Attempts: attempt + 1}
+		}
+		t.stats.retransmits.Add(1)
+		if now, ok := t.traceNow(); ok {
+			t.trace("tcp_retransmit", p.rank, int64(nbytes), now, now,
+				obs.Attr{Key: "attempt", Val: strconv.Itoa(attempt + 1)})
+		}
+		timeout = time.Duration(float64(timeout) * t.cfg.Backoff)
+	}
+}
+
 // writeData writes a data frame without copying the payload: the frame
 // head and CRC trailer are assembled in the peer's scratch buffer and the
-// three pieces go out in one vectored write.  It returns the connection
+// pieces go out in one vectored write.  It returns the connection
 // generation written to, for a failure-path peerGone.
 func (t *TCP) writeData(p *tcpPeer, f *Frame) (uint64, error) {
+	return t.writeDataSegs(p, f, f.Payload, []datatype.Segment{{Off: 0, Len: len(f.Payload)}}, len(f.Payload))
+}
+
+// writeDataSegs is the N-segment generalization of the vectored data
+// write: the frame head and CRC trailer are assembled in the peer's
+// scratch buffer, the CRC-32 trailer is folded incrementally across the
+// gather segments, and head + segments + trailer go to the socket in a
+// single writev with no intermediate copy of the payload.  nbytes is the
+// segments' total length (precomputed by the caller); zero-length segments
+// are skipped.  f.Payload is ignored — user/segs describe the payload.
+func (t *TCP) writeDataSegs(p *tcpPeer, f *Frame, user []byte, segs []datatype.Segment, nbytes int) (uint64, error) {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
 	if p.conn == nil {
@@ -802,15 +1003,31 @@ func (t *TCP) writeData(p *tcpPeer, f *Frame) (uint64, error) {
 	b[8] = f.Flags
 	head = append(head, b[:]...)
 	head = appendHeader(head, &f.Hdr)
-	binary.LittleEndian.PutUint32(head[0:], uint32(len(head)-framePrefixLen+len(f.Payload)+frameTrailerLen))
+	binary.LittleEndian.PutUint32(head[0:], uint32(len(head)-framePrefixLen+nbytes+frameTrailerLen))
 	sum := crc32.ChecksumIEEE(head[framePrefixLen:])
-	sum = crc32.Update(sum, crc32.IEEETable, f.Payload)
-	var trailer [frameTrailerLen]byte
-	binary.LittleEndian.PutUint32(trailer[:], sum)
 	p.scratch = head[:0]
 
-	bufs := net.Buffers{head, f.Payload, trailer[:]}
-	n, err := bufs.WriteTo(p.conn)
+	bufs := append(p.vecbuf[:0], head)
+	for _, s := range segs {
+		if s.Len == 0 {
+			continue
+		}
+		seg := user[s.Off : s.Off+s.Len]
+		sum = crc32.Update(sum, crc32.IEEETable, seg)
+		bufs = append(bufs, seg)
+	}
+	var trailer [frameTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum)
+	bufs = append(bufs, trailer[:])
+
+	nb := net.Buffers(bufs)
+	n, err := nb.WriteTo(p.conn)
+	// Keep the backing array for the next write, but drop the buffer
+	// references so user memory is not retained between sends.
+	for i := range bufs {
+		bufs[i] = nil
+	}
+	p.vecbuf = bufs[:0]
 	t.stats.bytesSent.Add(n)
 	return p.gen, err
 }

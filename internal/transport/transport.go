@@ -13,6 +13,8 @@ package transport
 import (
 	"errors"
 	"time"
+
+	"nccd/internal/datatype"
 )
 
 // Header is the runtime metadata that travels with every message.  The
@@ -95,6 +97,24 @@ type Transport interface {
 	Wallclock() bool
 	// Close tears the transport down; in-flight receives fail.
 	Close() error
+}
+
+// VectoredSender is the zero-copy extension of Transport: a transport that
+// can put a message on the wire directly from a gather list of segments of
+// the caller's buffer, skipping the pack-into-pooled-buffer copy entirely.
+// The TCP endpoint implements it with an N-segment vectored write (writev)
+// under a single frame whose CRC-32 trailer is computed incrementally
+// across the segments; the in-process transport gathers into one pooled
+// buffer at delivery.
+type VectoredSender interface {
+	// SendVectored delivers hdr plus the in-order concatenation of
+	// user[s.Off:s.Off+s.Len] for each segment s to rank to.  Unlike Send,
+	// ownership of the memory does NOT pass to the transport: user remains
+	// the caller's buffer, and the transport must be finished reading it
+	// (written to the wire, sealed into a private copy for retransmission,
+	// or delivered) by the time SendVectored returns.  Zero-length
+	// segments are permitted and contribute nothing.
+	SendVectored(to int, hdr Header, user []byte, segs []datatype.Segment) error
 }
 
 // Typed transport errors.  The mpi layer maps these onto its own error

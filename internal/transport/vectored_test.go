@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"nccd/internal/datatype"
+	"nccd/internal/obs"
+	"nccd/internal/simnet"
+)
+
+// ex49Segments is the degenerate gather shape a DMDA corner rank produces
+// in the elasticity example: zero-length entries, single-byte fragments and
+// multi-KiB runs interleaved in one type map.
+func ex49Segments() []datatype.Segment {
+	return []datatype.Segment{
+		{Off: 0, Len: 0},
+		{Off: 0, Len: 1},
+		{Off: 64, Len: 4096},
+		{Off: 4500, Len: 0},
+		{Off: 4503, Len: 1},
+		{Off: 4600, Len: 8192},
+		{Off: 13000, Len: 2},
+		{Off: 13500, Len: 0},
+		{Off: 13507, Len: 1},
+		{Off: 14000, Len: 2048},
+	}
+}
+
+func vectoredUser(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*131 + 17)
+	}
+	return b
+}
+
+func gatherReference(user []byte, segs []datatype.Segment) []byte {
+	var out []byte
+	for _, s := range segs {
+		out = append(out, user[s.Off:s.Off+s.Len]...)
+	}
+	return out
+}
+
+// TestSendVectoredDegenerate: the ex49 gather shape crosses a clean TCP
+// link — and the self-send path — bitwise intact, counted as vectored.
+func TestSendVectoredDegenerate(t *testing.T) {
+	eps, rec := startMesh(t, 2, nil, nil)
+	segs := ex49Segments()
+	user := vectoredUser(16384)
+	want := gatherReference(user, segs)
+
+	if err := eps[0].SendVectored(1, Header{Ctx: 1, Src: 0, Tag: 7}, user, segs); err != nil {
+		t.Fatalf("vectored send: %v", err)
+	}
+	if err := eps[0].SendVectored(0, Header{Ctx: 1, Src: 0, Tag: 8}, user, segs); err != nil {
+		t.Fatalf("vectored self-send: %v", err)
+	}
+	waitFor(t, "remote delivery", func() bool { return len(rec.get(1)) == 1 })
+	waitFor(t, "self delivery", func() bool { return len(rec.get(0)) == 1 })
+	for _, check := range []struct {
+		rank int
+		tag  int32
+	}{{1, 7}, {0, 8}} {
+		m := rec.get(check.rank)[0]
+		if m.Hdr.Tag != check.tag {
+			t.Fatalf("rank %d: tag %d, want %d", check.rank, m.Hdr.Tag, check.tag)
+		}
+		if len(m.Payload) != len(want) {
+			t.Fatalf("rank %d: %d bytes, want %d", check.rank, len(m.Payload), len(want))
+		}
+		for i := range want {
+			if m.Payload[i] != want[i] {
+				t.Fatalf("rank %d: payload byte %d = %#x, want %#x", check.rank, i, m.Payload[i], want[i])
+			}
+		}
+	}
+	if got := eps[0].Stats().VectoredSends; got != 2 {
+		t.Fatalf("VectoredSends = %d, want 2", got)
+	}
+	if got := eps[0].Stats().SealSpills; got != 0 {
+		t.Fatalf("clean vectored sends spilled %d seals, want 0", got)
+	}
+}
+
+// TestSendVectoredLossy: the same degenerate shape under a seeded lossy
+// fault plan arrives exactly once and bitwise intact, the reliability
+// protocol visibly fired, and at least one frame was sealed into a private
+// copy for retransmission (copy-on-retransmit actually engaged).
+func TestSendVectoredLossy(t *testing.T) {
+	fp := &simnet.FaultPlan{Seed: 7, Drop: 0.1, Corrupt: 0.1, Duplicate: 0.05}
+	eps, rec := startMesh(t, 2, fp, nil)
+	segs := ex49Segments()
+	user := vectoredUser(16384)
+	want := gatherReference(user, segs)
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			hdr := Header{Ctx: 1, Src: 0, Tag: int32(i)}
+			if err := eps[0].SendVectored(1, hdr, user, segs); err != nil {
+				t.Errorf("vectored send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	waitFor(t, "lossy vectored delivery", func() bool { return len(rec.get(1)) == rounds })
+	seen := map[int32]bool{}
+	for _, m := range rec.get(1) {
+		if seen[m.Hdr.Tag] {
+			t.Fatalf("tag %d delivered twice", m.Hdr.Tag)
+		}
+		seen[m.Hdr.Tag] = true
+		if len(m.Payload) != len(want) {
+			t.Fatalf("tag %d: %d bytes, want %d", m.Hdr.Tag, len(m.Payload), len(want))
+		}
+		for i := range want {
+			if m.Payload[i] != want[i] {
+				t.Fatalf("tag %d: payload byte %d mismatch", m.Hdr.Tag, i)
+			}
+		}
+	}
+	st := eps[0].Stats()
+	if st.VectoredSends != rounds {
+		t.Fatalf("VectoredSends = %d, want %d", st.VectoredSends, rounds)
+	}
+	if st.SealSpills == 0 {
+		t.Fatalf("lossy run sealed no frames; copy-on-retransmit never engaged")
+	}
+	if st.Retransmits == 0 && st.Corrupted == 0 && st.Dropped == 0 {
+		t.Fatalf("fault plan injected nothing; test is vacuous")
+	}
+}
+
+// TestSendPoolBalance: pooled-buffer gets and puts stay balanced across
+// clean sends, vectored sends, and every Send error path — out-of-range
+// destination, send to a dead peer, send after close — which used to leak
+// the payload they had taken ownership of.
+func TestSendPoolBalance(t *testing.T) {
+	gets := obs.Metrics.Counter("datatype.pool_gets")
+	puts := obs.Metrics.Counter("datatype.pool_puts")
+	eps, rec := startMesh(t, 3, nil, nil)
+	base := gets.Load() - puts.Load()
+
+	segs := ex49Segments()
+	user := vectoredUser(16384)
+	for i := 0; i < 8; i++ {
+		if err := eps[0].Send(1, Header{Ctx: 1, Src: 0, Tag: int32(i)}, payloadFor(0, 1)); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		if err := eps[0].SendVectored(1, Header{Ctx: 1, Src: 0, Tag: int32(100 + i)}, user, segs); err != nil {
+			t.Fatalf("vectored send: %v", err)
+		}
+	}
+	waitFor(t, "deliveries", func() bool { return len(rec.get(1)) == 16 })
+
+	// Error paths take ownership too: each must recycle the payload.
+	if err := eps[0].Send(99, Header{}, payloadFor(0, 2)); err == nil {
+		t.Fatalf("out-of-range send succeeded")
+	}
+	eps[2].Close()
+	waitFor(t, "peer 2 down", func() bool { return !eps[0].Health(2).Alive })
+	if err := eps[0].Send(2, Header{}, payloadFor(0, 2)); err == nil {
+		t.Fatalf("send to dead peer succeeded")
+	}
+	eps[0].Close()
+	if err := eps[0].Send(1, Header{}, payloadFor(0, 1)); err == nil {
+		t.Fatalf("send after close succeeded")
+	}
+
+	waitFor(t, "pool balance", func() bool { return gets.Load()-puts.Load() == base })
+}
