@@ -25,6 +25,7 @@ func main() {
 	trace := flag.String("trace", "", "enable the global tracer (plan-compile spans) and write its Chrome trace here")
 	metrics := flag.String("metrics", "", "write a JSON snapshot of the process metrics registry here after the run")
 	guidelines := flag.String("guidelines", "", "also run the performance-guideline assertions and write their JSON here (e.g. BENCH_guidelines.json); exit 1 on violation")
+	shmPath := flag.String("shm", "", "also run the intra-node shared-memory vs TCP-loopback benchmark and write its JSON here (e.g. BENCH_shm.json); exit 1 if loopback wins the small-message race")
 	margin := flag.Float64("margin", 1.25, "guideline noise margin: a guideline is violated when preferred > margin * baseline")
 	flag.Parse()
 
@@ -59,6 +60,21 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("wrote", *metrics)
+	}
+	if *shmPath != "" {
+		s, err := bench.RunShmBench()
+		if err != nil {
+			fail(err)
+		}
+		s.Print(os.Stdout)
+		if err := s.WriteJSONFile(*shmPath); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *shmPath)
+		if !s.SmallMessageWin {
+			fmt.Fprintln(os.Stderr, "dtbench: shared-memory rings lost the small-message race to TCP loopback")
+			os.Exit(1)
+		}
 	}
 	if *guidelines != "" {
 		g := bench.RunGuidelines(*margin)

@@ -28,7 +28,9 @@ func rankTracePath(base string, r int) string {
 
 // launchConfig parameterizes the multi-process run.
 type launchConfig struct {
-	n          int
+	n          int    // total rank count (nodes × perNode)
+	perNode    int    // co-located ranks per node; >1 = hierarchical run
+	shmDir     string // per-node segment directory for hierarchical runs
 	daemon     string // nccdd path; empty = auto-locate
 	arm        string
 	p          bench.MultigridParams
@@ -131,6 +133,18 @@ func runLauncher(lc launchConfig) int {
 		defer os.RemoveAll(dir)
 		lc.ckptDir = dir
 	}
+	if lc.perNode > 1 {
+		// The co-located daemons of each node attach the same segment
+		// file; the directory outlives respawned replacements and is
+		// reaped with the launcher.
+		dir, err := os.MkdirTemp("", "nccd-shm-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: segment dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		lc.shmDir = dir
+	}
 	worldID := uint64(os.Getpid())
 	pt := newProcTable()
 
@@ -152,7 +166,12 @@ func runLauncher(lc launchConfig) int {
 		pt.killAll()
 	}()
 
-	fmt.Printf("spawning %d rank daemons (%s) over TCP localhost\n", lc.n, daemon)
+	if lc.perNode > 1 {
+		fmt.Printf("spawning %d rank daemons (%s) on %d nodes x %d ranks: shared memory within a node, TCP between\n",
+			lc.n, daemon, lc.n/lc.perNode, lc.perNode)
+	} else {
+		fmt.Printf("spawning %d rank daemons (%s) over TCP localhost\n", lc.n, daemon)
+	}
 	var chaosMu sync.Mutex
 	var killTime, resumeTime time.Time
 	chaosKilled := false
@@ -236,6 +255,22 @@ func runLauncher(lc launchConfig) int {
 	}
 	fmt.Printf("wire: %d frames sent, %d dropped, %d corrupted, %d retransmits, %d CRC rejects\n",
 		agg.frames, agg.dropped, agg.corrupted, agg.retrans, agg.crc)
+	if lc.perNode > 1 {
+		var shm struct {
+			frames, bytes, vectored, stalls, stallNs int64
+		}
+		for _, rep := range reports {
+			if s := rep.ShmStats; s != nil {
+				shm.frames += s.FramesSent
+				shm.bytes += s.BytesSent
+				shm.vectored += s.VectoredSends
+				shm.stalls += s.RingFullStalls
+				shm.stallNs += s.StallNanos
+			}
+		}
+		fmt.Printf("shm: %d frames (%d vectored), %d ring bytes, %d full-ring stalls (%.3fs)\n",
+			shm.frames, shm.vectored, shm.bytes, shm.stalls, float64(shm.stallNs)/1e9)
+	}
 
 	if lc.trace != "" {
 		paths := make([]string, lc.n)
@@ -373,6 +408,9 @@ func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launc
 		"-dup", fmt.Sprint(lc.dup),
 		"-delaymean", fmt.Sprint(lc.delayMean),
 		"-seed", fmt.Sprint(lc.seed),
+	}
+	if lc.perNode > 1 {
+		args = append(args, "-pernode", fmt.Sprint(lc.perNode), "-shmdir", lc.shmDir)
 	}
 	if lc.selfheal {
 		args = append(args, "-selfheal", "-ckpt", lc.ckptDir, "-ckptevery", fmt.Sprint(lc.ckptEvery))

@@ -30,7 +30,8 @@ func main() {
 	levels := flag.Int("levels", bench.DefaultMultigridParams.Levels, "multigrid levels")
 	rtol := flag.Float64("rtol", bench.DefaultMultigridParams.Rtol, "relative tolerance")
 	maxCycles := flag.Int("maxcycles", bench.DefaultMultigridParams.MaxCycles, "V-cycle cap")
-	tcp := flag.Int("tcp", 0, "spawn N rank daemons as OS processes over TCP localhost (0 = in-process Fig 17 sweep)")
+	tcp := flag.Int("tcp", 0, "spawn N rank daemons as OS processes over TCP localhost (0 = in-process Fig 17 sweep); with -pernode K this is the NODE count and N*K daemons are spawned")
+	perNode := flag.Int("pernode", 1, "co-located ranks per node for -tcp runs: >1 gives each node K ranks sharing a memory segment, TCP only between nodes")
 	daemon := flag.String("daemon", "", "path to the nccdd binary (default: next to mgsolve, then PATH)")
 	arm := flag.String("arm", "compiled", "experimental arm for -tcp runs: baseline, optimized, compiled or hand")
 	drop := flag.Float64("drop", 0, "frame drop probability injected below the TCP framing layer")
@@ -64,7 +65,7 @@ func main() {
 	switch {
 	case *tcp > 0:
 		code = runLauncher(launchConfig{
-			n: *tcp, daemon: *daemon, arm: *arm, p: p,
+			n: *tcp * max(*perNode, 1), perNode: *perNode, daemon: *daemon, arm: *arm, p: p,
 			drop: *drop, corrupt: *corrupt, dup: *dup, delayMean: *delayMean,
 			seed: *seed, skipVerify: *noVerify, trace: *trace,
 			selfheal: *selfheal, chaos: *chaos, killRank: *killRank,

@@ -7,6 +7,11 @@
 //	nccdd -rank 0 -n 2 -addrs 127.0.0.1:7001,127.0.0.1:7002 &
 //	nccdd -rank 1 -n 2 -addrs 127.0.0.1:7001,127.0.0.1:7002
 //
+// With -pernode K (and a shared -shmdir) ranks are grouped K to a node:
+// co-located ranks exchange over a lock-free shared-memory segment and
+// only inter-node traffic crosses TCP, which also switches the mpi layer
+// to its hierarchy-aware collectives.
+//
 // A seeded fault plan (-drop/-corrupt/-dup/-delaymean/-seed) is injected
 // below the TCP framing layer, exercising the transport's CRC trailer and
 // ack/retransmission protocol against real sockets; -crashat schedules a
@@ -70,6 +75,8 @@ func main() {
 	aggr := flag.Int("aggr", 2, "collective-I/O aggregator rank count")
 	stripe := flag.Int64("stripe", 256<<10, "collective-I/O stripe size in bytes")
 	ioFault := flag.String("iofault", "", "inject checkpoint I/O faults, e.g. short=0.2,eio=0.1,fsync=0.1,enospc=65536,crash=12,seed=7")
+	perNode := flag.Int("pernode", 1, "co-located ranks per node: >1 groups ranks onto nodes (node = rank/pernode), intra-node traffic over a shared-memory segment, inter-node over TCP")
+	shmDir := flag.String("shmdir", "", "directory for the per-node shared-memory segment files (required with -pernode > 1; must be shared by co-located ranks)")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -98,10 +105,11 @@ func main() {
 		Epoch:     *epoch, Rejoin: *rejoin}
 	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
 	ob := bench.DaemonObs{TracePath: *trace, MetricsAddr: *metrics}
+	pl := bench.Placement{PerNode: *perNode, ShmDir: *shmDir}
 
 	var rep bench.RankReport
 	if *selfheal || *ckptDir != "" || *rejoin {
-		rep, err = bench.RunMultigridSelfHealDaemon(tcfg, cfg, p, mode, ob, bench.SelfHealDaemon{
+		rep, err = bench.RunMultigridSelfHealDaemon(tcfg, pl, cfg, p, mode, ob, bench.SelfHealDaemon{
 			CkptDir:         *ckptDir,
 			CheckpointEvery: *ckptEvery,
 			RejoinEpoch:     *epoch,
@@ -117,7 +125,7 @@ func main() {
 			OnRecovered:  func(e uint64, at int) { fmt.Printf("RESUMED epoch=%d from=%d\n", e, at) },
 		})
 	} else {
-		rep, err = bench.RunMultigridDaemon(tcfg, cfg, p, mode, ob)
+		rep, err = bench.RunMultigridDaemon(tcfg, pl, cfg, p, mode, ob)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nccdd: rank %d: %v\n", *rank, err)

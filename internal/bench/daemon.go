@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"nccd/internal/ckptio"
@@ -11,6 +12,7 @@ import (
 	"nccd/internal/petsc"
 	"nccd/internal/simnet"
 	"nccd/internal/transport"
+	"nccd/internal/transport/shm"
 )
 
 // RankReport is one multi-process rank's result, serialized as JSON on the
@@ -22,6 +24,9 @@ type RankReport struct {
 	RelRes  float64            `json:"relres"`
 	History []float64          `json:"history"`
 	Stats   transport.TCPStats `json:"stats"`
+	// ShmStats carries the shared-memory endpoint's counters on
+	// hierarchical (pernode > 1) runs; nil on flat TCP runs.
+	ShmStats *shm.Stats `json:"shm_stats,omitempty"`
 	// Trace is the path of this rank's Chrome trace file, when tracing
 	// was requested.
 	Trace string `json:"trace,omitempty"`
@@ -69,23 +74,145 @@ func ArmByName(name string) (mpi.Config, petsc.ScatterMode, error) {
 	}
 }
 
-// RunMultigridDaemon hosts one rank of the multigrid solve over TCP: it
-// builds the transport endpoint from tcfg, joins the world, solves, and
-// reports the local result plus the endpoint's wire statistics.  tcfg's
-// fault plan is injected below the TCP framing layer AND installed as the
-// cluster's plan, so scheduled crashes (CrashAt) fire off the local
-// virtual clock; link-fault simulation in virtual time is skipped in wall
-// mode, so the plan is never applied twice.
-func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode, ob DaemonObs) (RankReport, error) {
-	tr, err := transport.NewTCP(tcfg)
+// Placement describes how a rank daemon's world is laid out across
+// nodes.  The zero value is the flat layout: every rank on its own node,
+// all traffic over TCP.  With PerNode > 1 ranks are grouped PerNode to a
+// node (node id = rank / PerNode), co-located ranks exchange over a
+// shared-memory segment under ShmDir, and only the node leaders' traffic
+// crosses TCP — the layout the hierarchy-aware collectives exploit.
+type Placement struct {
+	PerNode int    // co-located ranks per node (0 or 1 = flat TCP)
+	ShmDir  string // directory for the per-node segment files (PerNode > 1)
+}
+
+// Hierarchical reports whether the placement groups ranks onto nodes.
+func (pl Placement) Hierarchical() bool { return pl.PerNode > 1 }
+
+// NodeOf returns the node map for an n-rank world, nil for the flat
+// layout.
+func (pl Placement) NodeOf(n int) []int {
+	if !pl.Hierarchical() {
+		return nil
+	}
+	m := make([]int, n)
+	for r := range m {
+		m[r] = r / pl.PerNode
+	}
+	return m
+}
+
+// rankWire bundles one rank's transport stack: the endpoint the world
+// sends through plus the constituent endpoints for stats reporting.
+type rankWire struct {
+	tr  transport.Transport
+	tcp *transport.TCP
+	shm *shm.Transport // nil on flat placements
+	cl  *simnet.Cluster
+}
+
+func (rw *rankWire) shmStats() *shm.Stats {
+	if rw.shm == nil {
+		return nil
+	}
+	s := rw.shm.Stats()
+	return &s
+}
+
+// buildWire constructs one rank's transport per the placement: plain TCP
+// for the flat layout, or a Hierarchical router of a shared-memory
+// segment (intra-node) and TCP (inter-node).  The returned cluster
+// mirrors the layout so virtual-time tooling and the mpi topology agree
+// with the wires.
+func buildWire(tcfg transport.TCPConfig, pl Placement) (*rankWire, error) {
+	tcp, err := transport.NewTCP(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	if !pl.Hierarchical() {
+		cl := simnet.Uniform(tcfg.Size, simnet.IBDDR())
+		cl.Faults = tcfg.Faults
+		return &rankWire{tr: tcp, tcp: tcp, cl: cl}, nil
+	}
+	if tcfg.Size%pl.PerNode != 0 {
+		tcp.Close()
+		return nil, fmt.Errorf("world size %d not divisible by pernode %d", tcfg.Size, pl.PerNode)
+	}
+	if pl.ShmDir == "" {
+		tcp.Close()
+		return nil, fmt.Errorf("hierarchical placement needs a segment directory")
+	}
+	nodeOf := pl.NodeOf(tcfg.Size)
+	node := nodeOf[tcfg.Rank]
+	ranks := make([]int, 0, pl.PerNode)
+	for r, nd := range nodeOf {
+		if nd == node {
+			ranks = append(ranks, r)
+		}
+	}
+	st, err := shm.New(shm.Config{
+		Rank:      tcfg.Rank,
+		Size:      tcfg.Size,
+		Ranks:     ranks,
+		WorldID:   tcfg.WorldID,
+		Path:      filepath.Join(pl.ShmDir, fmt.Sprintf("world%d-node%d.shm", tcfg.WorldID, node)),
+		Heartbeat: tcfg.Heartbeat,
+		Epoch:     tcfg.Epoch,
+		Rejoin:    tcfg.Rejoin,
+	})
+	if err != nil {
+		tcp.Close()
+		return nil, fmt.Errorf("shared-memory segment: %w", err)
+	}
+	hier, err := transport.NewHierarchical(tcfg.Rank, nodeOf, st, tcp)
+	if err != nil {
+		st.Close()
+		tcp.Close()
+		return nil, err
+	}
+	cl := simnet.TwoLevel(tcfg.Size/pl.PerNode, pl.PerNode, simnet.IBDDR(), simnet.ShmIntra())
+	cl.Faults = tcfg.Faults
+	return &rankWire{tr: hier, tcp: tcp, shm: st, cl: cl}, nil
+}
+
+// registerWireMetrics publishes the endpoints' counters in the process
+// metrics registry.  The stats are per-endpoint, so each rank registers
+// under its own name — "transport.tcp.rank<N>", "transport.shm.rank<N>"
+// — and a scraper that wants totals sums the labeled entries itself;
+// registering them under one shared name would silently clobber (not
+// aggregate) when ranks share a process.  The returned func unregisters.
+func registerWireMetrics(rw *rankWire, rank int) func() {
+	tcpName := fmt.Sprintf("transport.tcp.rank%d", rank)
+	obs.Metrics.RegisterFunc(tcpName, func() any { return rw.tcp.Stats() })
+	shmName := ""
+	if rw.shm != nil {
+		shmName = fmt.Sprintf("transport.shm.rank%d", rank)
+		obs.Metrics.RegisterFunc(shmName, func() any { return rw.shm.Stats() })
+	}
+	return func() {
+		obs.Metrics.Unregister(tcpName)
+		if shmName != "" {
+			obs.Metrics.Unregister(shmName)
+		}
+	}
+}
+
+// RunMultigridDaemon hosts one rank of the multigrid solve over TCP —
+// or, with a hierarchical placement, over shared memory within the node
+// and TCP across nodes: it builds the transport from tcfg and pl, joins
+// the world, solves, and reports the local result plus the endpoints'
+// wire statistics.  tcfg's fault plan is injected below the TCP framing
+// layer AND installed as the cluster's plan, so scheduled crashes
+// (CrashAt) fire off the local virtual clock; link-fault simulation in
+// virtual time is skipped in wall mode, so the plan is never applied
+// twice.
+func RunMultigridDaemon(tcfg transport.TCPConfig, pl Placement, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode, ob DaemonObs) (RankReport, error) {
+	rw, err := buildWire(tcfg, pl)
 	if err != nil {
 		return RankReport{}, err
 	}
-	cl := simnet.Uniform(tcfg.Size, simnet.IBDDR())
-	cl.Faults = tcfg.Faults
-	w, err := mpi.NewWorldTransport(tr, cl, cfg)
+	w, err := mpi.NewWorldTransport(rw.tr, rw.cl, cfg)
 	if err != nil {
-		tr.Close()
+		rw.tr.Close()
 		return RankReport{}, err
 	}
 	defer w.Close()
@@ -93,8 +220,7 @@ func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridPar
 		w.Tracer().Enable()
 	}
 	if ob.MetricsAddr != "" {
-		obs.Metrics.RegisterFunc("transport.tcp", func() any { return tr.Stats() })
-		defer obs.Metrics.Unregister("transport.tcp")
+		defer registerWireMetrics(rw, tcfg.Rank)()
 		srv, err := obs.ServeMetrics(ob.MetricsAddr, obs.Metrics)
 		if err != nil {
 			return RankReport{}, fmt.Errorf("metrics endpoint: %w", err)
@@ -104,12 +230,13 @@ func RunMultigridDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridPar
 	}
 	res := RunMultigridWorld(w, p, mode)
 	rep := RankReport{
-		Rank:    tcfg.Rank,
-		Seconds: res.Seconds,
-		Cycles:  res.Cycles,
-		RelRes:  res.RelRes,
-		History: res.History,
-		Stats:   tr.Stats(),
+		Rank:     tcfg.Rank,
+		Seconds:  res.Seconds,
+		Cycles:   res.Cycles,
+		RelRes:   res.RelRes,
+		History:  res.History,
+		Stats:    rw.tcp.Stats(),
+		ShmStats: rw.shmStats(),
 	}
 	if ob.TracePath != "" {
 		if err := obs.WriteChromeTraceFile(ob.TracePath, w.Tracer().Spans(), tcfg.Rank); err != nil {
@@ -185,16 +312,14 @@ func (a announceStore) Protect(iteration int) {
 // out peer failures through the epoch/rejoin recovery loop, and — when
 // launched with RejoinEpoch — comes up as a replacement that restores the
 // agreed checkpoint into the regrown world instead of starting over.
-func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode, ob DaemonObs, hd SelfHealDaemon) (RankReport, error) {
-	tr, err := transport.NewTCP(tcfg)
+func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, pl Placement, cfg mpi.Config, p MultigridParams, mode petsc.ScatterMode, ob DaemonObs, hd SelfHealDaemon) (RankReport, error) {
+	rw, err := buildWire(tcfg, pl)
 	if err != nil {
 		return RankReport{}, err
 	}
-	cl := simnet.Uniform(tcfg.Size, simnet.IBDDR())
-	cl.Faults = tcfg.Faults
-	w, err := mpi.NewWorldTransport(tr, cl, cfg)
+	w, err := mpi.NewWorldTransport(rw.tr, rw.cl, cfg)
 	if err != nil {
-		tr.Close()
+		rw.tr.Close()
 		return RankReport{}, err
 	}
 	defer w.Close()
@@ -202,8 +327,7 @@ func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p Mult
 		w.Tracer().Enable()
 	}
 	if ob.MetricsAddr != "" {
-		obs.Metrics.RegisterFunc("transport.tcp", func() any { return tr.Stats() })
-		defer obs.Metrics.Unregister("transport.tcp")
+		defer registerWireMetrics(rw, tcfg.Rank)()
 		srv, err := obs.ServeMetrics(ob.MetricsAddr, obs.Metrics)
 		if err != nil {
 			return RankReport{}, fmt.Errorf("metrics endpoint: %w", err)
@@ -279,7 +403,8 @@ func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, cfg mpi.Config, p Mult
 		Cycles:     res.Cycles,
 		RelRes:     res.RelRes,
 		History:    res.History,
-		Stats:      tr.Stats(),
+		Stats:      rw.tcp.Stats(),
+		ShmStats:   rw.shmStats(),
 		Epoch:      res.Epoch,
 		RestoredAt: res.RestoredAt,
 		Recoveries: res.Recoveries,

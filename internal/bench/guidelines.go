@@ -14,6 +14,7 @@ import (
 	"nccd/internal/core"
 	"nccd/internal/datatype"
 	"nccd/internal/mpi"
+	"nccd/internal/simnet"
 	"nccd/internal/transport"
 )
 
@@ -108,6 +109,7 @@ func RunGuidelines(margin float64) *GuidelinesReport {
 	g.Rows = append(g.Rows, guidelineFusedSend(margin))
 	g.Rows = append(g.Rows, guidelineAllgatherv(margin))
 	g.Rows = append(g.Rows, guidelineFusedScatterShape(margin))
+	g.Rows = append(g.Rows, guidelineHierAllgatherv(margin))
 	return g
 }
 
@@ -358,6 +360,72 @@ func guidelineAllgatherv(margin float64) GuidelineRow {
 		Ratio:       vecSec / padSec,
 		Margin:      margin,
 		Violated:    vecSec > margin*padSec,
+		Clock:       "virtual",
+		CopiedBytes: 0,
+	}
+}
+
+// guidelineHierAllgatherv: on a topology-carrying world, the hierarchical
+// Allgatherv must not be slower than running the same flat algorithm over
+// the same wires.  The regime is the auto policy's known weakness — a
+// nonuniform set whose one large outlier drives the total past the
+// large-volume threshold, so the flat side picks ring and serializes the
+// outlier through every hop, while the leader aggregation confines it to
+// the intra-node fabric plus a single inter-node exchange.  Deterministic
+// virtual clock on a two-level cluster model (fast intra-node plane,
+// IB-DDR between nodes).
+func guidelineHierAllgatherv(margin float64) GuidelineRow {
+	const nodes, perNode = 2, 4
+	const n = nodes * perNode
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = 2048
+	}
+	counts[3] = 128 * 1024 // the nonuniform outlier
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	cfg := mpi.Compiled()
+	cfg.Allgatherv = mpi.AGAuto
+
+	run := func(flat bool) float64 {
+		var mu sync.Mutex
+		worst := 0.0
+		w := mpi.NewWorld(simnet.TwoLevel(nodes, perNode, simnet.IBDDR(), simnet.ShmIntra()), cfg)
+		if flat {
+			if err := w.SetTopology(nil); err != nil {
+				panic(fmt.Sprintf("bench: guideline hier allgatherv topology: %v", err))
+			}
+		}
+		if err := w.Run(func(c *mpi.Comm) error {
+			data := make([]byte, counts[c.Rank()])
+			recv := make([]byte, total)
+			c.Allgatherv(data, counts, recv)
+			mu.Lock()
+			if c.Clock() > worst {
+				worst = c.Clock()
+			}
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			panic(fmt.Sprintf("bench: guideline hier allgatherv world: %v", err))
+		}
+		return worst
+	}
+
+	hierSec := run(false)
+	flatSec := run(true)
+	return GuidelineRow{
+		Name:        "hier-allgatherv-vs-flat",
+		Description: "hierarchical Allgatherv on a two-level topology is not slower than the flat algorithms on the same wires",
+		Preferred:   "Allgatherv(node topology, leader aggregation)",
+		Baseline:    "Allgatherv(flat, topology ignored)",
+		PreferredNs: hierSec * 1e9,
+		BaselineNs:  flatSec * 1e9,
+		Ratio:       hierSec / flatSec,
+		Margin:      margin,
+		Violated:    hierSec > margin*flatSec,
 		Clock:       "virtual",
 		CopiedBytes: 0,
 	}

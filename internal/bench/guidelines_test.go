@@ -14,8 +14,8 @@ func TestGuidelinesSmoke(t *testing.T) {
 		t.Skip("wire-pair guideline benchmarks are slow")
 	}
 	g := RunGuidelines(2.0)
-	if len(g.Rows) != 3 {
-		t.Fatalf("expected 3 guidelines, got %d", len(g.Rows))
+	if len(g.Rows) != 4 {
+		t.Fatalf("expected 4 guidelines, got %d", len(g.Rows))
 	}
 	names := map[string]bool{}
 	for _, r := range g.Rows {
@@ -27,17 +27,17 @@ func TestGuidelinesSmoke(t *testing.T) {
 			t.Fatalf("%s: preferred formulation copied %d bytes, want 0", r.Name, r.CopiedBytes)
 		}
 	}
-	for _, want := range []string{"derived-send-vs-packed", "allgatherv-vs-allgather", "fused-scatter-vs-packed"} {
+	for _, want := range []string{"derived-send-vs-packed", "allgatherv-vs-allgather", "fused-scatter-vs-packed", "hier-allgatherv-vs-flat"} {
 		if !names[want] {
 			t.Fatalf("guideline %q missing from report", want)
 		}
 	}
 
-	// The virtual-clock guideline is deterministic: nonuniform Allgatherv
-	// must beat (or tie) the padded Allgather outright, no noise margin.
+	// The virtual-clock guidelines are deterministic: the preferred side
+	// must beat (or tie) its baseline outright, no noise margin.
 	for _, r := range g.Rows {
-		if r.Name == "allgatherv-vs-allgather" && r.Ratio > 1.0 {
-			t.Fatalf("Allgatherv slower than padded Allgather on the virtual clock: ratio %.3f", r.Ratio)
+		if r.Clock == "virtual" && r.Ratio > 1.0 {
+			t.Fatalf("%s: preferred slower than baseline on the virtual clock: ratio %.3f", r.Name, r.Ratio)
 		}
 	}
 

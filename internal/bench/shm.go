@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nccd/internal/datatype"
+	"nccd/internal/transport"
+	"nccd/internal/transport/shm"
+)
+
+// Intra-node transport benchmark: the shared-memory rings raced against a
+// TCP loopback pair — the wire a co-located rank would otherwise use — and
+// the fused (vectored gather straight into the ring) path raced against
+// pack-then-push across segment sizes.  Both sides of every race run in
+// this process with identical harness overhead, so the ratio isolates the
+// transport.  The latency rows are the shm transport's reason to exist:
+// if the rings do not beat loopback sockets for small messages, the
+// hierarchical layout is pure complexity.
+
+// ShmBenchRow is one measured case.
+type ShmBenchRow struct {
+	Name       string  `json:"name"`
+	Bytes      int     `json:"bytes"`
+	ShmNs      float64 `json:"shm_ns"`
+	BaselineNs float64 `json:"baseline_ns"`
+	Baseline   string  `json:"baseline"`
+	// Speedup is baseline over shm: >1 means the rings won.
+	Speedup float64 `json:"speedup"`
+}
+
+// ShmBenchReport is the full run, serializable as BENCH_shm.json.
+type ShmBenchReport struct {
+	Rows []ShmBenchRow `json:"rows"`
+	// SmallMessageWin asserts the headline claim: at the smallest
+	// latency size the rings beat the loopback socket.
+	SmallMessageWin bool `json:"small_message_win"`
+}
+
+// Print renders the report as an aligned table.
+func (r *ShmBenchReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "SHM: shared-memory rings vs intra-node alternatives\n")
+	fmt.Fprintf(w, "  %-20s %10s %12s %12s %8s  %s\n", "case", "bytes", "shm ns", "baseline ns", "speedup", "baseline")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-20s %10d %12.0f %12.0f %8.2f  %s\n",
+			row.Name, row.Bytes, row.ShmNs, row.BaselineNs, row.Speedup, row.Baseline)
+	}
+	verdict := "shm beats TCP loopback for small messages"
+	if !r.SmallMessageWin {
+		verdict = "VIOLATED: TCP loopback beat the shared-memory rings"
+	}
+	fmt.Fprintf(w, "  %s\n\n", verdict)
+}
+
+// WriteJSONFile writes the report to path (e.g. BENCH_shm.json).
+func (r *ShmBenchReport) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// shmPair is two shared-memory endpoints over one in-process segment,
+// with a delivery-counting receiver — the ring-side twin of wirePair.
+type shmPair struct {
+	eps   [2]*shm.Transport
+	recvd atomic.Int64
+}
+
+func newShmPair() (*shmPair, error) {
+	const worldID = 0xbe9d
+	seg, err := shm.NewMemSegment(2, 1<<20, worldID)
+	if err != nil {
+		return nil, err
+	}
+	sp := &shmPair{}
+	for r := 0; r < 2; r++ {
+		ep, err := shm.New(shm.Config{Rank: r, Size: 2, Ranks: []int{0, 1}, WorldID: worldID, Seg: seg})
+		if err != nil {
+			sp.close()
+			return nil, err
+		}
+		sp.eps[r] = ep
+	}
+	handler := func(to int, hdr transport.Header, payload []byte) {
+		datatype.PutBuffer(payload)
+		sp.recvd.Add(1)
+	}
+	var wg sync.WaitGroup
+	errs := [2]error{}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = sp.eps[r].Start(handler, nil)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			sp.close()
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+func (sp *shmPair) close() {
+	for _, ep := range sp.eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+}
+
+// timeSerial measures sendOne's per-message delivered latency: each send
+// is waited out before the next, so the figure includes the full
+// publish-to-deliver path rather than pipelined throughput.  The wait
+// spins with Gosched — identical overhead on both sides of a race.
+func timeSerial(recvd *atomic.Int64, rounds int, sendOne func() error) (float64, error) {
+	await := func(target int64) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for recvd.Load() < target {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bench: shm race receiver stalled")
+			}
+			runtime.Gosched()
+		}
+		return nil
+	}
+	for i := 0; i < 4; i++ {
+		if err := sendOne(); err != nil {
+			return 0, err
+		}
+	}
+	if err := await(recvd.Load()); err != nil {
+		return 0, err
+	}
+	base := recvd.Load()
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := sendOne(); err != nil {
+			return 0, err
+		}
+		if err := await(base + int64(i) + 1); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds), nil
+}
+
+// raceSerial alternates reps repetitions of each side and keeps the
+// minimum — the same drift-cancelling discipline as wirePair.raceWire.
+func raceSerial(aRecvd, bRecvd *atomic.Int64, rounds, reps int, a, b func() error) (aNs, bNs float64, err error) {
+	aNs, bNs = math.Inf(1), math.Inf(1)
+	for i := 0; i < reps; i++ {
+		na, e := timeSerial(aRecvd, rounds, a)
+		if e != nil {
+			return 0, 0, e
+		}
+		nb, e := timeSerial(bRecvd, rounds, b)
+		if e != nil {
+			return 0, 0, e
+		}
+		aNs = math.Min(aNs, na)
+		bNs = math.Min(bNs, nb)
+	}
+	return aNs, bNs, nil
+}
+
+// RunShmBench runs the full intra-node comparison.
+func RunShmBench() (*ShmBenchReport, error) {
+	sp, err := newShmPair()
+	if err != nil {
+		return nil, err
+	}
+	defer sp.close()
+	wp, err := newWirePair()
+	if err != nil {
+		return nil, err
+	}
+	defer wp.close()
+
+	rep := &ShmBenchReport{}
+	hdr := transport.Header{Ctx: 1, Src: 0, Tag: 9}
+	const rounds, reps = 64, 3
+
+	// Delivered latency by message size: rings vs loopback sockets.
+	for _, size := range []int{64, 1024, 16384, 65536} {
+		shmNs, tcpNs, err := raceSerial(&sp.recvd, &wp.recvd, rounds, reps,
+			func() error {
+				return sp.eps[0].Send(1, hdr, datatype.GetBuffer(size))
+			},
+			func() error {
+				return wp.eps[0].Send(1, hdr, datatype.GetBuffer(size))
+			})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, ShmBenchRow{
+			Name: fmt.Sprintf("latency-%dB", size), Bytes: size,
+			ShmNs: shmNs, BaselineNs: tcpNs, Baseline: "tcp-loopback",
+			Speedup: tcpNs / shmNs,
+		})
+		if size == 64 {
+			rep.SmallMessageWin = shmNs < tcpNs
+		}
+	}
+
+	// Fused (vectored gather straight into the ring) vs pack-then-push,
+	// by segment size at a fixed 256 KiB total: the intra-node half of
+	// the paper's datatype-path question.  Small segments pay per-segment
+	// gather overhead, large ones should ride the fused path for free.
+	const total = 256 << 10
+	for _, segBytes := range []int{64, 512, 4096, 32768} {
+		count := total / segBytes
+		ty := datatype.Vector(count, segBytes, 2*segBytes, datatype.Byte)
+		plan := datatype.PlanFor(ty, 1)
+		user := make([]byte, datatype.RequiredBytes(ty, 1))
+		for i := range user {
+			user[i] = byte(i*131 + 17)
+		}
+		fusedNs, packedNs, err := raceSerial(&sp.recvd, &sp.recvd, rounds, reps,
+			func() error {
+				return sp.eps[0].SendVectored(1, hdr, user, plan.Segments())
+			},
+			func() error {
+				wire := datatype.GetBuffer(plan.Bytes())
+				plan.Pack(user, wire)
+				return sp.eps[0].Send(1, hdr, wire)
+			})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, ShmBenchRow{
+			Name: fmt.Sprintf("fused-seg%dB", segBytes), Bytes: total,
+			ShmNs: fusedNs, BaselineNs: packedNs, Baseline: "pack+push",
+			Speedup: packedNs / fusedNs,
+		})
+	}
+	return rep, nil
+}

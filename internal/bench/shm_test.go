@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestShmBenchSmoke runs the intra-node comparison and checks the report's
+// shape plus the one claim the transport stands on: the rings beat the
+// loopback socket for small messages.  The fused-vs-packed rows are
+// reported but not asserted — their crossover point is the finding, not a
+// pass/fail line.
+func TestShmBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire-pair races are slow")
+	}
+	rep, err := RunShmBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 8 {
+		t.Fatalf("expected 8 rows, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.ShmNs <= 0 || r.BaselineNs <= 0 {
+			t.Fatalf("%s: non-positive measurement: %+v", r.Name, r)
+		}
+	}
+	if !rep.SmallMessageWin {
+		t.Fatalf("shared-memory rings lost the small-message race to TCP loopback")
+	}
+
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatalf("empty report table")
+	}
+	js, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Contains(js, []byte("small_message_win")) {
+		t.Fatalf("JSON report missing small_message_win field")
+	}
+}

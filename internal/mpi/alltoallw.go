@@ -53,6 +53,7 @@ func (c *Comm) Alltoallw(sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs
 	tag := c.collTag()
 	opStart := c.me.clock
 	var zero, small, large int
+	hier := false
 	switch c.w.cfg.Alltoallw {
 	case ATRoundRobin:
 		// The baseline couples every pair; it cannot route around a dead
@@ -60,7 +61,16 @@ func (c *Comm) Alltoallw(sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs
 		c.requireLive()
 		c.a2awRoundRobin(tag, sendbuf, sends, recvbuf, recvs)
 	case ATBinned:
-		zero, small, large = c.a2awBinned(tag, sendbuf, sends, recvbuf, recvs)
+		// With a node topology and no degradation in flight the binned
+		// exchange runs hierarchically through the node leaders; see
+		// hier.go.  The receive specs fix data placement, so the result
+		// is bitwise-identical either way.
+		if topo := c.hierTopo(); topo != nil {
+			zero, small, large = c.a2awHier(tag, sendbuf, sends, recvbuf, recvs, topo)
+			hier = true
+		} else {
+			zero, small, large = c.a2awBinned(tag, sendbuf, sends, recvbuf, recvs)
+		}
 	default:
 		panic("mpi: unknown alltoallw algorithm")
 	}
@@ -74,7 +84,8 @@ func (c *Comm) Alltoallw(sendbuf []byte, sends []TypeSpec, recvbuf []byte, recvs
 			attrs = append(attrs,
 				obs.Attr{Key: "zero_bin", Val: strconv.Itoa(zero)},
 				obs.Attr{Key: "small_bin", Val: strconv.Itoa(small)},
-				obs.Attr{Key: "large_bin", Val: strconv.Itoa(large)})
+				obs.Attr{Key: "large_bin", Val: strconv.Itoa(large)},
+				obs.Attr{Key: "hier", Val: strconv.FormatBool(hier)})
 		}
 		c.me.tracer.Emit(obs.Span{Rank: c.me.rank, Kind: "alltoallw", Peer: -1,
 			Bytes: vol, Start: opStart, End: c.me.clock, Clock: obs.ClockVirtual, Attrs: attrs})

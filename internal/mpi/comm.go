@@ -6,6 +6,7 @@ import (
 
 	"nccd/internal/datatype"
 	"nccd/internal/obs"
+	"nccd/internal/simnet"
 	"nccd/internal/transport"
 )
 
@@ -123,6 +124,15 @@ func (c *Comm) collTag() int {
 	return tagCollBase
 }
 
+// linkTo returns the wire parameters of the link to comm rank dst: the
+// cluster's intra-node parameters when dst is co-located on a two-level
+// cluster, the shared parameters otherwise (always, on a flat cluster).
+// Only wire-side fields are read through this; CPU-side datatype costs
+// stay on the shared parameters regardless of destination.
+func (c *Comm) linkTo(dst int) *simnet.Params {
+	return c.w.cluster.LinkParams(c.me.rank, c.worldRank(dst))
+}
+
 func (c *Comm) checkPeer(r int) {
 	if r < 0 || r >= c.Size() {
 		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.Size()))
@@ -149,20 +159,20 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // rank.
 func (c *Comm) send(dst, tag int, data []byte) {
 	p := c.me
-	prm := &c.w.cluster.Params
+	lnk := c.linkTo(dst)
 	c.maybeCrash()
 	opStart := p.clock
-	p.clock += prm.SendOverhead / p.speed
+	p.clock += lnk.SendOverhead / p.speed
 	// The wire copy comes from the shared buffer pool; the receive side
 	// returns it once the payload has been consumed (see unpackInto).
 	wire := datatype.GetBuffer(len(data))
 	copy(wire, data)
-	wireSec := prm.WireTime(len(wire))
+	wireSec := lnk.WireTime(len(wire))
 	wireDone := p.clock + wireSec
-	arrival := wireDone + prm.Latency
+	arrival := wireDone + lnk.Latency
 	if dst == c.rank {
 		arrival = p.clock
-	} else if prm.RendezvousBytes > 0 && len(wire) > prm.RendezvousBytes {
+	} else if lnk.RendezvousBytes > 0 && len(wire) > lnk.RendezvousBytes {
 		// Rendezvous protocol: the sender blocks until the data is out.
 		p.clock = wireDone
 	}
@@ -184,6 +194,7 @@ func (c *Comm) SendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	p := c.me
 	prm := &c.w.cluster.Params
+	lnk := c.linkTo(dst)
 	opt := c.w.cfg.Datatype.WithDefaults()
 
 	// Fully contiguous sends skip the pack engine entirely.
@@ -203,7 +214,7 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 
 	c.maybeCrash()
 	opStart := p.clock
-	packStart := p.clock + prm.SendOverhead/p.speed
+	packStart := p.clock + lnk.SendOverhead/p.speed
 	totalPackSec := 0.0
 	packer := datatype.NewPacker(c.w.cfg.Engine, t, count, buf, opt)
 	wire := make([]byte, 0, packer.TotalBytes())
@@ -217,7 +228,7 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	// slightly faster than the datatype path, as the paper measures.
 	pipelined := packer.TotalBytes() > int64(opt.Pipeline)
 
-	p.clock += prm.SendOverhead / p.speed
+	p.clock += lnk.SendOverhead / p.speed
 	wireDone := p.clock
 	var prev datatype.Metrics
 	for {
@@ -243,7 +254,7 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 		if wireDone > start {
 			start = wireDone
 		}
-		wireDone = start + prm.WireTime(chunk.Bytes)
+		wireDone = start + lnk.WireTime(chunk.Bytes)
 		if pipelined && dst != c.rank {
 			p.clock = wireDone
 		}
@@ -256,17 +267,17 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 			wire = append(wire, chunk.Data...)
 		}
 	}
-	arrival := wireDone + prm.Latency
+	arrival := wireDone + lnk.Latency
 	if dst == c.rank {
 		arrival = p.clock
-	} else if prm.RendezvousBytes > 0 && len(wire) > prm.RendezvousBytes {
+	} else if lnk.RendezvousBytes > 0 && len(wire) > lnk.RendezvousBytes {
 		// Rendezvous: the sender returns once the last byte has drained.
 		p.clock = wireDone
 	}
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(len(wire))
 	p.stats.Datatype.Add(prev)
-	c.dispatch(dst, tag, wire, arrival, prm.WireTime(len(wire)))
+	c.dispatch(dst, tag, wire, arrival, lnk.WireTime(len(wire)))
 	if p.tracer.Enabled() && totalPackSec > 0 {
 		// The modeled pack time, nested inside the send span.  Pack work is
 		// really interleaved with wire granules; the span shows its total.
@@ -286,6 +297,7 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte) {
 	p := c.me
 	prm := &c.w.cluster.Params
+	lnk := c.linkTo(dst)
 	opt := c.w.cfg.Datatype.WithDefaults()
 
 	c.maybeCrash()
@@ -308,7 +320,7 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 	plan.Pack(buf, wire)
 
 	pipelined := nbytes > opt.Pipeline
-	p.clock += prm.SendOverhead / p.speed
+	p.clock += lnk.SendOverhead / p.speed
 	wireDone := p.clock
 	packStart := p.clock
 	chunks := (nbytes + opt.Pipeline - 1) / opt.Pipeline
@@ -329,7 +341,7 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 		if wireDone > start {
 			start = wireDone
 		}
-		wireDone = start + prm.WireTime(sz)
+		wireDone = start + lnk.WireTime(sz)
 		if pipelined && dst != c.rank {
 			p.clock = wireDone
 		}
@@ -337,10 +349,10 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 			break
 		}
 	}
-	arrival := wireDone + prm.Latency
+	arrival := wireDone + lnk.Latency
 	if dst == c.rank {
 		arrival = p.clock
-	} else if prm.RendezvousBytes > 0 && nbytes > prm.RendezvousBytes {
+	} else if lnk.RendezvousBytes > 0 && nbytes > lnk.RendezvousBytes {
 		p.clock = wireDone
 	}
 	p.stats.MsgsSent++
@@ -350,7 +362,7 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 		PackedBytes:    int64(nbytes),
 		PackedSegments: int64(nsegs),
 	})
-	c.dispatch(dst, tag, wire, arrival, prm.WireTime(nbytes))
+	c.dispatch(dst, tag, wire, arrival, lnk.WireTime(nbytes))
 	if p.tracer.Enabled() {
 		packSec := packPerChunk * float64(chunks)
 		p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "pack", Peer: dst, Tag: tag,
@@ -376,17 +388,18 @@ func (c *Comm) sendFused(dst, tag int, plan *datatype.Plan, buf []byte, opStart 
 	p := c.me
 	w := c.w
 	prm := &c.w.cluster.Params
+	lnk := c.linkTo(dst)
 	nbytes := plan.Bytes()
 	nsegs := plan.NumSegments()
 
 	// Charge the local clock with the vectored write's cost model: per-
 	// segment gather overhead instead of per-byte pack cost.  Wall-clock
 	// receivers ignore arrival stamps, so this only shapes local stats.
-	p.clock += prm.SendOverhead / p.speed
+	p.clock += lnk.SendOverhead / p.speed
 	gatherSec := prm.GatherSegOverhead * float64(nsegs) / p.speed
 	p.clock += gatherSec
 	p.stats.PackSec += gatherSec
-	arrival := p.clock + prm.WireTime(nbytes) + prm.Latency
+	arrival := p.clock + lnk.WireTime(nbytes) + lnk.Latency
 
 	worldDst := c.worldRank(dst)
 	mMsgBytes.Observe(int64(nbytes))

@@ -132,10 +132,7 @@ func (c *Comm) Agree(x uint64) (uint64, error) {
 // derived from this one.
 func (c *Comm) Revoke() {
 	w := c.w
-	w.revoked.Store(c.ctx, struct{}{})
-	w.anyRevoked.Store(true)
-	w.progress.Add(1)
-	w.wakeAll()
+	w.revokeCtx(c.ctx)
 	if w.wall {
 		// Revocation must reach members in other processes; best effort — an
 		// unreachable member is down and needs no interrupting.
@@ -145,6 +142,22 @@ func (c *Comm) Revoke() {
 			}
 		}
 	}
+}
+
+// revokeCtx records ctx — and the leader context hierarchical collectives
+// derive from it — as revoked, and wakes every blocked wait.  Revoking
+// the derived context alongside matters on topology-aware worlds: a node
+// leader blocked in the leader exchange waits on a group that excludes
+// most of the world, so a non-leader's death never fails its match, and
+// the revocation of the parent context is the only signal that can reach
+// it (hierCtx is a pure function of the parent, so every process derives
+// the same id without coordination).
+func (w *World) revokeCtx(ctx uint64) {
+	w.revoked.Store(ctx, struct{}{})
+	w.revoked.Store(hierCtx(ctx), struct{}{})
+	w.anyRevoked.Store(true)
+	w.progress.Add(1)
+	w.wakeAll()
 }
 
 // isRevoked reports whether ctx has been revoked.

@@ -1,0 +1,81 @@
+package mpi
+
+import "fmt"
+
+// Topology maps world ranks onto physical nodes.  Hierarchy-aware
+// collectives use it to split the communication pattern in two: co-located
+// ranks funnel through a per-node leader over the fast intra-node path,
+// and only the leaders cross the network.  The leader of a node is its
+// lowest-numbered rank — a convention, not an election protocol: every
+// rank derives the same leader from the shared map with no communication,
+// and after a self-heal the replacement rank inherits the slot (and so the
+// role) of the rank it replaced, keeping the map valid.
+type Topology struct {
+	nodeOf  []int
+	leaders []int   // leader world rank per node id, ascending node order
+	ranks   [][]int // member world ranks per node id, ascending
+}
+
+// NewTopology builds a topology from a node id per world rank.  Node ids
+// must be dense: every id in [0, nodes) occupied.
+func NewTopology(nodeOf []int) (*Topology, error) {
+	if len(nodeOf) == 0 {
+		return nil, fmt.Errorf("mpi: topology needs at least one rank")
+	}
+	nodes := 0
+	for r, id := range nodeOf {
+		if id < 0 || id >= len(nodeOf) {
+			return nil, fmt.Errorf("mpi: rank %d on node %d, want [0,%d)", r, id, len(nodeOf))
+		}
+		if id+1 > nodes {
+			nodes = id + 1
+		}
+	}
+	t := &Topology{nodeOf: append([]int(nil), nodeOf...), ranks: make([][]int, nodes)}
+	for r, id := range nodeOf {
+		t.ranks[id] = append(t.ranks[id], r)
+	}
+	t.leaders = make([]int, nodes)
+	for id, members := range t.ranks {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("mpi: node %d has no ranks (ids must be dense)", id)
+		}
+		t.leaders[id] = members[0] // ascending by construction
+	}
+	return t, nil
+}
+
+// Size returns the number of world ranks the topology covers.
+func (t *Topology) Size() int { return len(t.nodeOf) }
+
+// Nodes returns the number of nodes.
+func (t *Topology) Nodes() int { return len(t.leaders) }
+
+// NodeOf returns the node id hosting world rank r.
+func (t *Topology) NodeOf(r int) int { return t.nodeOf[r] }
+
+// Leader returns the leader world rank of the given node.
+func (t *Topology) Leader(node int) int { return t.leaders[node] }
+
+// LeaderOf returns the leader world rank of r's node.
+func (t *Topology) LeaderOf(r int) int { return t.leaders[t.nodeOf[r]] }
+
+// IsLeader reports whether world rank r leads its node.
+func (t *Topology) IsLeader(r int) bool { return t.LeaderOf(r) == r }
+
+// NodeRanks returns the world ranks on the given node, ascending.  The
+// returned slice is shared; callers must not modify it.
+func (t *Topology) NodeRanks(node int) []int { return t.ranks[node] }
+
+// Leaders returns the leader world rank of every node, in node order.
+// The returned slice is shared; callers must not modify it.
+func (t *Topology) Leaders() []int { return t.leaders }
+
+// LeaderIndex returns r's position among the leaders, or -1 when r is not
+// a leader.
+func (t *Topology) LeaderIndex(r int) int {
+	if !t.IsLeader(r) {
+		return -1
+	}
+	return t.nodeOf[r]
+}

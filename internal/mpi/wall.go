@@ -64,10 +64,7 @@ func (w *World) onFrame(to int, hdr transport.Header, payload []byte) {
 		return
 	case ctxRevoke:
 		datatype.PutBuffer(payload)
-		w.revoked.Store(hdr.Seq, struct{}{})
-		w.anyRevoked.Store(true)
-		w.progress.Add(1)
-		w.wakeAll()
+		w.revokeCtx(hdr.Seq) // also revokes the derived hier leader context
 		return
 	}
 	w.deliver(to, &envelope{ctx: hdr.Ctx, src: int(hdr.Src), tag: int(hdr.Tag), data: payload,

@@ -89,6 +89,19 @@ type Cluster struct {
 	// runtime reacts by enabling its reliability layer: checksums, ack
 	// timeouts with exponential backoff, and retransmission.
 	Faults *FaultPlan
+
+	// NodeOf assigns each rank to a physical node.  Nil leaves the cluster
+	// flat: every pair of ranks is separated by the shared Params wire.
+	// When set, the mpi runtime adopts it as the world topology for
+	// hierarchy-aware collectives.
+	NodeOf []int
+	// Intra, when non-nil (and NodeOf is set), gives the wire parameters of
+	// same-node links — the shared-memory path, orders of magnitude below
+	// the network in latency.  Only the wire-side fields (overheads,
+	// latency, bandwidth, rendezvous threshold) are consulted per link;
+	// CPU-side datatype costs always come from the shared Params.  Nil
+	// keeps every link on Params, bit-for-bit identical to a flat cluster.
+	Intra *Params
 }
 
 // Size returns the number of ranks the cluster hosts.
@@ -102,6 +115,16 @@ func (c *Cluster) SpeedOf(r int) float64 {
 	return c.Speed[r]
 }
 
+// LinkParams returns the wire parameters for traffic from rank src to rank
+// dst: the intra-node parameters when both ranks share a node and the
+// cluster models a two-level fabric, the shared Params otherwise.
+func (c *Cluster) LinkParams(src, dst int) *Params {
+	if c.Intra != nil && c.NodeOf != nil && c.NodeOf[src] == c.NodeOf[dst] {
+		return c.Intra
+	}
+	return &c.Params
+}
+
 // Uniform returns an n-rank homogeneous cluster with the given parameters
 // and no skew.
 func Uniform(n int, p Params) *Cluster {
@@ -110,6 +133,41 @@ func Uniform(n int, p Params) *Cluster {
 		speed[i] = 1
 	}
 	return &Cluster{Params: p, Speed: speed}
+}
+
+// TwoLevel returns a homogeneous cluster of nodes×perNode ranks on a
+// two-level fabric: ranks r/perNode share a node, co-located pairs
+// communicate over intra, remote pairs over inter.  Rank order matches the
+// hierarchical launcher: node i hosts ranks [i*perNode, (i+1)*perNode).
+func TwoLevel(nodes, perNode int, inter, intra Params) *Cluster {
+	if nodes < 1 || perNode < 1 {
+		panic(fmt.Sprintf("simnet: two-level cluster needs positive dimensions, got %d×%d", nodes, perNode))
+	}
+	n := nodes * perNode
+	c := Uniform(n, inter)
+	c.NodeOf = make([]int, n)
+	for r := range c.NodeOf {
+		c.NodeOf[r] = r / perNode
+	}
+	ip := intra
+	c.Intra = &ip
+	return c
+}
+
+// ShmIntra returns wire parameters calibrated to a same-node shared-memory
+// path on the paper's testbed era: no NIC, no serialization onto a link —
+// just a cache-coherent copy through a ring.  Latency and per-message
+// overheads sit an order of magnitude below the InfiniBand network and
+// bandwidth is memory-bus bound.  CPU-side datatype costs mirror IBDDR:
+// packing happens on the same cores regardless of where the bytes go.
+func ShmIntra() Params {
+	p := IBDDR()
+	p.SendOverhead = 0.1e-6
+	p.RecvOverhead = 0.1e-6
+	p.Latency = 0.3e-6
+	p.Bandwidth = 5.0e9
+	p.RendezvousBytes = 16 * 1024
+	return p
 }
 
 // Paper returns an n-rank cluster matching the paper's testbed layout:

@@ -91,6 +91,17 @@ var (
 	ErrBadFrame = errors.New("transport: malformed frame")
 )
 
+// HeaderLen is the encoded size of a Header, exported for transports that
+// define their own record framing (the shm rings) but share the header
+// layout with the TCP wire format.
+const HeaderLen = hdrLen
+
+// AppendHeader appends the canonical wire encoding of h to dst.
+func AppendHeader(dst []byte, h *Header) []byte { return appendHeader(dst, h) }
+
+// DecodeHeader decodes a Header from the first HeaderLen bytes of b.
+func DecodeHeader(b []byte) Header { return decodeHeader(b) }
+
 func appendHeader(dst []byte, h *Header) []byte {
 	var b [hdrLen]byte
 	binary.LittleEndian.PutUint64(b[0:], h.Ctx)

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nccd/internal/datatype"
+	"nccd/internal/obs"
+)
+
+// Hierarchical is a mixed-transport world: every peer is routed by the
+// node map — co-located ranks over the intra transport (shared memory),
+// remote ranks over the inter transport (TCP).  The wrapper is a pure
+// router; framing, reliability, heartbeats and epochs all live in the
+// wrapped endpoints.  Health callbacks are filtered per peer so each
+// rank's liveness is judged only by the transport that actually carries
+// its traffic: the TCP mesh still connects co-located ranks (it ignores
+// the node map), and its failure detector racing the shared-memory one
+// for the same peer would otherwise report a rank Up before the route
+// that matters is ready.
+type Hierarchical struct {
+	self   int
+	nodeOf []int
+	intra  Transport // nil when this rank's node has no co-located peers
+	inter  Transport
+
+	vecIntra VectoredSender // nil when intra lacks the vectored path
+	vecInter VectoredSender
+
+	health atomic.Pointer[HealthFuncs]
+	closed atomic.Bool
+}
+
+// NewHierarchical builds the router for the rank self.  nodeOf assigns a
+// node id to every world rank; intra may be nil when self's node holds
+// only itself.  Both wrapped transports must span the same world size.
+func NewHierarchical(self int, nodeOf []int, intra, inter Transport) (*Hierarchical, error) {
+	if inter == nil {
+		return nil, fmt.Errorf("transport: hierarchical requires an inter-node transport")
+	}
+	if len(nodeOf) != inter.Size() {
+		return nil, fmt.Errorf("transport: node map for %d ranks, inter transport for %d", len(nodeOf), inter.Size())
+	}
+	if self < 0 || self >= len(nodeOf) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d ranks", self, len(nodeOf))
+	}
+	if intra != nil && intra.Size() != inter.Size() {
+		return nil, fmt.Errorf("transport: intra transport sized %d, inter %d", intra.Size(), inter.Size())
+	}
+	h := &Hierarchical{self: self, nodeOf: append([]int(nil), nodeOf...), intra: intra, inter: inter}
+	if intra != nil {
+		h.vecIntra, _ = intra.(VectoredSender)
+	}
+	h.vecInter, _ = inter.(VectoredSender)
+	return h, nil
+}
+
+// Size returns the world size.
+func (h *Hierarchical) Size() int { return len(h.nodeOf) }
+
+// Self returns the hosted rank.
+func (h *Hierarchical) Self() int { return h.self }
+
+// Local reports whether r is the hosted rank.  Co-located ranks are
+// peers, not locals: each lives in its own process (or its own World).
+func (h *Hierarchical) Local(r int) bool { return r == h.self }
+
+// Wallclock reports true: both constituent transports run in real time.
+func (h *Hierarchical) Wallclock() bool { return true }
+
+// NodeMap returns the node id of every world rank; the mpi layer adopts
+// it as the world topology for hierarchy-aware collectives.
+func (h *Hierarchical) NodeMap() []int { return append([]int(nil), h.nodeOf...) }
+
+// sameNode reports whether rank r is co-located with self.
+func (h *Hierarchical) sameNode(r int) bool { return h.nodeOf[r] == h.nodeOf[h.self] }
+
+// route picks the transport that carries traffic to rank r.
+func (h *Hierarchical) route(r int) Transport {
+	if h.intra != nil && h.sameNode(r) {
+		return h.intra
+	}
+	return h.inter
+}
+
+// Start starts both wrapped transports, fanning inbound frames from
+// either into the one handler and filtering failure reports so only the
+// routing transport may declare a peer dead.
+func (h *Hierarchical) Start(deliver Handler, down DownFunc) error {
+	intraDown := func(r int) {
+		if down != nil && r != h.self && h.sameNode(r) {
+			down(r)
+		}
+	}
+	interDown := func(r int) {
+		if down != nil && r != h.self && !h.sameNode(r) {
+			down(r)
+		}
+	}
+	if h.intra != nil {
+		if err := h.intra.Start(deliver, intraDown); err != nil {
+			return err
+		}
+	}
+	if err := h.inter.Start(deliver, interDown); err != nil {
+		if h.intra != nil {
+			h.intra.Close()
+		}
+		return err
+	}
+	return nil
+}
+
+// Send routes one framed message by the node map.
+func (h *Hierarchical) Send(to int, hdr Header, payload []byte) error {
+	if to < 0 || to >= len(h.nodeOf) {
+		datatype.PutBuffer(payload)
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", to, len(h.nodeOf))
+	}
+	return h.route(to).Send(to, hdr, payload)
+}
+
+// SendVectored routes a gather-list send by the node map, preserving the
+// zero-copy path on whichever side carries it.  A route without a
+// vectored fast path gets the gather packed into a pooled buffer, the
+// same contract inproc honors.
+func (h *Hierarchical) SendVectored(to int, hdr Header, user []byte, segs []datatype.Segment) error {
+	if to < 0 || to >= len(h.nodeOf) {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", to, len(h.nodeOf))
+	}
+	vec := h.vecInter
+	if h.intra != nil && h.sameNode(to) {
+		vec = h.vecIntra
+	}
+	if vec != nil {
+		return vec.SendVectored(to, hdr, user, segs)
+	}
+	n := 0
+	for _, s := range segs {
+		n += s.Len
+	}
+	buf := datatype.GetBuffer(n)
+	off := 0
+	for _, s := range segs {
+		off += copy(buf[off:off+s.Len], user[s.Off:s.Off+s.Len])
+	}
+	return h.route(to).Send(to, hdr, buf)
+}
+
+// SetTracer forwards the span recorder to both endpoints.
+func (h *Hierarchical) SetTracer(tr *obs.Tracer) {
+	type tracered interface{ SetTracer(*obs.Tracer) }
+	if t, ok := h.inter.(tracered); ok {
+		t.SetTracer(tr)
+	}
+	if t, ok := h.intra.(tracered); ok {
+		t.SetTracer(tr)
+	}
+}
+
+// SetHealth installs per-peer-filtered liveness callbacks on both
+// endpoints: beats, suspicion and recovery for a rank are reported only
+// by the transport that routes to it.
+func (h *Hierarchical) SetHealth(hf HealthFuncs) {
+	h.health.Store(&hf)
+	type healther interface{ SetHealth(HealthFuncs) }
+	if t, ok := h.inter.(healther); ok {
+		t.SetHealth(h.filterHealth(func(r int) bool { return !h.sameNode(r) }))
+	}
+	if t, ok := h.intra.(healther); ok {
+		t.SetHealth(h.filterHealth(func(r int) bool { return h.sameNode(r) && r != h.self }))
+	}
+}
+
+func (h *Hierarchical) filterHealth(want func(int) bool) HealthFuncs {
+	return HealthFuncs{
+		Beat: func(r int) {
+			if f := h.health.Load(); f != nil && f.Beat != nil && want(r) {
+				f.Beat(r)
+			}
+		},
+		Suspect: func(r int, suspect bool, silent time.Duration) {
+			if f := h.health.Load(); f != nil && f.Suspect != nil && want(r) {
+				f.Suspect(r, suspect, silent)
+			}
+		},
+		Up: func(r int) {
+			if f := h.health.Load(); f != nil && f.Up != nil && want(r) {
+				f.Up(r)
+			}
+		},
+	}
+}
+
+// SetEpoch raises the membership epoch on both endpoints.
+func (h *Hierarchical) SetEpoch(e uint64) {
+	type epocher interface{ SetEpoch(uint64) }
+	if t, ok := h.inter.(epocher); ok {
+		t.SetEpoch(e)
+	}
+	if t, ok := h.intra.(epocher); ok {
+		t.SetEpoch(e)
+	}
+}
+
+// PauseHeartbeats forwards the detector pause to both endpoints.
+func (h *Hierarchical) PauseHeartbeats(pause bool) {
+	type pauser interface{ PauseHeartbeats(bool) }
+	if t, ok := h.inter.(pauser); ok {
+		t.PauseHeartbeats(pause)
+	}
+	if t, ok := h.intra.(pauser); ok {
+		t.PauseHeartbeats(pause)
+	}
+}
+
+// Intra returns the intra-node endpoint (nil for a singleton node).
+func (h *Hierarchical) Intra() Transport { return h.intra }
+
+// Inter returns the inter-node endpoint.
+func (h *Hierarchical) Inter() Transport { return h.inter }
+
+// Close closes both endpoints and reports the first error.
+func (h *Hierarchical) Close() error {
+	if !h.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	if h.intra != nil {
+		err = h.intra.Close()
+	}
+	if cerr := h.inter.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

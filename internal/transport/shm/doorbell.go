@@ -1,0 +1,71 @@
+package shm
+
+import "time"
+
+// The doorbell is how an idle ring consumer sleeps without giving up
+// wakeup latency.  Polling alone forces a trade: spin (burns the CPU the
+// producer needs on an oversubscribed host) or sleep (adds the sleep
+// interval to every first-frame latency).  Instead the consumer
+// announces intent through the presence slot's door word, rescans, and
+// parks on its doorbell; a producer that observes the announcement after
+// publishing a record rings the bell.
+//
+// The park deliberately rides the Go runtime's netpoller (a FIFO read
+// for cross-process segments, a channel for in-process ones) rather than
+// a raw futex on the segment: a goroutine blocked in a raw syscall loses
+// its P after ~20µs and must re-acquire one when woken, which on a
+// single-CPU host measures hundreds of microseconds per wake; a
+// netpoller park resumes in the ~10µs range, the same path that makes
+// the TCP transport's socket reads prompt.
+//
+// bell is the consumer half (owned by the member it belongs to), knocker
+// the producer half (one per peer, aimed at that peer's bell).
+type bell interface {
+	// park blocks until a knock or the timeout; pending knocks are
+	// absorbed.  Spurious returns are fine — the caller rescans.
+	park(timeout time.Duration)
+	close()
+}
+
+type knocker interface {
+	// knock wakes the bell's parked consumer.  Must not block: a full
+	// or missing bell means the consumer has wakes pending or is not
+	// listening yet, and either way the frame is already published.
+	knock()
+	close()
+}
+
+// chanBell / chanKnocker serve in-process segments, where every member
+// lives in one runtime and a buffered channel is the natural bell.
+type chanBell struct {
+	ch    chan struct{}
+	timer *time.Timer
+}
+
+func newChanBell(ch chan struct{}) *chanBell {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return &chanBell{ch: ch, timer: t}
+}
+
+func (b *chanBell) park(timeout time.Duration) {
+	b.timer.Reset(timeout)
+	select {
+	case <-b.ch:
+		b.timer.Stop()
+	case <-b.timer.C:
+	}
+}
+
+func (b *chanBell) close() {}
+
+type chanKnocker struct{ ch chan struct{} }
+
+func (k chanKnocker) knock() {
+	select {
+	case k.ch <- struct{}{}:
+	default: // a wake is already pending
+	}
+}
+
+func (k chanKnocker) close() {}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package shm
+
+import "fmt"
+
+// File-backed segments are unavailable off unix (mapShared errors first),
+// so these exist only to keep the package compiling.
+func newFifoBell(segPath string, member int) (bell, error) {
+	return nil, fmt.Errorf("shm: doorbell fifos unsupported on this platform")
+}
+
+func newFifoKnocker(segPath string, member int) knocker { return noKnocker{} }
+
+type noKnocker struct{}
+
+func (noKnocker) knock() {}
+func (noKnocker) close() {}

@@ -1,0 +1,92 @@
+//go:build unix
+
+package shm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// fifoBell / fifoKnocker serve file-backed segments, where members are
+// separate processes.  The bell is a named FIFO next to the segment file
+// (<segment>.door<i>); the consumer parks in a deadline-bounded Read on
+// the nonblocking read end — which Go registers with the netpoller — and
+// producers knock with a nonblocking one-byte write.
+type fifoBell struct {
+	r *os.File // nonblocking read end, netpoller-registered
+	// Our own write end.  Held open for the bell's lifetime so the FIFO
+	// never drains to zero writers: without it, a producer process dying
+	// would flip reads to instant EOF and turn the park into a spin.
+	w   int
+	buf [16]byte
+}
+
+func fifoPath(segPath string, member int) string {
+	return fmt.Sprintf("%s.door%d", segPath, member)
+}
+
+func newFifoBell(segPath string, member int) (*fifoBell, error) {
+	path := fifoPath(segPath, member)
+	if err := syscall.Mkfifo(path, 0o600); err != nil && err != syscall.EEXIST {
+		return nil, fmt.Errorf("shm: doorbell fifo: %w", err)
+	}
+	rfd, err := syscall.Open(path, syscall.O_RDONLY|syscall.O_NONBLOCK|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shm: doorbell open read: %w", err)
+	}
+	wfd, err := syscall.Open(path, syscall.O_WRONLY|syscall.O_NONBLOCK|syscall.O_CLOEXEC, 0)
+	if err != nil {
+		syscall.Close(rfd)
+		return nil, fmt.Errorf("shm: doorbell open write guard: %w", err)
+	}
+	// os.NewFile keeps the descriptor in nonblocking mode and registers it
+	// with the netpoller, which is what makes SetReadDeadline work.
+	return &fifoBell{r: os.NewFile(uintptr(rfd), path), w: wfd}, nil
+}
+
+func (b *fifoBell) park(timeout time.Duration) {
+	b.r.SetReadDeadline(time.Now().Add(timeout))
+	b.r.Read(b.buf[:]) // knock bytes, timeout, or EAGAIN — all mean "rescan"
+}
+
+func (b *fifoBell) close() {
+	b.r.Close()
+	syscall.Close(b.w)
+}
+
+type fifoKnocker struct {
+	path string
+	fd   int // -1 until a reader exists
+}
+
+func newFifoKnocker(segPath string, member int) *fifoKnocker {
+	return &fifoKnocker{path: fifoPath(segPath, member), fd: -1}
+}
+
+func (k *fifoKnocker) knock() {
+	if k.fd < 0 {
+		fd, err := syscall.Open(k.path, syscall.O_WRONLY|syscall.O_NONBLOCK|syscall.O_CLOEXEC, 0)
+		if err != nil {
+			// ENOENT/ENXIO: the peer has not created or opened its bell
+			// yet, so it is not parked and needs no wake.
+			return
+		}
+		k.fd = fd
+	}
+	one := [1]byte{1}
+	if _, err := syscall.Write(k.fd, one[:]); err == syscall.EPIPE {
+		// Reader went away (peer died); drop the fd and re-probe later.
+		syscall.Close(k.fd)
+		k.fd = -1
+	}
+	// EAGAIN means the FIFO already holds pending knocks — good enough.
+}
+
+func (k *fifoKnocker) close() {
+	if k.fd >= 0 {
+		syscall.Close(k.fd)
+		k.fd = -1
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package shm
+
+import (
+	"errors"
+	"os"
+)
+
+// File-backed segments need mmap; non-unix platforms fall back to the
+// in-process shared-slice mode only.
+func mapShared(f *os.File, n int) ([]byte, error) {
+	return nil, errors.New("shm: file-backed segments unsupported on this platform")
+}
+
+func unmapShared(b []byte) error { return nil }
+
+// Without a cheap existence probe, assume the peer is alive and let the
+// heartbeat stamps decide.
+func pidAlive(pid int) bool { return true }

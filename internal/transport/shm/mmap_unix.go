@@ -1,0 +1,30 @@
+//go:build unix
+
+package shm
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapShared maps n bytes of f shared and writable.  The mapping is
+// page-aligned, so the segment's 64-byte alignment invariants hold.
+func mapShared(f *os.File, n int) ([]byte, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, n, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("shm: mmap: %w", err)
+	}
+	return b, nil
+}
+
+func unmapShared(b []byte) error {
+	return syscall.Munmap(b)
+}
+
+// pidAlive reports whether the process with the given pid exists (signal
+// 0 probe).  EPERM still proves existence.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}

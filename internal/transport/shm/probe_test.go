@@ -1,0 +1,67 @@
+package shm
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"nccd/internal/transport"
+)
+
+// TestCrossProcessPingPong measures round-trip latency between two real
+// processes sharing a segment file.  Log-only: no assertion, it exists to
+// observe the wakeup path.
+func TestCrossProcessPingPong(t *testing.T) {
+	if os.Getenv("SHM_PROBE_SEG") != "" {
+		probeChild(t)
+		return
+	}
+	path := t.TempDir() + "/probe.seg"
+	var cmds []*exec.Cmd
+	for r := 0; r < 2; r++ {
+		c := exec.Command(os.Args[0], "-test.run", "TestCrossProcessPingPong", "-test.v")
+		c.Env = append(os.Environ(), "SHM_PROBE_SEG="+path, "SHM_PROBE_RANK="+strconv.Itoa(r))
+		c.Stdout, c.Stderr = os.Stdout, os.Stderr
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds = append(cmds, c)
+	}
+	for _, c := range cmds {
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func probeChild(t *testing.T) {
+	rank, _ := strconv.Atoi(os.Getenv("SHM_PROBE_RANK"))
+	tr, err := New(Config{Rank: rank, Size: 2, Ranks: []int{0, 1}, WorldID: 7, Path: os.Getenv("SHM_PROBE_SEG")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{}, 64)
+	if err := tr.Start(func(from int, hdr transport.Header, payload []byte) { got <- struct{}{} }, nil); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 5000
+	peer := 1 - rank
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if rank == 0 {
+			tr.Send(peer, transport.Header{}, make([]byte, 64))
+			<-got
+		} else {
+			<-got
+			tr.Send(peer, transport.Header{}, make([]byte, 64))
+		}
+	}
+	if rank == 0 {
+		el := time.Since(start)
+		fmt.Printf("shm ping-pong: %d iters, %.1f us RTT\n", iters, float64(el.Microseconds())/iters)
+	}
+	tr.Close()
+}
