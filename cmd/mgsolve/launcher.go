@@ -17,6 +17,7 @@ import (
 	"nccd/internal/bench"
 	"nccd/internal/core"
 	"nccd/internal/obs"
+	"nccd/internal/obs/analyze"
 	"nccd/internal/transport"
 )
 
@@ -24,6 +25,39 @@ import (
 // are kept next to the merged output.
 func rankTracePath(base string, r int) string {
 	return fmt.Sprintf("%s.rank%d", base, r)
+}
+
+// rankSpansPath names rank r's raw span file under the analysis directory.
+func rankSpansPath(dir string, r int) string {
+	return filepath.Join(dir, fmt.Sprintf("spans.rank%d.json", r))
+}
+
+// analyzeRankSpans merges the per-rank raw span files and runs the
+// cross-rank analyzer: message matching, wait states, critical path, the
+// communication matrix.  Returns nonzero when any message edge is
+// unmatched on a complete trace — a send span with no receive span (or
+// vice versa) on a clean run means the identity plumbing broke, not the
+// application.
+func analyzeRankSpans(lc launchConfig) int {
+	var spans []obs.Span
+	var dropped int64
+	for r := 0; r < lc.n; r++ {
+		sf, err := obs.ReadSpansFile(rankSpansPath(lc.spansDir, r))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d spans: %v\n", r, err)
+			return 1
+		}
+		spans = append(spans, sf.Spans...)
+		dropped += sf.Dropped
+	}
+	rep := analyze.Analyze(spans, analyze.Options{Wall: true, Ranks: lc.n, Dropped: dropped})
+	rep.Render(os.Stdout)
+	if dropped == 0 && (rep.UnmatchedSends > 0 || rep.UnmatchedRecvs > 0) {
+		fmt.Fprintf(os.Stderr, "mgsolve: %d unmatched sends, %d unmatched recvs on a complete trace\n",
+			rep.UnmatchedSends, rep.UnmatchedRecvs)
+		return 1
+	}
+	return 0
 }
 
 // launchConfig parameterizes the multi-process run.
@@ -41,6 +75,8 @@ type launchConfig struct {
 	seed       uint64
 	skipVerify bool
 	trace      string // merged Chrome trace output path; "" = no tracing
+	analyze    bool   // collect per-rank spans and run the cross-rank analyzer
+	spansDir   string // per-rank raw-span directory (set internally for -analyze)
 
 	// Self-healing / chaos.
 	selfheal     bool
@@ -144,6 +180,15 @@ func runLauncher(lc launchConfig) int {
 		}
 		defer os.RemoveAll(dir)
 		lc.shmDir = dir
+	}
+	if lc.analyze {
+		dir, err := os.MkdirTemp("", "nccd-spans-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: span dir: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		lc.spansDir = dir
 	}
 	worldID := uint64(os.Getpid())
 	pt := newProcTable()
@@ -288,6 +333,12 @@ func runLauncher(lc launchConfig) int {
 		fmt.Printf("wrote %s, merged from %d per-rank traces (load it at https://ui.perfetto.dev)\n", lc.trace, lc.n)
 	}
 
+	if lc.analyze {
+		if code := analyzeRankSpans(lc); code != 0 {
+			return code
+		}
+	}
+
 	// Every rank solved the same system; their histories must agree with
 	// each other before being compared against the reference.
 	for r := 1; r < lc.n; r++ {
@@ -426,6 +477,9 @@ func runDaemon(daemon string, rank int, addrs []string, worldID uint64, lc launc
 	}
 	if lc.trace != "" {
 		args = append(args, "-trace", rankTracePath(lc.trace, rank))
+	}
+	if lc.spansDir != "" {
+		args = append(args, "-spans", rankSpansPath(lc.spansDir, rank))
 	}
 	args = append(args, extra...)
 	cmd := exec.Command(daemon, args...)

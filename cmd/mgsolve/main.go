@@ -23,6 +23,7 @@ import (
 	"nccd/internal/bench"
 	"nccd/internal/core"
 	"nccd/internal/obs"
+	"nccd/internal/obs/analyze"
 )
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 	trace := flag.String("trace", "", "write a merged Chrome trace JSON here (with -tcp: per-rank files <path>.rank<N> are merged; without: one traced in-process solve instead of the Fig 17 sweep)")
 	np := flag.Int("np", 4, "rank count for a traced in-process solve (-trace without -tcp)")
 	metrics := flag.String("metrics", "", "write a JSON snapshot of the process metrics registry here after the run")
+	analyzeFlag := flag.Bool("analyze", false, "run the cross-rank analyzer after the solve: message matching, wait states, critical path, communication matrix; with -tcp it collects per-rank span files and exits nonzero on any unmatched message edge")
+	commprof := flag.String("commprof", "", "run the in-process communication-profile benchmark (-np ranks) and write its JSON here (e.g. BENCH_commprof.json)")
 	selfheal := flag.Bool("selfheal", false, "run the -tcp daemons with durable checkpoints and the epoch/rejoin recovery protocol")
 	chaos := flag.Bool("chaos", false, "self-healing smoke test: SIGKILL -killrank after its first checkpoint, respawn it, and require full-size recovery (implies -selfheal)")
 	killRank := flag.Int("killrank", 2, "the rank -chaos kills")
@@ -63,18 +66,20 @@ func main() {
 	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
 	code := 0
 	switch {
+	case *commprof != "":
+		code = runCommProf(*np, *arm, p, *commprof)
 	case *tcp > 0:
 		code = runLauncher(launchConfig{
 			n: *tcp * max(*perNode, 1), perNode: *perNode, daemon: *daemon, arm: *arm, p: p,
 			drop: *drop, corrupt: *corrupt, dup: *dup, delayMean: *delayMean,
-			seed: *seed, skipVerify: *noVerify, trace: *trace,
+			seed: *seed, skipVerify: *noVerify, trace: *trace, analyze: *analyzeFlag,
 			selfheal: *selfheal, chaos: *chaos, killRank: *killRank,
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery, hb: *hb, hbMiss: *hbMiss,
 			recoveryJSON: *recoveryJSON,
 			ckptIO:       *ckptIO, aggr: *aggr, stripe: *stripe, ioFault: *ioFault,
 		})
-	case *trace != "":
-		code = runTracedSolve(*np, *arm, p, *trace)
+	case *trace != "" || *analyzeFlag:
+		code = runTracedSolve(*np, *arm, p, *trace, *analyzeFlag)
 	default:
 		bench.Fig17([]int{4, 8, 16, 32, 64, 128}, p).Print(os.Stdout)
 	}
@@ -89,9 +94,10 @@ func main() {
 	os.Exit(code)
 }
 
-// runTracedSolve runs one in-process multigrid solve with tracing enabled
-// and writes the Chrome trace.
-func runTracedSolve(n int, arm string, p bench.MultigridParams, path string) int {
+// runTracedSolve runs one in-process multigrid solve with tracing enabled,
+// writes the Chrome trace (if a path was given), and optionally feeds the
+// spans through the cross-rank analyzer.
+func runTracedSolve(n int, arm string, p bench.MultigridParams, path string, doAnalyze bool) int {
 	cfg, mode, err := bench.ArmByName(arm)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
@@ -102,12 +108,47 @@ func runTracedSolve(n int, arm string, p bench.MultigridParams, path string) int
 		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
 		return 1
 	}
-	if err := obs.ValidateChromeTraceFile(path); err != nil {
-		fmt.Fprintf(os.Stderr, "mgsolve: trace failed validation: %v\n", err)
-		return 1
+	if path != "" {
+		if err := obs.ValidateChromeTraceFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: trace failed validation: %v\n", err)
+			return 1
+		}
 	}
 	fmt.Printf("traced solve: %d ranks, %d cycles, relres %.3e, %d spans\n",
 		n, res.Cycles, res.RelRes, len(spans))
-	fmt.Printf("wrote %s (load it at https://ui.perfetto.dev)\n", path)
+	if path != "" {
+		fmt.Printf("wrote %s (load it at https://ui.perfetto.dev)\n", path)
+	}
+	if doAnalyze {
+		rep := analyze.Analyze(spans, analyze.Options{Ranks: n})
+		rep.Render(os.Stdout)
+		if rep.UnmatchedSends > 0 || rep.UnmatchedRecvs > 0 {
+			fmt.Fprintf(os.Stderr, "mgsolve: %d unmatched sends, %d unmatched recvs\n",
+				rep.UnmatchedSends, rep.UnmatchedRecvs)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runCommProf runs the in-process communication-profile benchmark and
+// writes BENCH_commprof.json (or wherever -commprof points).
+func runCommProf(n int, arm string, p bench.MultigridParams, path string) int {
+	cfg, mode, err := bench.ArmByName(arm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	cp, err := bench.RunCommProf(n, p, core.Arm{Name: arm, Config: cfg, Mode: mode})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: commprof: %v\n", err)
+		return 1
+	}
+	cp.Print(os.Stdout)
+	if err := cp.WriteJSONFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: writing %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Println("wrote", path)
 	return 0
 }

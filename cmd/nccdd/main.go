@@ -63,7 +63,9 @@ func main() {
 	crashAt := flag.Float64("crashat", 0, "virtual time at which this rank crashes (0 = never)")
 	ackTimeout := flag.Duration("acktimeout", 20*time.Millisecond, "wall-clock wait before the first retransmission")
 	trace := flag.String("trace", "", "write this rank's Chrome trace JSON to the given path")
+	spans := flag.String("spans", "", "write this rank's raw spans (matching identities included) to the given path for cross-rank analysis")
 	metrics := flag.String("metrics", "", "serve the metrics registry over HTTP at this address (e.g. 127.0.0.1:0); the bound address is printed as a METRICS line")
+	dash := flag.Bool("dash", false, "serve the live communication-matrix dashboard at /dash on the -metrics listener (implies -metrics 127.0.0.1:0 when unset)")
 	selfheal := flag.Bool("selfheal", false, "ride out peer failures: checkpoint, and recover via epoch bump + rejoin instead of aborting")
 	ckptDir := flag.String("ckpt", "", "durable checkpoint directory (shared across ranks; implies -selfheal)")
 	ckptEvery := flag.Int("ckptevery", 1, "checkpoint period in V-cycles for -selfheal runs")
@@ -104,7 +106,13 @@ func main() {
 		Heartbeat: transport.HeartbeatConfig{Interval: *hb, Miss: *hbMiss},
 		Epoch:     *epoch, Rejoin: *rejoin}
 	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
-	ob := bench.DaemonObs{TracePath: *trace, MetricsAddr: *metrics}
+	if *dash && *metrics == "" {
+		*metrics = "127.0.0.1:0"
+	}
+	ob := bench.DaemonObs{TracePath: *trace, SpansPath: *spans, MetricsAddr: *metrics}
+	if *dash {
+		fmt.Println("dashboard: open http://<METRICS addr>/dash")
+	}
 	pl := bench.Placement{PerNode: *perNode, ShmDir: *shmDir}
 
 	var rep bench.RankReport

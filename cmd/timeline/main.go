@@ -10,27 +10,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"nccd/internal/core"
 	"nccd/internal/datatype"
 	"nccd/internal/mpi"
+	"nccd/internal/obs/analyze"
 )
 
 func main() {
 	ranks := flag.Int("ranks", 12, "number of ranks")
 	width := flag.Int("width", 100, "chart width in characters")
+	doAnalyze := flag.Bool("analyze", false, "follow each chart with the cross-rank analyzer report: message matching, wait states, critical path, communication matrix")
 	flag.Parse()
 
 	for _, algo := range []mpi.AlltoallwAlgo{mpi.ATRoundRobin, mpi.ATBinned} {
 		cfg := mpi.Optimized()
 		cfg.Alltoallw = algo
 		fmt.Printf("=== Alltoallw (%v), %d ranks, ring-neighbor pattern ===\n", algo, *ranks)
-		render(*ranks, *width, cfg)
+		w := render(*ranks, *width, cfg)
+		if *doAnalyze {
+			rep := analyze.Analyze(w.Tracer().Spans(),
+				analyze.Options{Ranks: *ranks, Dropped: w.Tracer().Dropped()})
+			rep.Render(os.Stdout)
+		}
 		fmt.Println()
 	}
 }
 
-func render(n, width int, cfg mpi.Config) {
+func render(n, width int, cfg mpi.Config) *mpi.World {
 	w := core.NewPaperWorld(n, cfg)
 	w.EnableTrace()
 	mat := datatype.Contiguous(100, datatype.Double)
@@ -79,4 +87,5 @@ func render(n, width int, cfg mpi.Config) {
 	for r, lane := range lanes {
 		fmt.Printf("rank %3d |%s|\n", r, lane)
 	}
+	return w
 }

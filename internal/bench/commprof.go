@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"nccd/internal/core"
+	"nccd/internal/mpi"
+	"nccd/internal/obs/analyze"
+)
+
+// The communication-profile benchmark: run the reference multigrid solve
+// with tracing on, feed the spans through the cross-rank analyzer, and
+// report message-matching completeness, wait states, critical path and the
+// communication matrix with its nonuniformity statistics — the paper's
+// case that real application patterns are nonuniform made measurable on
+// every commit.  A second pass drives the adaptive Allgatherv directly
+// with a linearly growing count vector (rank i contributes (i+1)·quantum
+// bytes), the canonical nonuniform pattern, so the profile always contains
+// a collective whose matrix the analyzer should flag as nonuniform.
+
+// CommProf is the full communication profile, serializable as
+// BENCH_commprof.json.
+type CommProf struct {
+	Ranks        int     `json:"ranks"`
+	Arm          string  `json:"arm"`
+	SolveSeconds float64 `json:"solve_seconds"`
+	SolveCycles  int     `json:"solve_cycles"`
+
+	// MatchRate and AGVRatio are surfaced top-level for CI gates.
+	MatchRate float64 `json:"match_rate"`              // solve sends matched to recvs
+	AGVRatio  float64 `json:"agv_nonuniformity_ratio"` // adaptive-Allgatherv max/mean
+
+	Solve      *analyze.Report `json:"solve"`
+	Allgatherv *analyze.Report `json:"allgatherv"`
+}
+
+// agvQuantum is the per-rank step of the microbench count vector.
+const agvQuantum = 512
+
+// agvRounds is how many Allgatherv calls the microbench runs.
+const agvRounds = 4
+
+// RunCommProf runs the profile on an n-rank in-process paper world.
+func RunCommProf(n int, p MultigridParams, arm core.Arm) (*CommProf, error) {
+	// Pass 1: the reference solve.
+	w := core.NewPaperWorld(n, arm.Config)
+	w.Tracer().Enable()
+	res := RunMultigridWorld(w, p, arm.Mode)
+	solve := analyze.Analyze(w.Tracer().Spans(),
+		analyze.Options{Ranks: n, Dropped: w.Tracer().Dropped()})
+
+	// Pass 2: the adaptive Allgatherv under a linear count ramp.
+	cfg := arm.Config
+	cfg.Allgatherv = mpi.AGAdaptive
+	wa := core.NewPaperWorld(n, cfg)
+	wa.Tracer().Enable()
+	counts := make([]int, n)
+	total := 0
+	for i := range counts {
+		counts[i] = (i + 1) * agvQuantum
+		total += counts[i]
+	}
+	err := wa.Run(func(c *mpi.Comm) error {
+		me := c.Rank()
+		data := make([]byte, counts[me])
+		recv := make([]byte, total)
+		for r := 0; r < agvRounds; r++ {
+			c.Allgatherv(data, counts, recv)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("allgatherv microbench: %w", err)
+	}
+	agv := analyze.Analyze(wa.Tracer().Spans(),
+		analyze.Options{Ranks: n, Dropped: wa.Tracer().Dropped()})
+
+	return &CommProf{
+		Ranks:        n,
+		Arm:          arm.Name,
+		SolveSeconds: res.Seconds,
+		SolveCycles:  res.Cycles,
+		MatchRate:    solve.MatchRate,
+		AGVRatio:     agv.MatrixStats.Ratio,
+		Solve:        solve,
+		Allgatherv:   agv,
+	}, nil
+}
+
+// Print renders the profile.
+func (cp *CommProf) Print(w io.Writer) {
+	fmt.Fprintf(w, "COMMPROF: %d ranks, arm %s — solve %.3fs virtual, %d cycles\n",
+		cp.Ranks, cp.Arm, cp.SolveSeconds, cp.SolveCycles)
+	fmt.Fprintf(w, "-- solve --\n")
+	cp.Solve.Render(w)
+	fmt.Fprintf(w, "-- adaptive allgatherv, linear count ramp --\n")
+	cp.Allgatherv.Render(w)
+}
+
+// WriteJSONFile writes the profile to path (e.g. BENCH_commprof.json).
+func (cp *CommProf) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cp); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

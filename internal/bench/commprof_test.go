@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"nccd/internal/core"
+)
+
+// TestCommProf runs the communication profile on a small world and checks
+// the acceptance properties: every traced send matches a receive, and the
+// adaptive-Allgatherv microbench reports a nonuniformity ratio above 1.
+func TestCommProf(t *testing.T) {
+	p := MultigridParams{Extent: 16, Levels: 2, Rtol: 1e-6, MaxCycles: 5}
+	arm := core.Arms()[1] // MVAPICH2-New: adaptive collectives
+	cp, err := RunCommProf(4, p, arm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Solve.Sends == 0 {
+		t.Fatal("solve traced no sends")
+	}
+	if cp.MatchRate != 1 {
+		t.Fatalf("solve match rate %.3f (unmatched sends %d, recvs %d), want 1.0",
+			cp.MatchRate, cp.Solve.UnmatchedSends, cp.Solve.UnmatchedRecvs)
+	}
+	if cp.Allgatherv.MatchRate != 1 {
+		t.Fatalf("allgatherv match rate %.3f, want 1.0", cp.Allgatherv.MatchRate)
+	}
+	if cp.AGVRatio <= 1 {
+		t.Fatalf("adaptive allgatherv nonuniformity ratio %.3f, want > 1", cp.AGVRatio)
+	}
+	if prof, ok := cp.Allgatherv.PerCollective["allgatherv"]; !ok || prof.Instances == 0 {
+		t.Fatalf("allgatherv containers missing from profile: %v", cp.Allgatherv.PerCollective)
+	}
+	path := filepath.Join(t.TempDir(), "commprof.json")
+	if err := cp.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cp.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -51,8 +51,55 @@ type DaemonObs struct {
 	// (plan cache, pool, reliability counters, live TCP endpoint stats)
 	// over HTTP for the duration of the run.  The caller learns the
 	// bound address — ":0" picks an ephemeral port — from the daemon's
-	// "METRICS <addr>" stdout line.
+	// "METRICS <addr>" stdout line.  The live communication-matrix
+	// dashboard is served at /dash on the same listener.
 	MetricsAddr string
+	// SpansPath, when non-empty, enables span recording and writes this
+	// rank's raw spans (obs.WriteSpansFile format, attributes included)
+	// there afterwards, for the launcher's cross-rank analysis pass.
+	SpansPath string
+}
+
+// obsSetup applies the pre-run daemon observability surfaces shared by the
+// daemon variants; the returned func tears them down.
+func obsSetup(w *mpi.World, rw *rankWire, rank int, ob DaemonObs) (func(), error) {
+	if ob.TracePath != "" || ob.SpansPath != "" {
+		w.Tracer().Enable()
+	}
+	if ob.MetricsAddr == "" {
+		return func() {}, nil
+	}
+	unreg := registerWireMetrics(rw, rank)
+	matName := fmt.Sprintf("mpi.comm_matrix.rank%d", rank)
+	obs.Metrics.RegisterFunc(matName, func() any { return w.CommMatrix() })
+	srv, err := obs.ServeMetrics(ob.MetricsAddr, obs.Metrics)
+	if err != nil {
+		unreg()
+		obs.Metrics.Unregister(matName)
+		return nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	fmt.Printf("METRICS %s\n", srv.Addr())
+	return func() {
+		srv.Close()
+		obs.Metrics.Unregister(matName)
+		unreg()
+	}, nil
+}
+
+// obsFinish writes the post-run observability artifacts.
+func obsFinish(w *mpi.World, rank int, ob DaemonObs, rep *RankReport) error {
+	if ob.TracePath != "" {
+		if err := obs.WriteChromeTraceFile(ob.TracePath, w.Tracer().Spans(), rank); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		rep.Trace = ob.TracePath
+	}
+	if ob.SpansPath != "" {
+		if err := obs.WriteSpansFile(ob.SpansPath, w.Tracer()); err != nil {
+			return fmt.Errorf("writing spans: %w", err)
+		}
+	}
+	return nil
 }
 
 // ArmByName maps a command-line arm name to an MPI build and scatter
@@ -216,18 +263,11 @@ func RunMultigridDaemon(tcfg transport.TCPConfig, pl Placement, cfg mpi.Config, 
 		return RankReport{}, err
 	}
 	defer w.Close()
-	if ob.TracePath != "" {
-		w.Tracer().Enable()
+	obsDown, err := obsSetup(w, rw, tcfg.Rank, ob)
+	if err != nil {
+		return RankReport{}, err
 	}
-	if ob.MetricsAddr != "" {
-		defer registerWireMetrics(rw, tcfg.Rank)()
-		srv, err := obs.ServeMetrics(ob.MetricsAddr, obs.Metrics)
-		if err != nil {
-			return RankReport{}, fmt.Errorf("metrics endpoint: %w", err)
-		}
-		defer srv.Close()
-		fmt.Printf("METRICS %s\n", srv.Addr())
-	}
+	defer obsDown()
 	res := RunMultigridWorld(w, p, mode)
 	rep := RankReport{
 		Rank:     tcfg.Rank,
@@ -238,11 +278,8 @@ func RunMultigridDaemon(tcfg transport.TCPConfig, pl Placement, cfg mpi.Config, 
 		Stats:    rw.tcp.Stats(),
 		ShmStats: rw.shmStats(),
 	}
-	if ob.TracePath != "" {
-		if err := obs.WriteChromeTraceFile(ob.TracePath, w.Tracer().Spans(), tcfg.Rank); err != nil {
-			return RankReport{}, fmt.Errorf("writing trace: %w", err)
-		}
-		rep.Trace = ob.TracePath
+	if err := obsFinish(w, tcfg.Rank, ob, &rep); err != nil {
+		return RankReport{}, err
 	}
 	return rep, nil
 }
@@ -323,18 +360,11 @@ func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, pl Placement, cfg mpi.
 		return RankReport{}, err
 	}
 	defer w.Close()
-	if ob.TracePath != "" {
-		w.Tracer().Enable()
+	obsDown, err := obsSetup(w, rw, tcfg.Rank, ob)
+	if err != nil {
+		return RankReport{}, err
 	}
-	if ob.MetricsAddr != "" {
-		defer registerWireMetrics(rw, tcfg.Rank)()
-		srv, err := obs.ServeMetrics(ob.MetricsAddr, obs.Metrics)
-		if err != nil {
-			return RankReport{}, fmt.Errorf("metrics endpoint: %w", err)
-		}
-		defer srv.Close()
-		fmt.Printf("METRICS %s\n", srv.Addr())
-	}
+	defer obsDown()
 
 	var plan *ckptio.FaultPlan
 	if hd.IOFaults != "" {
@@ -411,11 +441,8 @@ func RunMultigridSelfHealDaemon(tcfg transport.TCPConfig, pl Placement, cfg mpi.
 		FinalSize:  res.FinalSize,
 		Healed:     res.Healed,
 	}
-	if ob.TracePath != "" {
-		if err := obs.WriteChromeTraceFile(ob.TracePath, w.Tracer().Spans(), tcfg.Rank); err != nil {
-			return RankReport{}, fmt.Errorf("writing trace: %w", err)
-		}
-		rep.Trace = ob.TracePath
+	if err := obsFinish(w, tcfg.Rank, ob, &rep); err != nil {
+		return RankReport{}, err
 	}
 	return rep, nil
 }

@@ -84,6 +84,17 @@ func (c *Comm) Span(kind string, start float64, attrs ...obs.Attr) {
 		Start: start, End: c.me.clock, Clock: obs.ClockVirtual, Attrs: attrs})
 }
 
+// spanB is Span with a byte volume, for phases that move data (the
+// hierarchy's funnel/leader-exchange/fan-out stages): matrix rows built
+// from collective container spans balance only if the volume is recorded.
+func (c *Comm) spanB(kind string, start float64, bytes int64, attrs ...obs.Attr) {
+	if !c.me.tracer.Enabled() {
+		return
+	}
+	c.me.tracer.Emit(obs.Span{Rank: c.me.rank, Kind: kind, Peer: -1, Bytes: bytes,
+		Start: start, End: c.me.clock, Clock: obs.ClockVirtual, Attrs: attrs})
+}
+
 // Stats returns a copy of the rank's statistics.
 func (c *Comm) Stats() Stats { return c.me.stats }
 
@@ -170,16 +181,20 @@ func (c *Comm) send(dst, tag int, data []byte) {
 	wireSec := lnk.WireTime(len(wire))
 	wireDone := p.clock + wireSec
 	arrival := wireDone + lnk.Latency
+	rdvz := 0.0
 	if dst == c.rank {
 		arrival = p.clock
 	} else if lnk.RendezvousBytes > 0 && len(wire) > lnk.RendezvousBytes {
 		// Rendezvous protocol: the sender blocks until the data is out.
+		rdvz = wireDone - p.clock
 		p.clock = wireDone
 	}
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(len(wire))
-	c.dispatch(dst, tag, wire, arrival, wireSec)
-	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
+	nbytes := len(wire)
+	mseq := c.dispatch(dst, tag, wire, arrival, wireSec)
+	p.recordSend(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock},
+		c.ctx, c.worldRank(dst), mseq, rdvz)
 }
 
 // SendType packs count instances of t from buf and transmits them to dst
@@ -268,25 +283,29 @@ func (c *Comm) sendType(dst, tag int, t *datatype.Type, count int, buf []byte) {
 		}
 	}
 	arrival := wireDone + lnk.Latency
+	rdvz := 0.0
 	if dst == c.rank {
 		arrival = p.clock
 	} else if lnk.RendezvousBytes > 0 && len(wire) > lnk.RendezvousBytes {
 		// Rendezvous: the sender returns once the last byte has drained.
+		rdvz = wireDone - p.clock
 		p.clock = wireDone
 	}
 	p.stats.MsgsSent++
 	p.stats.BytesSent += int64(len(wire))
 	p.stats.Datatype.Add(prev)
-	c.dispatch(dst, tag, wire, arrival, lnk.WireTime(len(wire)))
+	nbytes := len(wire)
+	mseq := c.dispatch(dst, tag, wire, arrival, lnk.WireTime(nbytes))
 	if p.tracer.Enabled() && totalPackSec > 0 {
 		// The modeled pack time, nested inside the send span.  Pack work is
 		// really interleaved with wire granules; the span shows its total.
 		p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "pack", Peer: dst, Tag: tag,
-			Bytes: int64(len(wire)), Start: packStart, End: packStart + totalPackSec,
+			Bytes: int64(nbytes), Start: packStart, End: packStart + totalPackSec,
 			Clock: obs.ClockVirtual,
 			Attrs: []obs.Attr{{Key: "segments", Val: strconv.FormatInt(prev.PackedSegments, 10)}}})
 	}
-	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: len(wire), Start: opStart, End: p.clock})
+	p.recordSend(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock},
+		c.ctx, c.worldRank(dst), mseq, rdvz)
 }
 
 // sendPlanned is the compiled-plan send path: pack the whole message through
@@ -350,9 +369,11 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 		}
 	}
 	arrival := wireDone + lnk.Latency
+	rdvz := 0.0
 	if dst == c.rank {
 		arrival = p.clock
 	} else if lnk.RendezvousBytes > 0 && nbytes > lnk.RendezvousBytes {
+		rdvz = wireDone - p.clock
 		p.clock = wireDone
 	}
 	p.stats.MsgsSent++
@@ -362,7 +383,7 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 		PackedBytes:    int64(nbytes),
 		PackedSegments: int64(nsegs),
 	})
-	c.dispatch(dst, tag, wire, arrival, lnk.WireTime(nbytes))
+	mseq := c.dispatch(dst, tag, wire, arrival, lnk.WireTime(nbytes))
 	if p.tracer.Enabled() {
 		packSec := packPerChunk * float64(chunks)
 		p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "pack", Peer: dst, Tag: tag,
@@ -373,7 +394,8 @@ func (c *Comm) sendPlanned(dst, tag int, t *datatype.Type, count int, buf []byte
 				{Key: "segments", Val: strconv.Itoa(nsegs)},
 			}})
 	}
-	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock})
+	p.recordSend(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock},
+		c.ctx, c.worldRank(dst), mseq, rdvz)
 }
 
 // sendFused is the zero-copy send path: the plan's gather list is handed
@@ -409,7 +431,11 @@ func (c *Comm) sendFused(dst, tag int, plan *datatype.Plan, buf []byte, opStart 
 	if w.anyDown.Load() && w.deadRank(worldDst) {
 		throwErr(&RankFailedError{Rank: worldDst, Call: c.callOr("Send")})
 	}
-	hdr := transport.Header{Ctx: c.ctx, Src: int32(c.rank), Tag: int32(tag), Arrival: arrival}
+	p.msgSeq[worldDst]++
+	mseq := p.msgSeq[worldDst]
+	w.matrix.addSend(p.rank, worldDst, int64(nbytes))
+	hdr := transport.Header{Ctx: c.ctx, Src: int32(c.rank), Tag: int32(tag), Arrival: arrival,
+		WSrc: int32(p.rank), MSeq: mseq}
 	if err := w.vecSender.SendVectored(worldDst, hdr, buf, plan.Segments()); err != nil {
 		throwErr(mapTransportErr(err, worldDst, c.callOr("Send")))
 	}
@@ -431,7 +457,8 @@ func (c *Comm) sendFused(dst, tag int, plan *datatype.Plan, buf []byte, opStart 
 				{Key: "segments", Val: strconv.Itoa(nsegs)},
 			}})
 	}
-	p.record(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock})
+	p.recordSend(Event{Kind: "send", Peer: dst, Tag: tag, Bytes: nbytes, Start: opStart, End: p.clock},
+		c.ctx, worldDst, mseq, 0)
 }
 
 // Recv blocks until a message matching src/tag (wildcards allowed) arrives
@@ -474,16 +501,29 @@ func (c *Comm) completeRecv(env *envelope) {
 	p := c.me
 	prm := &c.w.cluster.Params
 	opStart := p.clock
-	// Arrival stamps come from the sender's virtual clock; across wall-clock
-	// processes the clocks are uncoupled, so the stamp is meaningless here.
-	if !c.w.wall && env.arrival > p.clock {
-		p.stats.WaitSec += env.arrival - p.clock
-		p.clock = env.arrival
+	wait := 0.0
+	if !c.w.wall {
+		// Arrival stamps come from the sender's virtual clock; across
+		// wall-clock processes the clocks are uncoupled, so there the stamp
+		// is meaningless and the block is measured in wall time by matchE.
+		if env.arrival > p.clock {
+			wait = env.arrival - p.clock
+			p.stats.WaitSec += wait
+			p.clock = env.arrival
+		}
+	} else {
+		wait = p.lastWaitSec
+		p.lastWaitSec = 0
 	}
 	p.clock += prm.RecvOverhead / p.speed
 	p.stats.MsgsRecv++
 	p.stats.BytesRecv += int64(len(env.data))
-	p.record(Event{Kind: "recv", Peer: env.src, Tag: env.tag, Bytes: len(env.data), Start: opStart, End: p.clock})
+	srcWorld := c.worldRank(env.src)
+	if wait > 0 {
+		c.w.matrix.addWait(srcWorld, p.rank, wait)
+	}
+	p.recordRecv(Event{Kind: "recv", Peer: env.src, Tag: env.tag, Bytes: len(env.data), Start: opStart, End: p.clock},
+		c.ctx, srcWorld, env.mseq, wait)
 	// A scheduled crash inside the wait fires once the clock crosses it.
 	c.maybeCrash()
 }

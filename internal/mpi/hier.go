@@ -3,8 +3,10 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
 	"nccd/internal/datatype"
+	"nccd/internal/obs"
 )
 
 // Hierarchy-aware collectives.  When the world carries a node topology —
@@ -87,7 +89,10 @@ func (c *Comm) hierAllgatherv(tag int, counts, displs []int, recv []byte, topo *
 
 	if me != leader {
 		// Funnel up, then join the fan-out tree for the full buffer.
+		funnelStart := c.me.clock
 		c.send(leader, tagHierGather, recv[displs[me]:displs[me]+counts[me]])
+		c.spanB("hier_funnel", funnelStart, int64(counts[me]),
+			obs.Attr{Key: "node", Val: strconv.Itoa(node)})
 		rel := 0
 		for i, r := range locals {
 			if r == me {
@@ -95,11 +100,16 @@ func (c *Comm) hierAllgatherv(tag int, counts, displs []int, recv []byte, topo *
 				break
 			}
 		}
+		bcastStart := c.me.clock
 		c.hierBcast(locals, rel, recv[:total])
+		c.spanB("hier_bcast", bcastStart, int64(total),
+			obs.Attr{Key: "node", Val: strconv.Itoa(node)})
 		return algo, nonuniform
 	}
 
 	// Phase 1: collect the node's blocks into their final positions.
+	gatherStart := c.me.clock
+	gathered := int64(0)
 	for _, r := range locals {
 		if r == me {
 			continue
@@ -109,9 +119,12 @@ func (c *Comm) hierAllgatherv(tag int, counts, displs []int, recv []byte, topo *
 		if len(env.data) != counts[r] {
 			panic("mpi: hierarchical allgatherv funnel size mismatch")
 		}
+		gathered += int64(len(env.data))
 		copy(recv[displs[r]:], env.data)
 		datatype.PutBuffer(env.data)
 	}
+	c.spanB("hier_gather", gatherStart, gathered,
+		obs.Attr{Key: "node", Val: strconv.Itoa(node)})
 
 	// Phase 2: leaders exchange per-node aggregates.  Aggregates are
 	// node-contiguous in a scratch buffer (world blocks need not be), and
@@ -124,6 +137,7 @@ func (c *Comm) hierAllgatherv(tag int, counts, displs []int, recv []byte, topo *
 	}
 	lc := c.leaderComm(topo, c.ctx)
 	ltag := lc.collTag()
+	exchStart := c.me.clock
 	switch algo {
 	case AGRing:
 		lc.agvRing(ltag, nodeCounts, hdispls, hrecv)
@@ -134,6 +148,10 @@ func (c *Comm) hierAllgatherv(tag int, counts, displs []int, recv []byte, topo *
 	default:
 		panic("mpi: unresolved hierarchical allgatherv algorithm")
 	}
+	c.spanB("hier_leader_exchange", exchStart, int64(total),
+		obs.Attr{Key: "algo", Val: algo.String()},
+		obs.Attr{Key: "leaders", Val: strconv.Itoa(nLeaders)},
+		obs.Attr{Key: "node_bytes", Val: strconv.Itoa(nodeCounts[li])})
 
 	// Scatter foreign aggregates back into world-rank order.
 	for id := 0; id < nLeaders; id++ {
@@ -314,7 +332,10 @@ func (c *Comm) a2awHier(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []byt
 			agg = append(agg, e.payload...)
 			datatype.PutBuffer(e.payload)
 		}
+		funnelStart := c.me.clock
 		c.send(leader, tagHierGather, agg)
+		c.spanB("hier_funnel", funnelStart, int64(len(agg)),
+			obs.Attr{Key: "node", Val: strconv.Itoa(node)})
 
 		env := c.match(leader, tagHierScatter)
 		c.completeRecv(env)
@@ -379,10 +400,13 @@ func (c *Comm) a2awHier(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []byt
 	// node granularity, where volumes are sums of local contributions.
 	lc := c.leaderComm(topo, c.ctx)
 	ltag := lc.collTag()
+	exchStart := c.me.clock
+	exchBytes := int64(0)
 	order := make([]int, 0, nLeaders-1)
 	for j := 0; j < nLeaders; j++ {
 		if j != li {
 			order = append(order, j)
+			exchBytes += int64(len(out[j]))
 		}
 	}
 	for pass := 0; pass < 2; pass++ {
@@ -399,6 +423,7 @@ func (c *Comm) a2awHier(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []byt
 	for _, j := range order {
 		env := lc.match(j, ltag)
 		lc.completeRecv(env)
+		exchBytes += int64(len(env.data))
 		data := env.data
 		for len(data) > 0 {
 			if len(data) < 12 {
@@ -423,12 +448,20 @@ func (c *Comm) a2awHier(tag int, sendbuf []byte, sends []TypeSpec, recvbuf []byt
 		}
 		datatype.PutBuffer(env.data)
 	}
+	c.spanB("hier_leader_exchange", exchStart, exchBytes,
+		obs.Attr{Key: "algo", Val: "pairwise"},
+		obs.Attr{Key: "leaders", Val: strconv.Itoa(nLeaders)})
+	scatterStart := c.me.clock
+	scattered := int64(0)
 	for _, r := range locals {
 		if r == me {
 			continue
 		}
+		scattered += int64(len(perLocal[r]))
 		c.send(r, tagHierScatter, perLocal[r])
 	}
+	c.spanB("hier_scatter", scatterStart, scattered,
+		obs.Attr{Key: "node", Val: strconv.Itoa(node)})
 	c.Waitall(reqs)
 	return zeroBin, smallBin, largeBin
 }

@@ -1,0 +1,91 @@
+package mpi
+
+import "sync/atomic"
+
+// The always-on communication matrix.  Every send is two atomic adds on a
+// flat cell array — the same cost class as the process-global counters in
+// world.go — so the live dashboard and World.CommMatrix never depend on
+// tracing being enabled.  On wall-clock worlds each process populates only
+// the rows of the ranks it hosts (plus the wait column entries its local
+// receives attribute to remote senders); a cross-process view sums the
+// per-daemon snapshots.
+
+type commCell struct {
+	bytes   atomic.Int64
+	msgs    atomic.Int64
+	retrans atomic.Int64
+	waitNs  atomic.Int64
+}
+
+type commMatrix struct {
+	n     int
+	cells []commCell
+}
+
+func newCommMatrix(n int) *commMatrix {
+	return &commMatrix{n: n, cells: make([]commCell, n*n)}
+}
+
+func (m *commMatrix) cell(src, dst int) *commCell {
+	if src < 0 || src >= m.n || dst < 0 || dst >= m.n {
+		return nil
+	}
+	return &m.cells[src*m.n+dst]
+}
+
+func (m *commMatrix) addSend(src, dst int, bytes int64) {
+	if c := m.cell(src, dst); c != nil {
+		c.bytes.Add(bytes)
+		c.msgs.Add(1)
+	}
+}
+
+func (m *commMatrix) addRetrans(src, dst int) {
+	if c := m.cell(src, dst); c != nil {
+		c.retrans.Add(1)
+	}
+}
+
+func (m *commMatrix) addWait(src, dst int, sec float64) {
+	if c := m.cell(src, dst); c != nil {
+		c.waitNs.Add(int64(sec * 1e9))
+	}
+}
+
+// CommMatrix is a point-in-time copy of the per-peer traffic accounting,
+// JSON-marshalable for the metrics registry.  Row index is the sending
+// world rank, column the receiving one; WaitSec[s][d] is the time rank d
+// spent blocked waiting for messages from rank s.
+type CommMatrix struct {
+	N       int         `json:"n"`
+	Bytes   [][]int64   `json:"bytes"`
+	Msgs    [][]int64   `json:"msgs"`
+	Retrans [][]int64   `json:"retrans"`
+	WaitSec [][]float64 `json:"wait_sec"`
+}
+
+// CommMatrix snapshots the world's communication matrix.  Safe to call at
+// any time from any goroutine.
+func (w *World) CommMatrix() CommMatrix {
+	m := w.matrix
+	out := CommMatrix{N: m.n,
+		Bytes:   make([][]int64, m.n),
+		Msgs:    make([][]int64, m.n),
+		Retrans: make([][]int64, m.n),
+		WaitSec: make([][]float64, m.n),
+	}
+	for s := 0; s < m.n; s++ {
+		out.Bytes[s] = make([]int64, m.n)
+		out.Msgs[s] = make([]int64, m.n)
+		out.Retrans[s] = make([]int64, m.n)
+		out.WaitSec[s] = make([]float64, m.n)
+		for d := 0; d < m.n; d++ {
+			c := &m.cells[s*m.n+d]
+			out.Bytes[s][d] = c.bytes.Load()
+			out.Msgs[s][d] = c.msgs.Load()
+			out.Retrans[s][d] = c.retrans.Load()
+			out.WaitSec[s][d] = float64(c.waitNs.Load()) / 1e9
+		}
+	}
+	return out
+}

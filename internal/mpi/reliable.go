@@ -48,8 +48,10 @@ func (c *Comm) callOr(def string) string {
 // time, applying the fault plan and the reliability protocol.  wireSec is
 // the payload's wire serialization time, used to re-derive arrival times
 // for retransmissions.  It raises ErrRankFailed if dst is down and
-// ErrTimeout if the retry budget is exhausted.
-func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
+// ErrTimeout if the retry budget is exhausted.  The returned value is the
+// message's observability sequence number (see proc.msgSeq), which the
+// caller attaches to its send span for cross-rank matching.
+func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) uint64 {
 	w := c.w
 	worldDst := c.worldRank(dst)
 	mMsgBytes.Observe(int64(len(wire)))
@@ -67,24 +69,29 @@ func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 		datatype.PutBuffer(wire)
 		throwErr(&RankFailedError{Rank: worldDst, Call: c.callOr("Send")})
 	}
+	p := c.me
+	p.msgSeq[worldDst]++
+	mseq := p.msgSeq[worldDst]
+	w.matrix.addSend(p.rank, worldDst, int64(len(wire)))
 	if w.wall {
 		// Real sockets: the transport runs the reliability protocol itself
 		// (ack/retransmission below the framing layer when its fault plan is
 		// lossy), so the virtual-time simulation of it is skipped — the same
 		// plan must not be injected twice.
-		hdr := transport.Header{Ctx: c.ctx, Src: int32(c.rank), Tag: int32(tag), Arrival: arrival}
+		hdr := transport.Header{Ctx: c.ctx, Src: int32(c.rank), Tag: int32(tag), Arrival: arrival,
+			WSrc: int32(p.rank), MSeq: mseq}
 		if err := w.tr.Send(worldDst, hdr, wire); err != nil {
 			throwErr(mapTransportErr(err, worldDst, c.callOr("Send")))
 		}
-		return
+		return mseq
 	}
 	fp := w.cluster.Faults
 	if dst == c.rank || !fp.Lossy() {
-		w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival})
-		return
+		w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire, arrival: arrival,
+			wsrc: p.rank, mseq: mseq})
+		return mseq
 	}
 
-	p := c.me
 	rel := w.cfg.Reliability
 	seq := p.sendSeq[worldDst]
 	p.sendSeq[worldDst]++
@@ -101,18 +108,18 @@ func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 			bad := append([]byte(nil), wire...)
 			bad[fp.CorruptByte(p.rank, worldDst, seq, attempt, len(bad))] ^= 0xFF
 			w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: bad,
-				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
+				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum, mseq: mseq})
 			p.stats.CorruptSent++
 		}
 		if !drop && !corrupt {
 			w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
-				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
+				arrival: arrival + delay, reliable: true, wsrc: p.rank, seq: seq, sum: sum, mseq: mseq})
 			if dup {
 				w.transmit(worldDst, &envelope{ctx: c.ctx, src: c.rank, tag: tag, data: wire,
-					arrival: arrival + delay + lat, reliable: true, wsrc: p.rank, seq: seq, sum: sum})
+					arrival: arrival + delay + lat, reliable: true, wsrc: p.rank, seq: seq, sum: sum, mseq: mseq})
 				p.stats.DupsSent++
 			}
-			return
+			return mseq
 		}
 		if attempt+1 >= rel.MaxRetries {
 			throwErr(&TimeoutError{Rank: worldDst, Call: c.callOr("Send"), Attempts: attempt + 1})
@@ -123,6 +130,7 @@ func (c *Comm) dispatch(dst, tag int, wire []byte, arrival, wireSec float64) {
 		p.stats.RetransSec += timeout
 		p.stats.Retransmits++
 		mRetransmits.Inc()
+		w.matrix.addRetrans(p.rank, worldDst)
 		if p.tracer.Enabled() {
 			p.tracer.Emit(obs.Span{Rank: p.rank, Kind: "retransmit", Peer: worldDst,
 				Tag: tag, Bytes: int64(len(wire)), Start: retransStart, End: p.clock,
@@ -161,6 +169,11 @@ func (c *Comm) matchE(src, tag int, wall time.Duration) (*envelope, error) {
 		})
 		defer timer.Stop()
 	}
+	// On wall-clock worlds the virtual clock cannot see a real blocked
+	// receive (arrival stamps are foreign), so the block is measured here in
+	// wall time when tracing is on; completeRecv turns it into the recv
+	// span's wait attribute.
+	measureFrom := -1.0
 	for {
 		if w.isRevoked(c.ctx) {
 			p.wait = blockedWait{}
@@ -170,6 +183,10 @@ func (c *Comm) matchE(src, tag int, wall time.Duration) (*envelope, error) {
 			if env.ctx == c.ctx && (src == AnySource || env.src == src) && (tag == AnyTag || env.tag == tag) {
 				p.queue = append(p.queue[:i], p.queue[i+1:]...)
 				p.wait = blockedWait{}
+				p.lastWaitSec = 0
+				if measureFrom >= 0 {
+					p.lastWaitSec = p.tracer.Now() - measureFrom
+				}
 				w.progress.Add(1)
 				return env, nil
 			}
@@ -190,6 +207,9 @@ func (c *Comm) matchE(src, tag int, wall time.Duration) (*envelope, error) {
 		}
 		p.wait = blockedWait{active: true, deadline: wall > 0, call: call,
 			ctx: c.ctx, src: src, srcWorld: worldSrc, tag: tag}
+		if measureFrom < 0 && w.wall && p.tracer.Enabled() {
+			measureFrom = p.tracer.Now()
+		}
 		p.cond.Wait()
 		p.wait.active = false
 	}

@@ -2,9 +2,25 @@ package mpi
 
 import (
 	"sort"
+	"strconv"
 
 	"nccd/internal/obs"
 )
+
+// Span attribute keys carrying the cross-rank matching identity.  A send
+// span's (Rank, to, ctx, mseq) equals its recv span's (from, Rank, ctx,
+// mseq); internal/obs/analyze pairs them into message edges.  "wait" holds
+// the receiver's blocked seconds, "rdvz" the sender's rendezvous stall.
+const (
+	AttrTo   = "to"   // send: destination world rank
+	AttrFrom = "from" // recv: source world rank
+	AttrCtx  = "ctx"  // communicator context id, hex
+	AttrMSeq = "mseq" // per-(src,dst) message sequence, decimal
+	AttrWait = "wait" // recv: blocked seconds (virtual or wall, by world mode)
+	AttrRdvz = "rdvz" // send: seconds blocked draining the wire (rendezvous)
+)
+
+func formatSec(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
 
 // Event is one traced operation on a rank's virtual timeline.  It is the
 // legacy narrow view (cmd/timeline's input): the full record — collective
@@ -69,6 +85,43 @@ func (p *proc) record(e Event) {
 	}
 	p.tracer.Emit(obs.Span{Rank: p.rank, Kind: e.Kind, Peer: e.Peer, Tag: e.Tag,
 		Bytes: int64(e.Bytes), Start: e.Start, End: e.End, Clock: obs.ClockVirtual})
+}
+
+// recordSend traces a send with its matching identity attributes.  rdvzSec,
+// when positive, records how long the sender sat blocked in the rendezvous
+// protocol waiting for the wire to drain.
+func (p *proc) recordSend(e Event, ctx uint64, dstWorld int, mseq uint64, rdvzSec float64) {
+	if !p.tracer.Enabled() {
+		return
+	}
+	attrs := []obs.Attr{
+		{Key: AttrTo, Val: strconv.Itoa(dstWorld)},
+		{Key: AttrCtx, Val: strconv.FormatUint(ctx, 16)},
+		{Key: AttrMSeq, Val: strconv.FormatUint(mseq, 10)},
+	}
+	if rdvzSec > 0 {
+		attrs = append(attrs, obs.Attr{Key: AttrRdvz, Val: formatSec(rdvzSec)})
+	}
+	p.tracer.Emit(obs.Span{Rank: p.rank, Kind: e.Kind, Peer: e.Peer, Tag: e.Tag,
+		Bytes: int64(e.Bytes), Start: e.Start, End: e.End, Clock: obs.ClockVirtual, Attrs: attrs})
+}
+
+// recordRecv traces a receive with its matching identity and the seconds
+// the receiver spent blocked before the message was available.
+func (p *proc) recordRecv(e Event, ctx uint64, srcWorld int, mseq uint64, waitSec float64) {
+	if !p.tracer.Enabled() {
+		return
+	}
+	attrs := []obs.Attr{
+		{Key: AttrFrom, Val: strconv.Itoa(srcWorld)},
+		{Key: AttrCtx, Val: strconv.FormatUint(ctx, 16)},
+		{Key: AttrMSeq, Val: strconv.FormatUint(mseq, 10)},
+	}
+	if waitSec > 0 {
+		attrs = append(attrs, obs.Attr{Key: AttrWait, Val: formatSec(waitSec)})
+	}
+	p.tracer.Emit(obs.Span{Rank: p.rank, Kind: e.Kind, Peer: e.Peer, Tag: e.Tag,
+		Bytes: int64(e.Bytes), Start: e.Start, End: e.End, Clock: obs.ClockVirtual, Attrs: attrs})
 }
 
 // span traces an arbitrary virtual-clock span for the rank.

@@ -68,7 +68,8 @@ func (w *World) onFrame(to int, hdr transport.Header, payload []byte) {
 		return
 	}
 	w.deliver(to, &envelope{ctx: hdr.Ctx, src: int(hdr.Src), tag: int(hdr.Tag), data: payload,
-		arrival: hdr.Arrival, reliable: hdr.Reliable, wsrc: int(hdr.WSrc), seq: hdr.Seq, sum: hdr.Sum})
+		arrival: hdr.Arrival, reliable: hdr.Reliable, wsrc: int(hdr.WSrc), seq: hdr.Seq, sum: hdr.Sum,
+		mseq: hdr.MSeq})
 }
 
 // onPeerDown is the transport failure callback: an abrupt connection loss
@@ -140,6 +141,20 @@ func (c *Comm) trySendOK(dst, tag int, data []byte) (ok bool) {
 	return true
 }
 
+// noteControlRecv traces the consumption of a side-channel agreement
+// message as an instant recv with matching identity, so the corresponding
+// send span does not read as a lost message in the cross-rank analyzer.
+// The agreement paths bypass completeRecv deliberately (no clock coupling),
+// hence the dedicated hook.
+func (c *Comm) noteControlRecv(env *envelope) {
+	p := c.me
+	if !p.tracer.Enabled() {
+		return
+	}
+	p.recordRecv(Event{Kind: "recv", Peer: env.src, Tag: env.tag, Bytes: len(env.data),
+		Start: p.clock, End: p.clock}, c.ctx, c.worldRank(env.src), env.mseq, 0)
+}
+
 // agreeWall is the distributed form of agree: an all-to-all exchange of
 // contribution words on a side-channel context derived from (ctx, call
 // seq).  The derived context is unique per call site and never revoked, so
@@ -176,6 +191,7 @@ func (c *Comm) agreeWall(words []uint64) ([]uint64, error) {
 			}
 			return nil, err
 		}
+		ac.noteControlRecv(env)
 		for i := range val {
 			if 8*i+8 <= len(env.data) {
 				val[i] |= binary.LittleEndian.Uint64(env.data[8*i:])
@@ -224,6 +240,7 @@ func (c *Comm) agreeFullWall(words []uint64, deadline time.Time) ([]uint64, erro
 		for {
 			env, err := ac.matchE(r, tagCollBase, 50*time.Millisecond)
 			if err == nil {
+				ac.noteControlRecv(env)
 				for i := range val {
 					if 8*i+8 <= len(env.data) {
 						val[i] |= binary.LittleEndian.Uint64(env.data[8*i:])

@@ -93,6 +93,12 @@ type World struct {
 	// one process; see internal/obs.
 	tracer *obs.Tracer
 
+	// matrix is the always-on per-peer traffic accounting (bytes, messages,
+	// retransmissions, receive-wait time) behind World.CommMatrix and the
+	// live dashboard.  Cells are atomics; rows for ranks hosted elsewhere
+	// stay zero on wall-clock worlds.
+	matrix *commMatrix
+
 	// topo maps ranks onto nodes for hierarchy-aware collectives.  Nil
 	// (the default) keeps every collective flat.  Adopted from a transport
 	// that exposes a node map (transport.Hierarchical) or from the
@@ -135,6 +141,15 @@ type proc struct {
 	commGen uint64 // monotone communicator-creation generation (see Split)
 	// sendSeq numbers reliable messages per destination world rank.
 	sendSeq []uint64
+	// msgSeq numbers every outgoing message per destination world rank for
+	// the observability layer's send↔recv span matching.  Starts at 1 so 0
+	// always reads "no identity".  Unconditional (traced or not) so a run's
+	// sequence numbers never depend on when tracing was switched on.
+	msgSeq []uint64
+	// lastWaitSec is the wall-clock seconds the rank's most recent matchE
+	// blocked, measured only on wall-clock worlds with tracing enabled;
+	// completeRecv consumes it for the recv span's wait attribute.
+	lastWaitSec float64
 	// crashAt is the scheduled FaultPlan crash time (+Inf = never).
 	crashAt float64
 
@@ -178,6 +193,10 @@ type envelope struct {
 	wsrc     int    // sender world rank
 	seq      uint64 // per (sender, receiver) sequence number
 	sum      uint32 // CRC-32 of data; mismatches are dropped at delivery
+
+	// mseq is the observability matching sequence (see proc.msgSeq).
+	// Retransmitted copies of one logical message share one mseq.
+	mseq uint64
 }
 
 // Tag wildcard values for Recv.
@@ -239,8 +258,10 @@ func NewWorldTransport(tr transport.Transport, cluster *simnet.Cluster, cfg Conf
 		p := &proc{rank: i, speed: cluster.SpeedOf(i), crashAt: math.Inf(1), tracer: w.tracer}
 		p.cond = sync.NewCond(&p.mu)
 		p.sendSeq = make([]uint64, n)
+		p.msgSeq = make([]uint64, n)
 		w.procs[i] = p
 	}
+	w.matrix = newCommMatrix(n)
 	// A transport that knows the physical layout (the hierarchical
 	// shm+TCP router) donates its node map as the world topology; a flat
 	// cluster model can declare one too.  Either way the hierarchy-aware
@@ -551,7 +572,8 @@ func (w *World) ResetClocks() {
 // transport.
 func (w *World) transmit(dst int, env *envelope) {
 	hdr := transport.Header{Ctx: env.ctx, Src: int32(env.src), Tag: int32(env.tag),
-		Arrival: env.arrival, Reliable: env.reliable, WSrc: int32(env.wsrc), Seq: env.seq, Sum: env.sum}
+		Arrival: env.arrival, Reliable: env.reliable, WSrc: int32(env.wsrc), Seq: env.seq, Sum: env.sum,
+		MSeq: env.mseq}
 	if err := w.tr.Send(dst, hdr, env.data); err != nil {
 		throwErr(mapTransportErr(err, dst, "Send"))
 	}

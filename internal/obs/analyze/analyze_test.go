@@ -1,0 +1,166 @@
+package analyze_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"nccd/internal/mpi"
+	"nccd/internal/obs"
+	"nccd/internal/obs/analyze"
+	"nccd/internal/simnet"
+)
+
+func span(rank int, kind string, peer, tag int, bytes int64, start, end float64, attrs ...obs.Attr) obs.Span {
+	return obs.Span{Rank: rank, Kind: kind, Peer: peer, Tag: tag, Bytes: bytes,
+		Start: start, End: end, Clock: obs.ClockVirtual, Attrs: attrs}
+}
+
+// TestSyntheticMatchAndCriticalPath hand-builds a two-rank trace: rank 0
+// computes 1s then sends; rank 1 posts its receive immediately and waits
+// the full second.  The message must match, the wait must classify as
+// Late Sender blamed on rank 0, and the critical path must run through
+// rank 0's compute into rank 1's receive.
+func TestSyntheticMatchAndCriticalPath(t *testing.T) {
+	spans := []obs.Span{
+		span(0, "compute", -1, 0, 0, 0, 1.0),
+		span(0, "send", 1, 7, 100, 1.0, 1.1,
+			obs.Attr{Key: "to", Val: "1"}, obs.Attr{Key: "ctx", Val: "ab"},
+			obs.Attr{Key: "mseq", Val: "1"}),
+		span(1, "recv", 0, 7, 100, 0.0, 1.2,
+			obs.Attr{Key: "from", Val: "0"}, obs.Attr{Key: "ctx", Val: "ab"},
+			obs.Attr{Key: "mseq", Val: "1"}, obs.Attr{Key: "wait", Val: "1.1"}),
+	}
+	rep := analyze.Analyze(spans, analyze.Options{})
+	if rep.Ranks != 2 {
+		t.Fatalf("ranks = %d", rep.Ranks)
+	}
+	if rep.Sends != 1 || rep.Recvs != 1 || rep.Matched != 1 || rep.MatchRate != 1 {
+		t.Fatalf("matching: %d/%d sends matched, %d recvs", rep.Matched, rep.Sends, rep.Recvs)
+	}
+	if rep.Matrix.Bytes[0][1] != 100 || rep.Matrix.Msgs[0][1] != 1 {
+		t.Fatalf("matrix cell [0][1] = %d B / %d msgs", rep.Matrix.Bytes[0][1], rep.Matrix.Msgs[0][1])
+	}
+	if math.Abs(rep.Wait.LateSenderSec-1.1) > 1e-9 || math.Abs(rep.Wait.RootBlameSec[0]-1.1) > 1e-9 {
+		t.Fatalf("wait: late-sender %g, root blame %v", rep.Wait.LateSenderSec, rep.Wait.RootBlameSec)
+	}
+	// Critical path: rank0 compute (1.0) + send (0.1) + rank1 recv (1.2,
+	// its whole duration — virtual recv spans fold the wait in).
+	if math.Abs(rep.CritPath.LengthSec-2.3) > 1e-9 {
+		t.Fatalf("critical path %g, want 2.3", rep.CritPath.LengthSec)
+	}
+	if rep.CritPath.PerRankSec[0] <= 0 || rep.CritPath.PerRankSec[1] <= 0 {
+		t.Fatalf("per-rank attribution %v", rep.CritPath.PerRankSec)
+	}
+
+	// The report must survive a JSON round trip (it is served by nccdd).
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.Render(&buf)
+}
+
+// TestUnmatchedSendDetected drops the recv side and expects the analyzer
+// to flag the send as unmatched.
+func TestUnmatchedSendDetected(t *testing.T) {
+	spans := []obs.Span{
+		span(0, "send", 1, 7, 64, 0, 0.1,
+			obs.Attr{Key: "to", Val: "1"}, obs.Attr{Key: "ctx", Val: "ab"},
+			obs.Attr{Key: "mseq", Val: "1"}),
+	}
+	rep := analyze.Analyze(spans, analyze.Options{Ranks: 2})
+	if rep.UnmatchedSends != 1 || rep.Matched != 0 {
+		t.Fatalf("unmatched sends %d, matched %d", rep.UnmatchedSends, rep.Matched)
+	}
+}
+
+// TestCollectiveImbalanceAttribution puts a waiting recv inside an
+// allgatherv container span; its wait must land in the collective
+// imbalance bucket, not Late Sender.
+func TestCollectiveImbalanceAttribution(t *testing.T) {
+	spans := []obs.Span{
+		span(1, "recv", 0, 3, 10, 0.0, 0.5,
+			obs.Attr{Key: "from", Val: "0"}, obs.Attr{Key: "ctx", Val: "1"},
+			obs.Attr{Key: "mseq", Val: "1"}, obs.Attr{Key: "wait", Val: "0.5"}),
+		span(1, "allgatherv", -1, 0, 0, 0.0, 0.6),
+	}
+	rep := analyze.Analyze(spans, analyze.Options{Ranks: 2})
+	if rep.Wait.CollImbalanceSec["allgatherv"] != 0.5 || rep.Wait.LateSenderSec != 0 {
+		t.Fatalf("imbalance %v, late-sender %g",
+			rep.Wait.CollImbalanceSec, rep.Wait.LateSenderSec)
+	}
+}
+
+// TestLateSenderRootCause runs a real four-rank virtual world where rank 2
+// is four times slower than the others, with ring exchanges after each
+// compute block.  At least 80% of the measured wait time must be blamed on
+// rank 2 by the root-cause walk — the acceptance bar for the wait-state
+// analysis: direct blame would spread over the ring neighbors.
+func TestLateSenderRootCause(t *testing.T) {
+	const n = 4
+	cl := simnet.Uniform(n, simnet.IBDDR())
+	cl.Speed = []float64{1, 1, 0.25, 1}
+	w := mpi.NewWorld(cl, mpi.Config{})
+	w.EnableTrace()
+	err := w.Run(func(c *mpi.Comm) error {
+		me := c.Rank()
+		buf := make([]byte, 512)
+		for round := 0; round < 5; round++ {
+			c.Compute(0.01)
+			right := (me + 1) % n
+			left := (me + n - 1) % n
+			c.Sendrecv(right, 7, buf, left, 7)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := analyze.Analyze(w.Tracer().Spans(), analyze.Options{Ranks: n})
+	if rep.Sends == 0 || rep.MatchRate != 1 {
+		t.Fatalf("matching: %d sends, rate %g (unmatched %d)",
+			rep.Sends, rep.MatchRate, rep.UnmatchedSends)
+	}
+	total := rep.Wait.TotalSec
+	if total <= 0 {
+		t.Fatal("no wait time measured")
+	}
+	blamed := rep.Wait.RootBlameSec[2]
+	if blamed < 0.8*total {
+		t.Fatalf("root blame on slow rank 2: %.4gs of %.4gs (%.0f%%), want >= 80%%",
+			blamed, total, 100*blamed/total)
+	}
+	// The slow rank must also dominate the critical path.
+	if rep.CritPath.PerRankSec[2] < rep.CritPath.PerRankSec[0] {
+		t.Fatalf("critical path per-rank %v: slow rank not dominant", rep.CritPath.PerRankSec)
+	}
+}
+
+// TestNonuniformStats checks ratio and Gini on a known matrix: one pair
+// carrying 4x the bytes of three others.
+func TestNonuniformStats(t *testing.T) {
+	var spans []obs.Span
+	add := func(src, dst int, b int64, mseq string) {
+		spans = append(spans, span(src, "send", dst, 1, b, 0, 0.01,
+			obs.Attr{Key: "to", Val: []string{"0", "1", "2", "3"}[dst]},
+			obs.Attr{Key: "ctx", Val: "1"}, obs.Attr{Key: "mseq", Val: mseq}))
+	}
+	add(0, 1, 400, "1")
+	add(1, 2, 100, "1")
+	add(2, 3, 100, "1")
+	add(3, 0, 100, "1")
+	rep := analyze.Analyze(spans, analyze.Options{Ranks: 4})
+	st := rep.MatrixStats
+	if st.Pairs != 4 || st.MaxBytes != 400 {
+		t.Fatalf("pairs %d max %d", st.Pairs, st.MaxBytes)
+	}
+	want := 400.0 / 175.0
+	if math.Abs(st.Ratio-want) > 1e-9 {
+		t.Fatalf("ratio %g want %g", st.Ratio, want)
+	}
+	if st.Gini <= 0 || st.Gini >= 1 {
+		t.Fatalf("gini %g out of range", st.Gini)
+	}
+}

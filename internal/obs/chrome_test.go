@@ -139,3 +139,50 @@ func TestMergeChromeTraceFiles(t *testing.T) {
 		}
 	}
 }
+
+// TestChromeExportShmLanes exports a mixed shm/tcp wall-clock trace and
+// checks the shm spans land on the wall lane of their rank (tid =
+// wallTidBase + rank), identity attrs included, and validate cleanly.
+func TestChromeExportShmLanes(t *testing.T) {
+	spans := []Span{
+		{Rank: 0, Kind: "shm_send", Peer: 1, Bytes: 64, Start: 1.0, End: 1.001,
+			Clock: ClockWall, Attrs: []Attr{{Key: "ctx", Val: "ab"}, {Key: "mseq", Val: "3"}}},
+		{Rank: 1, Kind: "shm_recv", Peer: 0, Bytes: 64, Start: 1.002, End: 1.002, Clock: ClockWall},
+		{Rank: 1, Kind: "tcp_send", Peer: 2, Bytes: 32, Start: 1.003, End: 1.004, Clock: ClockWall},
+	}
+	path := filepath.Join(t.TempDir(), "shm.json")
+	if err := WriteChromeTraceFile(path, spans, 0); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadChromeTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(evs); err != nil {
+		t.Fatalf("shm trace fails validation: %v", err)
+	}
+	found := 0
+	for i := range evs {
+		if evs[i].Ph == "M" {
+			continue
+		}
+		switch evs[i].Name {
+		case "shm_send":
+			if evs[i].Tid != wallTidBase {
+				t.Fatalf("shm_send on tid %d, want %d", evs[i].Tid, wallTidBase)
+			}
+			if evs[i].Ph == "B" && evs[i].Args["mseq"] != "3" {
+				t.Fatalf("shm_send lost identity args: %v", evs[i].Args)
+			}
+			found++
+		case "shm_recv", "tcp_send":
+			if evs[i].Tid != wallTidBase+1 {
+				t.Fatalf("%s on tid %d, want %d", evs[i].Name, evs[i].Tid, wallTidBase+1)
+			}
+			found++
+		}
+	}
+	if found < 3 {
+		t.Fatalf("only %d of 3 wall spans exported", found)
+	}
+}

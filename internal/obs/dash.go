@@ -1,0 +1,107 @@
+package obs
+
+import "net/http"
+
+// The live communication-matrix dashboard: a single self-contained HTML
+// page that polls /debug/metrics and renders any "mpi.comm_matrix.rank*"
+// entries (published by the nccdd daemon from World.CommMatrix) as a
+// heat-colored src×dst table, alongside the aggregate transport counters.
+// No external assets — the page must work on an air-gapped cluster node.
+
+// DashHandler serves the dashboard page.
+func DashHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashHTML))
+	})
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>nccd communication matrix</title>
+<style>
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; background: #111; color: #ddd; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.2em; }
+table { border-collapse: collapse; margin-top: .5em; }
+td, th { border: 1px solid #333; padding: 3px 8px; text-align: right; min-width: 4em; }
+th { color: #9ad; font-weight: normal; }
+#err { color: #f66; } .dim { color: #777; }
+#stats span { margin-right: 1.5em; }
+</style></head><body>
+<h1>nccd live communication matrix</h1>
+<div id="stats" class="dim">connecting…</div>
+<div id="err"></div>
+<h2>bytes by (src row → dst col)</h2>
+<div id="matrix" class="dim">no mpi.comm_matrix.* metrics yet</div>
+<h2>transport totals</h2>
+<div id="transport" class="dim">—</div>
+<script>
+function fmtB(v) {
+  if (v >= 1<<30) return (v/(1<<30)).toFixed(1)+'G';
+  if (v >= 1<<20) return (v/(1<<20)).toFixed(1)+'M';
+  if (v >= 1<<10) return (v/(1<<10)).toFixed(1)+'K';
+  return String(v);
+}
+function heat(v, max) {
+  if (!v || !max) return '';
+  var t = Math.log(1+v)/Math.log(1+max);
+  return 'background:rgb('+Math.round(40+120*t)+','+Math.round(30+40*t)+','+Math.round(60-30*t)+')';
+}
+function render(snap) {
+  // Merge every rank's matrix (each daemon publishes its world view; cells
+  // owned by remote ranks are zero in a local view, so summing is safe for
+  // bytes/msgs and per-rank publishes are identical for in-process worlds).
+  var mats = [];
+  for (var k in snap) if (k.indexOf('mpi.comm_matrix.rank') === 0) mats.push(snap[k]);
+  var el = document.getElementById('matrix');
+  if (mats.length) {
+    var n = mats[0].n, bytes = [], retrans = [];
+    for (var i = 0; i < n; i++) { bytes.push(new Array(n).fill(0)); retrans.push(new Array(n).fill(0)); }
+    mats.forEach(function(m) {
+      for (var i = 0; i < n; i++) for (var j = 0; j < n; j++) {
+        bytes[i][j] = Math.max(bytes[i][j], m.bytes[i][j]);
+        retrans[i][j] = Math.max(retrans[i][j], m.retrans[i][j]);
+      }
+    });
+    var max = 0, total = 0, cells = [];
+    for (var i = 0; i < n; i++) for (var j = 0; j < n; j++) {
+      if (i !== j && bytes[i][j] > 0) { cells.push(bytes[i][j]); total += bytes[i][j]; }
+      if (bytes[i][j] > max) max = bytes[i][j];
+    }
+    var mean = cells.length ? total/cells.length : 0;
+    var h = '<table><tr><th></th>';
+    for (var j = 0; j < n; j++) h += '<th>r'+j+'</th>';
+    h += '</tr>';
+    for (var i = 0; i < n; i++) {
+      h += '<tr><th>r'+i+'</th>';
+      for (var j = 0; j < n; j++) {
+        var rt = retrans[i][j] ? ' <small>('+retrans[i][j]+'rt)</small>' : '';
+        h += '<td style="'+heat(bytes[i][j], max)+'">'+(bytes[i][j] ? fmtB(bytes[i][j])+rt : '·')+'</td>';
+      }
+      h += '</tr>';
+    }
+    h += '</table>';
+    el.className = ''; el.innerHTML = h;
+    document.getElementById('stats').innerHTML =
+      '<span>ranks: '+n+'</span><span>total: '+fmtB(total)+'B</span>'+
+      '<span>nonuniformity (max/mean): '+(mean ? (max/mean).toFixed(2) : '—')+'</span>';
+  }
+  var t = [], keys = ['transport.tcp.total', 'transport.shm.total'];
+  keys.forEach(function(k) {
+    if (snap[k]) t.push(k.split('.')[1]+': '+JSON.stringify(snap[k]));
+  });
+  if (t.length) {
+    var tr = document.getElementById('transport');
+    tr.className = ''; tr.textContent = t.join('  |  ');
+  }
+}
+function tick() {
+  fetch('/debug/metrics').then(function(r) { return r.json(); }).then(function(snap) {
+    document.getElementById('err').textContent = '';
+    render(snap);
+  }).catch(function(e) {
+    document.getElementById('err').textContent = 'fetch failed: ' + e;
+  });
+}
+tick(); setInterval(tick, 1000);
+</script></body></html>
+`

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The dashboard must stay a single self-contained page: served with an
+// HTML content type, polling the metrics endpoint it is mounted next to,
+// and free of external asset references (it has to render on an
+// air-gapped cluster node).
+func TestDashHandlerSelfContained(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DashHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/dash", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"/debug/metrics", "mpi.comm_matrix", "transport."} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard page missing %q", want)
+		}
+	}
+	for _, banned := range []string{"http://", "https://", "src=", "href="} {
+		if strings.Contains(body, banned) {
+			t.Errorf("dashboard page references an external asset (%q)", banned)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func ServeMetrics(addr string, r *Registry) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	h := MetricsHandler(r)
 	mux.Handle("/debug/metrics", h)
+	mux.Handle("/dash", DashHandler())
 	mux.Handle("/", h)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"os"
+	"regexp"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -203,7 +204,98 @@ func (r *Registry) Snapshot() map[string]any {
 	for n, f := range funcs {
 		out[n] = f()
 	}
+	addRankTotals(out)
 	return out
+}
+
+// rankMetric splits a per-rank metric name ("transport.tcp.rank3.frames")
+// into its base form with the rank component removed.
+var rankMetric = regexp.MustCompile(`^(.*)\.rank\d+($|\..*)`)
+
+// addRankTotals folds per-rank metric families into aggregate entries: for
+// every family of names differing only in a ".rankN" component, a
+// "<base>.total" entry is added holding the field-wise sum.  Raw per-rank
+// entries are kept; the totals ride alongside so a dashboard reading a
+// many-rank snapshot does not have to know the world size.  Values are
+// JSON-round-tripped before summing, so typed snapshot-function results
+// aggregate the same way they marshal.
+func addRankTotals(out map[string]any) {
+	groups := make(map[string][]any)
+	for name, v := range out {
+		m := rankMetric.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		base := m[1] + m[2] + ".total"
+		groups[base] = append(groups[base], v)
+	}
+	for base, vals := range groups {
+		if _, taken := out[base]; taken || len(vals) == 0 {
+			continue
+		}
+		total := toJSON(vals[0])
+		for _, v := range vals[1:] {
+			total = sumJSON(total, toJSON(v))
+		}
+		out[base] = total
+	}
+}
+
+// toJSON normalizes a value to the generic JSON shape (map[string]any,
+// []any, float64, ...) so heterogeneous typed values sum structurally.
+func toJSON(v any) any {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return v
+	}
+	var out any
+	if err := json.Unmarshal(b, &out); err != nil {
+		return v
+	}
+	return out
+}
+
+// sumJSON adds two generic JSON values field-wise: numbers add, objects
+// merge recursively, arrays add element-wise (trailing elements of the
+// longer array are kept), anything else keeps the first value.
+func sumJSON(a, b any) any {
+	switch av := a.(type) {
+	case float64:
+		if bv, ok := b.(float64); ok {
+			return av + bv
+		}
+	case map[string]any:
+		if bv, ok := b.(map[string]any); ok {
+			for k, v := range bv {
+				if cur, ok := av[k]; ok {
+					av[k] = sumJSON(cur, v)
+				} else {
+					av[k] = v
+				}
+			}
+			return av
+		}
+	case []any:
+		if bv, ok := b.([]any); ok {
+			n := len(av)
+			if len(bv) > n {
+				n = len(bv)
+			}
+			out := make([]any, n)
+			for i := 0; i < n; i++ {
+				switch {
+				case i >= len(av):
+					out[i] = bv[i]
+				case i >= len(bv):
+					out[i] = av[i]
+				default:
+					out[i] = sumJSON(av[i], bv[i])
+				}
+			}
+			return out
+		}
+	}
+	return a
 }
 
 // WriteSnapshotFile writes the registry's JSON snapshot to path, the

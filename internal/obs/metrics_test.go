@@ -55,6 +55,45 @@ func TestRegistrySnapshot(t *testing.T) {
 	}
 }
 
+// TestRankTotalAggregation checks that per-rank metric families gain a
+// summed ".total" sibling: counters add, snapshot-func structs add
+// field-wise through their JSON form, and non-rank names are untouched.
+func TestRankTotalAggregation(t *testing.T) {
+	type wire struct {
+		Frames int64   `json:"frames"`
+		Bytes  int64   `json:"bytes"`
+		Rate   float64 `json:"rate"`
+	}
+	r := NewRegistry()
+	r.RegisterFunc("transport.tcp.rank0", func() any { return wire{Frames: 3, Bytes: 100, Rate: 1.5} })
+	r.RegisterFunc("transport.tcp.rank1", func() any { return wire{Frames: 5, Bytes: 200, Rate: 0.5} })
+	r.Counter("transport.shm.rank0.drops").Add(2)
+	r.Counter("transport.shm.rank3.drops").Add(7)
+	r.Counter("plain_counter").Add(9)
+
+	snap := r.Snapshot()
+	tcp, ok := snap["transport.tcp.total"].(map[string]any)
+	if !ok {
+		t.Fatalf("transport.tcp.total is %T", snap["transport.tcp.total"])
+	}
+	if tcp["frames"] != float64(8) || tcp["bytes"] != float64(300) || tcp["rate"] != 2.0 {
+		t.Fatalf("tcp total = %v", tcp)
+	}
+	if got := snap["transport.shm.drops.total"]; got != float64(9) {
+		t.Fatalf("shm drops total = %v, want 9", got)
+	}
+	// Raw per-rank entries survive alongside.
+	if _, ok := snap["transport.tcp.rank0"]; !ok {
+		t.Fatal("raw per-rank entry removed")
+	}
+	if _, ok := snap["plain_counter.total"]; ok {
+		t.Fatal("non-rank metric grew a total")
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
 func TestServeMetrics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("retransmits").Add(42)

@@ -149,3 +149,35 @@ func BenchmarkEnabledEmit(b *testing.B) {
 		tr.Emit(Span{Rank: 0, Kind: "x", Start: float64(i), End: float64(i)})
 	}
 }
+
+// TestRingDropAccountingConcurrent hammers one lane from several writers
+// and checks conservation: every emitted span is either retrievable or
+// accounted as dropped — no span vanishes without a count.
+func TestRingDropAccountingConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		each    = 1000
+	)
+	tr := NewTracer(128)
+	tr.Enable()
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(Span{Rank: 0, Kind: "k", Tag: wtr, Start: float64(i), End: float64(i)})
+			}
+		}(wtr)
+	}
+	wg.Wait()
+	kept := len(tr.Spans())
+	dropped := tr.Dropped()
+	if int64(kept)+dropped != writers*each {
+		t.Fatalf("conservation violated: %d kept + %d dropped != %d emitted",
+			kept, dropped, writers*each)
+	}
+	if kept != 128 {
+		t.Fatalf("full ring holds %d spans, want capacity 128", kept)
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Raw span persistence.  The Chrome export (chrome.go) is a lossy
+// projection for a human viewer; the cross-rank analyzer needs the spans
+// themselves — attributes included — so each process dumps its tracer
+// verbatim and the analyzing process stitches the per-rank files back
+// together.  The format is one JSON document, spans in ring order
+// (per-lane oldest-first), with the drop count preserved so the analyzer
+// can refuse to claim completeness over a truncated trace.
+
+// SpanFile is the on-disk form of one process's trace.
+type SpanFile struct {
+	Dropped int64  `json:"dropped"`
+	Spans   []Span `json:"spans"`
+}
+
+// WriteSpansFile writes the tracer's recorded spans and drop count to path.
+func WriteSpansFile(path string, t *Tracer) error {
+	return WriteSpans(path, t.Spans(), t.Dropped())
+}
+
+// WriteSpans writes an explicit span set to path.
+func WriteSpans(path string, spans []Span, dropped int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(SpanFile{Dropped: dropped, Spans: spans}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSpansFile loads a span file written by WriteSpansFile.
+func ReadSpansFile(path string) (SpanFile, error) {
+	var sf SpanFile
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return sf, err
+	}
+	if err := json.Unmarshal(b, &sf); err != nil {
+		return sf, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	return sf, nil
+}

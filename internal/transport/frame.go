@@ -70,7 +70,7 @@ const (
 	helloBodyLen    = 1 + 8 + 4 + 4 + 8  // kind + world id + rank + size + epoch
 	ackBodyLen      = 1 + 8              // kind + tseq
 	beatBodyLen     = 1 + 8              // kind + epoch
-	hdrLen          = 8 + 4 + 4 + 8 + 1 + 4 + 8 + 4
+	hdrLen          = 8 + 4 + 4 + 8 + 1 + 4 + 8 + 4 + 8
 
 	// DefaultMaxFrame bounds a frame's wire size; a length prefix above the
 	// limit is treated as stream corruption.
@@ -114,6 +114,7 @@ func appendHeader(dst []byte, h *Header) []byte {
 	binary.LittleEndian.PutUint32(b[25:], uint32(h.WSrc))
 	binary.LittleEndian.PutUint64(b[29:], h.Seq)
 	binary.LittleEndian.PutUint32(b[37:], h.Sum)
+	binary.LittleEndian.PutUint64(b[41:], h.MSeq)
 	return append(dst, b[:]...)
 }
 
@@ -127,6 +128,7 @@ func decodeHeader(b []byte) Header {
 		WSrc:     int32(binary.LittleEndian.Uint32(b[25:])),
 		Seq:      binary.LittleEndian.Uint64(b[29:]),
 		Sum:      binary.LittleEndian.Uint32(b[37:]),
+		MSeq:     binary.LittleEndian.Uint64(b[41:]),
 	}
 }
 

@@ -23,6 +23,7 @@ func randomDataFrame(rng *rand.Rand) Frame {
 			WSrc:     int32(rng.Intn(1 << 20)),
 			Seq:      rng.Uint64(),
 			Sum:      rng.Uint32(),
+			MSeq:     rng.Uint64(),
 		},
 		Payload: payload,
 	}

@@ -437,7 +437,7 @@ func (t *Transport) Send(to int, hdr transport.Header, payload []byte) error {
 	t.stats.bytesSent.Add(int64(recordBytes(nbytes)))
 	if traced {
 		if end, ok := t.traceNow(); ok {
-			t.trace("shm_send", to, int64(nbytes), start, end)
+			t.trace("shm_send", to, int64(nbytes), start, end, transport.IdentAttrs(hdr)...)
 		}
 	}
 	return nil
@@ -497,7 +497,7 @@ func (t *Transport) SendVectored(to int, hdr transport.Header, user []byte, segs
 	if traced {
 		if end, ok := t.traceNow(); ok {
 			t.trace("shm_send", to, int64(nbytes), start, end,
-				obs.Attr{Key: "vectored", Val: "true"})
+				transport.IdentAttrs(hdr, obs.Attr{Key: "vectored", Val: "true"})...)
 		}
 	}
 	return nil
@@ -638,7 +638,7 @@ func (t *Transport) drainRing(p *shmPeer) bool {
 		t.stats.framesRecv.Add(1)
 		t.stats.bytesRecv.Add(int64(recordBytes(len(payload))))
 		if now, ok := t.traceNow(); ok {
-			t.trace("shm_recv", p.rank, int64(len(payload)), now, now)
+			t.trace("shm_recv", p.rank, int64(len(payload)), now, now, transport.IdentAttrs(hdr)...)
 		}
 		t.deliver(t.cfg.Rank, hdr, payload)
 	}

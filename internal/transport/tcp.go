@@ -659,7 +659,7 @@ func (t *TCP) readLoop(p *tcpPeer, br *bufio.Reader, gen uint64) {
 				t.sendAck(p, f.TSeq)
 			}
 			if now, ok := t.traceNow(); ok {
-				t.trace("tcp_recv", p.rank, int64(len(f.Payload)), now, now)
+				t.trace("tcp_recv", p.rank, int64(len(f.Payload)), now, now, IdentAttrs(f.Hdr)...)
 			}
 			t.deliver(t.cfg.Rank, f.Hdr, f.Payload)
 		case KindAck:
@@ -778,7 +778,7 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 		if traced && err == nil {
 			if end, ok := t.traceNow(); ok {
 				t.trace("tcp_send", to, nbytes, start, end,
-					obs.Attr{Key: "reliable", Val: "true"})
+					IdentAttrs(hdr, obs.Attr{Key: "reliable", Val: "true"})...)
 			}
 		}
 		return err
@@ -792,7 +792,7 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 	t.stats.framesSent.Add(1)
 	if traced {
 		if end, ok := t.traceNow(); ok {
-			t.trace("tcp_send", to, nbytes, start, end)
+			t.trace("tcp_send", to, nbytes, start, end, IdentAttrs(hdr)...)
 		}
 	}
 	return nil
@@ -842,8 +842,8 @@ func (t *TCP) SendVectored(to int, hdr Header, user []byte, segs []datatype.Segm
 		if traced && err == nil {
 			if end, ok := t.traceNow(); ok {
 				t.trace("tcp_send", to, int64(nbytes), start, end,
-					obs.Attr{Key: "reliable", Val: "true"},
-					obs.Attr{Key: "vectored", Val: "true"})
+					IdentAttrs(hdr, obs.Attr{Key: "reliable", Val: "true"},
+						obs.Attr{Key: "vectored", Val: "true"})...)
 			}
 		}
 		return err
@@ -857,7 +857,7 @@ func (t *TCP) SendVectored(to int, hdr Header, user []byte, segs []datatype.Segm
 	if traced {
 		if end, ok := t.traceNow(); ok {
 			t.trace("tcp_send", to, int64(nbytes), start, end,
-				obs.Attr{Key: "vectored", Val: "true"})
+				IdentAttrs(hdr, obs.Attr{Key: "vectored", Val: "true"})...)
 		}
 	}
 	return nil

@@ -12,10 +12,27 @@ package transport
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
 	"nccd/internal/datatype"
+	"nccd/internal/obs"
 )
+
+// IdentAttrs extends attrs with the cross-rank matching identity carried in
+// hdr — the communicator context (hex) and the per-(src,dst) message
+// sequence (decimal) — so a transport-level span can be correlated with the
+// mpi-level send/recv spans it carried.  Frames without an identity (MSeq
+// 0: control traffic such as goodbyes and acks) pass attrs through
+// unchanged.
+func IdentAttrs(hdr Header, attrs ...obs.Attr) []obs.Attr {
+	if hdr.MSeq == 0 {
+		return attrs
+	}
+	return append(attrs,
+		obs.Attr{Key: "ctx", Val: strconv.FormatUint(hdr.Ctx, 16)},
+		obs.Attr{Key: "mseq", Val: strconv.FormatUint(hdr.MSeq, 10)})
+}
 
 // Header is the runtime metadata that travels with every message.  The
 // fields mirror internal/mpi's envelope: routing (communicator context,
@@ -42,6 +59,12 @@ type Header struct {
 	WSrc     int32
 	Seq      uint64
 	Sum      uint32
+	// MSeq is the sender-assigned per-(source,destination) message sequence
+	// number used by the observability layer to match a send span to its
+	// receive span across ranks.  It is carried on every data frame and has
+	// no protocol meaning: retransmitted copies of one logical message share
+	// one MSeq.
+	MSeq uint64
 }
 
 // Handler consumes one inbound message addressed to local rank to.  The
