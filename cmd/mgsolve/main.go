@@ -62,10 +62,21 @@ func main() {
 	aggr := flag.Int("aggr", 2, "collective-I/O aggregator rank count")
 	stripe := flag.Int64("stripe", 256<<10, "collective-I/O stripe size in bytes")
 	ioFault := flag.String("iofault", "", "checkpoint I/O fault spec forwarded to every daemon, e.g. short=0.2,eio=0.1,fsync=0.1,enospc=65536,seed=7")
+	serveStress := flag.Int("servestress", 0, "spawn an N-rank nccdd -serve fleet and stress the multi-tenant service: 1 huge + -servejobs small concurrent jobs, SIGKILL one rank mid-run, bitwise verification of every completed job, healed-resume / overload / cancel / drain checks; exit 3 = unexpected overload, 4 = job failed, 5 = unexpected cancel")
+	serveJobs := flag.Int("servejobs", 8, "small concurrent jobs in the -servestress run")
+	serveKill := flag.Int("servekill", -1, "mesh rank -servestress SIGKILLs mid-run (-1 = last rank; 0 is refused — it hosts the controller)")
+	submit := flag.String("submit", "", "submit one job (the -extent/-levels/-rtol/-maxcycles problem) to a running service at this base URL, wait, and exit 0 completed / 3 overloaded / 4 failed / 5 canceled")
 	flag.Parse()
 	p := bench.MultigridParams{Extent: *extent, Levels: *levels, Rtol: *rtol, MaxCycles: *maxCycles}
 	code := 0
 	switch {
+	case *submit != "":
+		code = runServeSubmit(*submit, p)
+	case *serveStress > 0:
+		code = runServeStress(serveStressConfig{
+			n: *serveStress, smallJobs: *serveJobs, killRank: *serveKill,
+			daemon: *daemon, arm: *arm,
+		})
 	case *commprof != "":
 		code = runCommProf(*np, *arm, p, *commprof)
 	case *tcp > 0:

@@ -1,0 +1,524 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"nccd/internal/bench"
+	"nccd/internal/core"
+	"nccd/internal/service"
+)
+
+// Per-outcome exit codes of the service client and stress supervisor, so a
+// calling script can tell WHY a job run came back nonzero: the service
+// refused the work (back off and retry), the solve failed (investigate),
+// or somebody canceled it (expected).
+const (
+	exitOverloaded = 3
+	exitFailed     = 4
+	exitCanceled   = 5
+)
+
+// --- HTTP client helpers -------------------------------------------------
+
+func postJob(base string, spec service.JobSpec) (id uint64, code int, retryAfter string, err error) {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, "", err
+	}
+	defer resp.Body.Close()
+	code = resp.StatusCode
+	retryAfter = resp.Header.Get("Retry-After")
+	if code == http.StatusAccepted {
+		var sr struct {
+			ID uint64 `json:"id"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&sr); derr != nil {
+			return 0, code, retryAfter, derr
+		}
+		return sr.ID, code, retryAfter, nil
+	}
+	b, _ := io.ReadAll(resp.Body)
+	return 0, code, retryAfter, fmt.Errorf("POST /jobs: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+}
+
+func getJob(base string, id uint64) (service.JobStatus, error) {
+	var st service.JobStatus
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /jobs/%d: %s", id, resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func listJobs(base string) ([]service.JobStatus, error) {
+	resp, err := http.Get(base + "/jobs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out []service.JobStatus
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func cancelJob(base string, id uint64) error {
+	resp, err := http.Post(fmt.Sprintf("%s/jobs/%d/cancel", base, id), "application/json", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("cancel job %d: %s", id, resp.Status)
+	}
+	return nil
+}
+
+func isTerminal(state string) bool {
+	switch state {
+	case "completed", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+func waitTerminal(base string, id uint64, timeout time.Duration) (service.JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := getJob(base, id)
+		if err == nil && isTerminal(st.State) {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("job %d still %q after %v", id, st.State, timeout)
+			}
+			return st, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runServeSubmit is the single-job service client (-submit URL): POST one
+// job, wait for a terminal state, and exit with the per-outcome code.
+func runServeSubmit(base string, p bench.MultigridParams) int {
+	base = strings.TrimSuffix(base, "/")
+	spec := service.JobSpec{Extent: p.Extent, Levels: p.Levels, Rtol: p.Rtol, MaxCycles: p.MaxCycles}
+	id, code, retryAfter, err := postJob(base, spec)
+	if code == http.StatusTooManyRequests {
+		fmt.Fprintf(os.Stderr, "mgsolve: service overloaded (Retry-After: %ss): %v\n", retryAfter, err)
+		return exitOverloaded
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	fmt.Printf("submitted job %d\n", id)
+	st, err := waitTerminal(base, id, 10*time.Minute)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	switch st.State {
+	case "completed":
+		fmt.Printf("job %d completed: %d cycles, relres %.3e, %.3fs (attempts %d, restored from %d)\n",
+			id, st.Cycles, st.RelRes, st.Seconds, st.Attempts, st.RestoredFrom)
+		return 0
+	case "canceled":
+		fmt.Fprintf(os.Stderr, "mgsolve: job %d canceled: %s\n", id, st.Error)
+		return exitCanceled
+	default:
+		fmt.Fprintf(os.Stderr, "mgsolve: job %d failed: %s\n", id, st.Error)
+		return exitFailed
+	}
+}
+
+// --- stress supervisor ---------------------------------------------------
+
+type serveStressConfig struct {
+	n         int // mesh size
+	smallJobs int
+	killRank  int // -1 = last rank; 0 refused (controller)
+	daemon    string
+	arm       string
+}
+
+type svcProc struct {
+	rank int
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// startServeDaemon spawns one nccdd -serve rank and streams its stdout
+// lines through onLine.  The returned proc's done channel yields cmd.Wait.
+func startServeDaemon(daemon string, rank, n int, addrs []string, worldID uint64,
+	arm, ckptDir string, extra []string, pt *procTable, onLine func(rank int, line string)) (*svcProc, error) {
+	args := []string{
+		"-serve", "127.0.0.1:0",
+		"-rank", fmt.Sprint(rank),
+		"-n", fmt.Sprint(n),
+		"-addrs", strings.Join(addrs, ","),
+		"-world", fmt.Sprint(worldID),
+		"-arm", arm,
+		"-ckpt", ckptDir,
+		"-ckptevery", "2",
+		"-hb", "25ms", "-hbmiss", "3",
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(daemon, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	pt.set(rank, cmd)
+	p := &svcProc{rank: rank, cmd: cmd, done: make(chan error, 1)}
+	go func() {
+		sc := bufio.NewScanner(out)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			onLine(rank, sc.Text())
+		}
+		p.done <- cmd.Wait()
+		pt.remove(rank)
+	}()
+	return p, nil
+}
+
+var reJobCycle = regexp.MustCompile(`^EVENT JOB (\d+) cycle (\d+)$`)
+
+// runServeStress drives the multi-tenant smoke end to end: spawn an n-rank
+// nccdd -serve fleet, submit one huge and smallJobs small concurrent jobs,
+// SIGKILL one worker rank once the huge job has durable checkpoints,
+// respawn it as a -rejoin replacement, and require
+//
+//   - every job mapped onto the dead rank to heal and complete, the huge
+//     one resuming from its own checkpoint (restored_from > 0),
+//   - every job NOT mapped onto it to complete undisturbed in one attempt,
+//   - all completed histories to match in-process references bitwise,
+//   - a deliberately oversized submission to bounce with 429 + Retry-After,
+//   - a cancel request to land as state "canceled",
+//   - SIGTERM to drain the whole fleet to clean zero exits.
+func runServeStress(sc serveStressConfig) int {
+	if sc.n < 3 {
+		fmt.Fprintln(os.Stderr, "mgsolve: -servestress needs at least 3 ranks")
+		return 1
+	}
+	if sc.killRank < 0 {
+		sc.killRank = sc.n - 1
+	}
+	if sc.killRank == 0 || sc.killRank >= sc.n {
+		fmt.Fprintf(os.Stderr, "mgsolve: -servekill %d invalid (rank 0 hosts the controller; mesh has %d ranks)\n", sc.killRank, sc.n)
+		return 1
+	}
+	daemon, err := locateDaemon(sc.daemon)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	addrs, err := freeAddrs(sc.n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: allocating ports: %v\n", err)
+		return 1
+	}
+	ckptDir, err := os.MkdirTemp("", "nccd-svc-ckpt-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: checkpoint dir: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(ckptDir)
+	worldID := uint64(os.Getpid())
+	pt := newProcTable()
+	defer pt.killAll()
+
+	// The kill trigger: once the huge job's rank 0 reports enough cycles
+	// for two durable checkpoints (-ckptevery 2), the victim dies.
+	var hugeID atomic.Uint64
+	killReady := make(chan struct{})
+	var killOnce sync.Once
+	apiCh := make(chan string, 1)
+	onLine := func(rank int, line string) {
+		fmt.Printf("[svc %d] %s\n", rank, line)
+		if a, ok := strings.CutPrefix(line, "SERVICE "); ok && rank == 0 {
+			select {
+			case apiCh <- a:
+			default:
+			}
+		}
+		if m := reJobCycle.FindStringSubmatch(line); m != nil {
+			id, _ := strconv.ParseUint(m[1], 10, 64)
+			cyc, _ := strconv.Atoi(m[2])
+			if id == hugeID.Load() && id != 0 && cyc >= 6 {
+				killOnce.Do(func() { close(killReady) })
+			}
+		}
+	}
+
+	fmt.Printf("spawning %d nccdd -serve daemons over TCP localhost\n", sc.n)
+	procs := make([]*svcProc, sc.n)
+	for r := 0; r < sc.n; r++ {
+		procs[r], err = startServeDaemon(daemon, r, sc.n, addrs, worldID, sc.arm, ckptDir, nil, pt, onLine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: spawning rank %d: %v\n", r, err)
+			return 1
+		}
+	}
+	var api string
+	select {
+	case a := <-apiCh:
+		api = "http://" + a
+	case <-time.After(30 * time.Second):
+		fmt.Fprintln(os.Stderr, "mgsolve: no SERVICE line from rank 0 within 30s")
+		return 1
+	}
+	fmt.Printf("job API at %s\n", api)
+
+	// One huge job spanning the whole mesh (low rtol so it runs its full
+	// cycle budget — long enough to be mid-flight when the rank dies) and
+	// smallJobs quick two-rank jobs, some of which land on the victim.
+	hugeSpec := service.JobSpec{Extent: 48, Levels: 3, Rtol: 1e-30, MaxCycles: 40, Ranks: sc.n, Weight: 3}
+	smallSpec := service.JobSpec{Extent: 16, Levels: 3, Rtol: 1e-10, MaxCycles: 20, Ranks: 2}
+	hid, code, _, err := postJob(api, hugeSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: submitting huge job (HTTP %d): %v\n", code, err)
+		return 1
+	}
+	hugeID.Store(hid)
+	smallIDs := make([]uint64, 0, sc.smallJobs)
+	for i := 0; i < sc.smallJobs; i++ {
+		id, code, _, err := postJob(api, smallSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: submitting small job %d (HTTP %d): %v\n", i, code, err)
+			return 1
+		}
+		smallIDs = append(smallIDs, id)
+	}
+	fmt.Printf("submitted huge job %d and %d small jobs %v\n", hid, len(smallIDs), smallIDs)
+
+	// Overload probe: a job whose estimated footprint alone crosses the
+	// active-bytes watermark must bounce with the typed 429 + Retry-After.
+	_, code, retryAfter, err := postJob(api, service.JobSpec{Extent: 360, Ranks: sc.n})
+	if code != http.StatusTooManyRequests || retryAfter == "" {
+		fmt.Fprintf(os.Stderr, "mgsolve: overload probe: want 429 with Retry-After, got HTTP %d (Retry-After %q, err %v)\n",
+			code, retryAfter, err)
+		return exitOverloaded
+	}
+	fmt.Printf("overload probe bounced as designed: HTTP 429, Retry-After %ss\n", retryAfter)
+
+	// Cancel probe: submit and immediately cancel; whichever state the
+	// controller catches it in (queued or running), it must land canceled.
+	cancelID, code, _, err := postJob(api, service.JobSpec{Extent: 16, Levels: 3, Rtol: 1e-30, MaxCycles: 200, Ranks: 2})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: submitting cancel probe (HTTP %d): %v\n", code, err)
+		return 1
+	}
+	if err := cancelJob(api, cancelID); err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+
+	// Mid-run fault injection: SIGKILL the victim once the huge job has
+	// checkpoints behind it, then respawn it as a rejoin replacement.
+	select {
+	case <-killReady:
+	case <-time.After(2 * time.Minute):
+		fmt.Fprintln(os.Stderr, "mgsolve: huge job never reached cycle 6 within 2m")
+		return 1
+	}
+	victim := pt.get(sc.killRank)
+	if victim == nil || victim.Process == nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: victim rank %d already gone\n", sc.killRank)
+		return 1
+	}
+	fmt.Printf("chaos: SIGKILL rank %d mid-run\n", sc.killRank)
+	_ = victim.Process.Kill()
+	<-procs[sc.killRank].done // reaped; expected to be the kill
+	fmt.Printf("chaos: respawning rank %d as a -rejoin replacement\n", sc.killRank)
+	procs[sc.killRank], err = startServeDaemon(daemon, sc.killRank, sc.n, addrs, worldID, sc.arm, ckptDir,
+		[]string{"-rejoin", "-epoch", "1"}, pt, onLine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: respawning rank %d: %v\n", sc.killRank, err)
+		return 1
+	}
+
+	// Wait for every job to reach a terminal state.
+	allIDs := append(append([]uint64{hid}, smallIDs...), cancelID)
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		jobs, lerr := listJobs(api)
+		if lerr == nil {
+			doneCount := 0
+			for _, st := range jobs {
+				if isTerminal(st.State) {
+					doneCount++
+				}
+			}
+			if doneCount == len(allIDs) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "mgsolve: jobs not all terminal within 5m")
+			if jobs, lerr := listJobs(api); lerr == nil {
+				for _, st := range jobs {
+					fmt.Fprintf(os.Stderr, "  job %d: %s (attempts %d)\n", st.ID, st.State, st.Attempts)
+				}
+			}
+			return 1
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Collect final statuses, then drain the fleet before the (CPU-heavy)
+	// reference runs.
+	final := make(map[uint64]service.JobStatus)
+	for _, id := range allIDs {
+		st, gerr := getJob(api, id)
+		if gerr != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: %v\n", gerr)
+			return 1
+		}
+		final[id] = st
+	}
+	fmt.Println("draining fleet with SIGTERM")
+	pt.mu.Lock()
+	for _, cmd := range pt.cmds {
+		if cmd.Process != nil {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	pt.mu.Unlock()
+	for _, p := range procs {
+		select {
+		case werr := <-p.done:
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "mgsolve: rank %d exited uncleanly after drain: %v\n", p.rank, werr)
+				return 1
+			}
+		case <-time.After(60 * time.Second):
+			fmt.Fprintf(os.Stderr, "mgsolve: rank %d did not drain within 60s\n", p.rank)
+			return 1
+		}
+	}
+	fmt.Println("fleet drained: every daemon exited 0")
+
+	return verifyServeOutcomes(sc, final, hid, smallIDs, cancelID)
+}
+
+// verifyServeOutcomes checks the collected terminal statuses against the
+// fault-isolation and bitwise-reproducibility contracts.
+func verifyServeOutcomes(sc serveStressConfig, final map[uint64]service.JobStatus,
+	hid uint64, smallIDs []uint64, cancelID uint64) int {
+	cfg, mode, err := bench.ArmByName(sc.arm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mgsolve: %v\n", err)
+		return 1
+	}
+	onVictim := func(st service.JobStatus) bool {
+		for _, r := range st.Ranks {
+			if r == sc.killRank {
+				return true
+			}
+		}
+		return false
+	}
+
+	if st := final[cancelID]; st.State != "canceled" {
+		fmt.Fprintf(os.Stderr, "mgsolve: cancel probe %d ended %q, want canceled (error %q)\n", cancelID, st.State, st.Error)
+		return exitCanceled
+	}
+	fmt.Printf("cancel probe %d landed canceled\n", cancelID)
+
+	solved := append([]uint64{hid}, smallIDs...)
+	untouched := 0
+	for _, id := range solved {
+		st := final[id]
+		switch st.State {
+		case "completed":
+		case "canceled":
+			fmt.Fprintf(os.Stderr, "mgsolve: job %d unexpectedly canceled: %s\n", id, st.Error)
+			return exitCanceled
+		default:
+			fmt.Fprintf(os.Stderr, "mgsolve: job %d ended %q: %s\n", id, st.State, st.Error)
+			return exitFailed
+		}
+		if !onVictim(st) {
+			untouched++
+			if st.Attempts != 1 {
+				fmt.Fprintf(os.Stderr, "mgsolve: job %d avoided the dead rank (ranks %v) yet ran %d attempts — fault isolation broken\n",
+					id, st.Ranks, st.Attempts)
+				return exitFailed
+			}
+		}
+	}
+	huge := final[hid]
+	if !onVictim(huge) {
+		fmt.Fprintf(os.Stderr, "mgsolve: huge job %d not mapped onto killed rank %d (ranks %v) — kill missed its target\n",
+			hid, sc.killRank, huge.Ranks)
+		return 1
+	}
+	if huge.Attempts < 2 || huge.RestoredFrom <= 0 {
+		fmt.Fprintf(os.Stderr, "mgsolve: huge job %d should have healed from its checkpoint (attempts %d, restored_from %d)\n",
+			hid, huge.Attempts, huge.RestoredFrom)
+		return exitFailed
+	}
+	fmt.Printf("huge job %d healed: attempt %d resumed from checkpoint cycle %d\n", hid, huge.Attempts, huge.RestoredFrom)
+	if untouched == 0 {
+		fmt.Fprintln(os.Stderr, "mgsolve: every small job landed on the killed rank; nothing exercised the isolation path (rerun, or raise -servejobs)")
+		return 1
+	}
+	fmt.Printf("%d job(s) never touched the killed rank and completed in one attempt\n", untouched)
+
+	// Bitwise verification: one in-process reference per distinct problem.
+	// Residual histories are decomposition- and transport-independent, so
+	// the service runs must reproduce them exactly; a healed job's history
+	// covers the cycles after its restore point.
+	fmt.Println("verifying residual histories against in-process references...")
+	refs := make(map[uint64][]float64)
+	refFor := func(st service.JobStatus) []float64 {
+		key := uint64(st.Spec.Extent)<<32 | uint64(st.Spec.MaxCycles)<<8 | uint64(len(st.Ranks))
+		if h, ok := refs[key]; ok {
+			return h
+		}
+		p := bench.MultigridParams{Extent: st.Spec.Extent, Levels: st.Spec.Levels,
+			Rtol: st.Spec.Rtol, MaxCycles: st.Spec.MaxCycles}
+		h := bench.RunMultigridWorld(core.NewUniformWorld(len(st.Ranks), cfg), p, mode).History
+		refs[key] = h
+		return h
+	}
+	for _, id := range solved {
+		st := final[id]
+		ref := refFor(st)
+		from := st.RestoredFrom
+		if from > len(ref) {
+			fmt.Fprintf(os.Stderr, "mgsolve: job %d restored from cycle %d beyond the reference's %d cycles\n", id, from, len(ref))
+			return exitFailed
+		}
+		if err := historiesEqual(st.History, ref[from:]); err != nil {
+			fmt.Fprintf(os.Stderr, "mgsolve: job %d diverged from the in-process reference (from cycle %d): %v\n", id, from, err)
+			return exitFailed
+		}
+	}
+	fmt.Printf("OK: all %d solved jobs reproduced their in-process reference histories bitwise\n", len(solved))
+	return 0
+}

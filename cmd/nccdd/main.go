@@ -30,17 +30,37 @@
 // restore is a local data-sieving read of just the owned range.  -iofault
 // injects filesystem faults (short writes, EIO, ENOSPC, fsync failure,
 // crash-between-write-and-rename) into either checkpoint path.
+//
+// With -serve ADDR the daemon stops being a one-shot solver and becomes
+// one rank of a long-lived multi-tenant solver service: rank 0 serves the
+// job API (POST /jobs, GET /jobs/<id>, POST /jobs/<id>/cancel) plus
+// /debug/metrics and /dash on ADDR (printed as a "SERVICE <addr>" line),
+// and every rank hosts its share of the submitted jobs, each in its own
+// communicator namespace on the shared mesh.  SIGTERM drains: running
+// jobs are canceled, then every daemon exits cleanly.  A SIGKILLed rank
+// is respawned by its supervisor with -rejoin -epoch N and the same
+// rank/address; only the jobs mapped onto that rank abort — they heal
+// from their own checkpoints (-ckpt) while untouched jobs run on
+// undisturbed.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"nccd/internal/bench"
+	"nccd/internal/mpi"
+	"nccd/internal/obs"
+	"nccd/internal/petsc"
+	"nccd/internal/service"
 	"nccd/internal/simnet"
 	"nccd/internal/transport"
 )
@@ -79,6 +99,7 @@ func main() {
 	ioFault := flag.String("iofault", "", "inject checkpoint I/O faults, e.g. short=0.2,eio=0.1,fsync=0.1,enospc=65536,crash=12,seed=7")
 	perNode := flag.Int("pernode", 1, "co-located ranks per node: >1 groups ranks onto nodes (node = rank/pernode), intra-node traffic over a shared-memory segment, inter-node over TCP")
 	shmDir := flag.String("shmdir", "", "directory for the per-node shared-memory segment files (required with -pernode > 1; must be shared by co-located ranks)")
+	serve := flag.String("serve", "", "run as a multi-tenant solver service instead of one fixed solve: rank 0 serves the job API, /debug/metrics and /dash at this address (e.g. 127.0.0.1:0)")
 	flag.Parse()
 
 	addrs := strings.Split(*addrList, ",")
@@ -115,6 +136,15 @@ func main() {
 	}
 	pl := bench.Placement{PerNode: *perNode, ShmDir: *shmDir}
 
+	if *serve != "" {
+		if err := runService(tcfg, cfg, mode, *serve, *ckptDir, *ckptEvery); err != nil {
+			fmt.Fprintf(os.Stderr, "nccdd: rank %d: %v\n", *rank, err)
+			os.Exit(1)
+		}
+		fmt.Println("SERVED")
+		return
+	}
+
 	var rep bench.RankReport
 	if *selfheal || *ckptDir != "" || *rejoin {
 		rep, err = bench.RunMultigridSelfHealDaemon(tcfg, pl, cfg, p, mode, ob, bench.SelfHealDaemon{
@@ -145,4 +175,65 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("RESULT %s\n", out)
+}
+
+// runService hosts this daemon's rank of the multi-tenant solver service:
+// one shared TCP mesh under a transport.Mux, the service control plane on
+// top, and (rank 0 only) the HTTP job API.  Blocks until the service
+// drains (SIGTERM, or the controller's drain broadcast on worker ranks).
+func runService(tcfg transport.TCPConfig, armCfg mpi.Config, mode petsc.ScatterMode,
+	apiAddr, ckptDir string, ckptEvery int) error {
+	tcp, err := transport.NewTCP(tcfg)
+	if err != nil {
+		return err
+	}
+	mux := transport.NewMux(tcp)
+	statName := fmt.Sprintf("transport.tcp.rank%d", tcfg.Rank)
+	obs.Metrics.RegisterFunc(statName, func() any { return tcp.Stats() })
+	defer obs.Metrics.Unregister(statName)
+
+	svc, err := service.New(mux, service.Config{
+		Rank:            tcfg.Rank,
+		MPI:             armCfg,
+		Mode:            mode,
+		CkptDir:         ckptDir,
+		CheckpointEvery: ckptEvery,
+		OnEvent:         func(line string) { fmt.Printf("EVENT %s\n", line) },
+	})
+	if err != nil {
+		return err
+	}
+
+	var srv *http.Server
+	if tcfg.Rank == 0 {
+		ln, lerr := net.Listen("tcp", apiAddr)
+		if lerr != nil {
+			return fmt.Errorf("job API listener: %w", lerr)
+		}
+		hm := http.NewServeMux()
+		hm.Handle("/jobs", svc.Handler())
+		hm.Handle("/jobs/", svc.Handler())
+		hm.Handle("/debug/metrics", obs.MetricsHandler(obs.Metrics))
+		hm.Handle("/dash", obs.DashHandler())
+		srv = &http.Server{Handler: hm}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Printf("SERVICE %s\n", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		if _, ok := <-sig; ok {
+			fmt.Println("EVENT draining on signal")
+			svc.Drain()
+		}
+	}()
+
+	err = svc.Wait()
+	if srv != nil {
+		_ = srv.Close()
+	}
+	_ = mux.Close()
+	return err
 }

@@ -1,10 +1,13 @@
 package bench
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"nccd/internal/core"
+	"nccd/internal/ksp"
 	"nccd/internal/mg"
 	"nccd/internal/mpi"
 	"nccd/internal/petsc"
@@ -43,6 +46,10 @@ type MultigridResult struct {
 	// decomposition- and transport-independent convergence witness used to
 	// compare in-process and multi-process runs of the same problem.
 	History []float64
+	// Restored is the checkpoint iteration a resumed run (see
+	// MultigridRankOptions.Resume) restarted from; zero for a fresh solve.
+	// A resumed History covers cycles Restored+1 onward.
+	Restored int
 }
 
 // RunMultigrid measures the Section 5.5 application: solving the 3-D
@@ -61,41 +68,12 @@ func RunMultigrid(n int, p MultigridParams, arm core.Arm) MultigridResult {
 func RunMultigridWorld(w *mpi.World, p MultigridParams, mode petsc.ScatterMode) MultigridResult {
 	var out MultigridResult
 	err := w.Run(func(c *mpi.Comm) error {
-		s := mg.NewAgglomerated(c, []int{p.Extent, p.Extent, p.Extent}, p.Levels, mode, p.AgglomerateCells)
-		if p.Chebyshev {
-			s.Smoother = mg.SmootherChebyshev
-		}
-		b := s.CreateVec()
-		// The paper's data grid varies the coordinates uniformly across
-		// the grid in each dimension; use the matching separable forcing.
-		da := s.DA(0)
-		own := da.OwnedBox()
-		ba := b.Array()
-		idx := 0
-		for k := own.Lo[2]; k < own.Hi[2]; k++ {
-			for j := own.Lo[1]; j < own.Hi[1]; j++ {
-				for i := own.Lo[0]; i < own.Hi[0]; i++ {
-					x := (float64(i) + 0.5) / float64(p.Extent)
-					y := (float64(j) + 0.5) / float64(p.Extent)
-					z := (float64(k) + 0.5) / float64(p.Extent)
-					ba[idx] = x * y * z
-					idx++
-				}
-			}
-		}
-		x := s.CreateVec()
-
-		c.Barrier()
-		t0 := c.Clock()
-		wall0 := time.Now()
-		cycles, relres := s.Solve(b, x, p.Rtol, p.MaxCycles)
-		elapsed := c.AllreduceScalar(c.Clock()-t0, mpi.OpMax)
-		if w.Wallclock() {
-			elapsed = time.Since(wall0).Seconds()
+		r, err := MultigridRank(c, p, mode, MultigridRankOptions{})
+		if err != nil {
+			return err
 		}
 		if c.Rank() == 0 || w.Wallclock() {
-			out = MultigridResult{Seconds: elapsed, Cycles: cycles, RelRes: relres,
-				History: append([]float64(nil), s.History...)}
+			out = r
 		}
 		return nil
 	})
@@ -103,6 +81,153 @@ func RunMultigridWorld(w *mpi.World, p MultigridParams, mode petsc.ScatterMode) 
 		panic(err)
 	}
 	return out
+}
+
+// MultigridRankOptions extends the per-rank application body for service
+// use: scheduler pacing and cooperative cancellation (OnCycle), periodic
+// checkpoint spill (Store/CheckpointEvery), and crash recovery (Resume).
+// The zero value runs the plain Fig17 body.
+type MultigridRankOptions struct {
+	// OnCycle, when non-nil, is mg.Solver.OnCycle: called before every
+	// V-cycle; a non-nil error stops the solve (and is returned).
+	OnCycle func(cycle int) error
+	// Store, with CheckpointEvery > 0, spills a checkpoint every
+	// CheckpointEvery cycles.
+	Store           ksp.Store
+	CheckpointEvery int
+	// Resume negotiates the newest checkpoint iteration present in every
+	// rank's Store (stores may have diverged — a replacement rank restarts
+	// from whatever its spill directory holds) and resumes the solve from
+	// it.  With no common checkpoint the solve starts fresh.
+	Resume bool
+}
+
+// tagRestoreBase is the user-level tag of the restore-point negotiation
+// (user tags live below the collective tag space).
+const tagRestoreBase = 0x7e57
+
+// MultigridRank is the per-rank body of the Fig17 application: the 3-D
+// Laplacian on an Extent^3 grid with separable forcing, solved by
+// multigrid.  The forcing fill, solver construction, and timing are shared
+// verbatim with RunMultigridWorld, so a service job's residual history is
+// bitwise comparable to a standalone in-process reference run of the same
+// problem at the same size.  Collective over c; comm failures surface as
+// the mpi layer's panics (wrap the caller in mpi.Guard).
+func MultigridRank(c *mpi.Comm, p MultigridParams, mode petsc.ScatterMode, opts MultigridRankOptions) (MultigridResult, error) {
+	s := mg.NewAgglomerated(c, []int{p.Extent, p.Extent, p.Extent}, p.Levels, mode, p.AgglomerateCells)
+	if p.Chebyshev {
+		s.Smoother = mg.SmootherChebyshev
+	}
+	var hookErr error
+	if opts.OnCycle != nil {
+		s.OnCycle = func(cycle int) error {
+			if err := opts.OnCycle(cycle); err != nil {
+				hookErr = err
+				return err
+			}
+			return nil
+		}
+	}
+	if opts.Store != nil && opts.CheckpointEvery > 0 {
+		s.Checkpoints = opts.Store
+		s.CheckpointEvery = opts.CheckpointEvery
+	}
+	b := s.CreateVec()
+	// The paper's data grid varies the coordinates uniformly across
+	// the grid in each dimension; use the matching separable forcing.
+	da := s.DA(0)
+	own := da.OwnedBox()
+	ba := b.Array()
+	idx := 0
+	for k := own.Lo[2]; k < own.Hi[2]; k++ {
+		for j := own.Lo[1]; j < own.Hi[1]; j++ {
+			for i := own.Lo[0]; i < own.Hi[0]; i++ {
+				x := (float64(i) + 0.5) / float64(p.Extent)
+				y := (float64(j) + 0.5) / float64(p.Extent)
+				z := (float64(k) + 0.5) / float64(p.Extent)
+				ba[idx] = x * y * z
+				idx++
+			}
+		}
+	}
+	x := s.CreateVec()
+
+	base, r0 := 0, 0.0
+	if opts.Resume && opts.Store != nil {
+		base = negotiateRestoreBase(c, opts.Store)
+		if base > 0 {
+			cp, ok := s.RestoreAt(opts.Store, base, x)
+			if !ok {
+				return MultigridResult{}, fmt.Errorf("bench: agreed restore iteration %d missing locally", base)
+			}
+			r0 = cp.R0
+		}
+	}
+
+	c.Barrier()
+	t0 := c.Clock()
+	wall0 := time.Now()
+	var cycles int
+	var relres float64
+	if base > 0 {
+		cycles, relres = s.SolveFrom(b, x, p.Rtol, p.MaxCycles-base, base, r0)
+	} else {
+		cycles, relres = s.Solve(b, x, p.Rtol, p.MaxCycles)
+	}
+	res := MultigridResult{Cycles: cycles, RelRes: relres,
+		History: append([]float64(nil), s.History...), Restored: base}
+	if hookErr != nil {
+		// The hook aborted the solve (cancellation, drain).  Peer ranks may
+		// have stopped at a different cycle, so no further collectives: hand
+		// back the partial result without the elapsed-time reduction.
+		res.Seconds = time.Since(wall0).Seconds()
+		return res, hookErr
+	}
+	elapsed := c.AllreduceScalar(c.Clock()-t0, mpi.OpMax)
+	if c.World().Wallclock() {
+		elapsed = time.Since(wall0).Seconds()
+	}
+	res.Seconds = elapsed
+	return res, nil
+}
+
+// negotiateRestoreBase agrees on the newest checkpoint iteration present in
+// every rank's store: rank 0 gathers each rank's retained-iteration list
+// over explicit point-to-point messages, intersects, and broadcasts the
+// result (0 when no common iteration exists).  Gather-and-broadcast rather
+// than a bitmap allreduce because iteration numbers are unbounded.
+func negotiateRestoreBase(c *mpi.Comm, st ksp.Store) int {
+	common := 0
+	if c.Rank() == 0 {
+		have := make(map[int]int)
+		for _, it := range st.Iterations() {
+			have[it]++
+		}
+		for r := 1; r < c.Size(); r++ {
+			buf, _ := c.Recv(r, tagRestoreBase)
+			var its []int
+			if err := json.Unmarshal(buf, &its); err == nil {
+				for _, it := range its {
+					have[it]++
+				}
+			}
+		}
+		for it, n := range have {
+			if n == c.Size() && it > common {
+				common = it
+			}
+		}
+	} else {
+		buf, err := json.Marshal(st.Iterations())
+		if err != nil {
+			buf = []byte("[]")
+		}
+		c.Send(0, tagRestoreBase, buf)
+	}
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], uint64(common))
+	out := c.Bcast(0, word[:])
+	return int(binary.LittleEndian.Uint64(out))
 }
 
 // Fig17 regenerates Figure 17: 3-D Laplacian multigrid execution time (and

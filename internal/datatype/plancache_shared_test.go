@@ -1,0 +1,96 @@
+package datatype
+
+import (
+	"sync"
+	"testing"
+)
+
+// The multi-tenant service runs many jobs' scatters through ONE process-wide
+// plan cache.  Structurally equal ghost layouts — however each tenant's DMDA
+// happened to construct them — must collapse to a single compiled plan, and
+// the collapse must hold under concurrent lookups from many job goroutines
+// (run with -race).
+
+// ex49 degenerate-volume shape: zero-length entries, single-byte fragments
+// and multi-KiB runs interleaved, as a DMDA corner rank produces in the
+// elasticity example.
+var (
+	ex49Lens = []int{0, 1, 4096, 0, 1, 8192, 2, 0, 1, 2048}
+	ex49Offs = []int{0, 0, 64, 4500, 4503, 4600, 13000, 13500, 13507, 14000}
+)
+
+func ex49Type() *Type { return Hindexed(ex49Lens, ex49Offs, Byte) }
+
+// ex49TypeDense is the same byte map with the zero-length entries already
+// dropped — the form a tenant that prunes empty ghost contributions builds.
+func ex49TypeDense() *Type {
+	var lens, offs []int
+	for i, l := range ex49Lens {
+		if l > 0 {
+			lens = append(lens, l)
+			offs = append(offs, ex49Offs[i])
+		}
+	}
+	return Hindexed(lens, offs, Byte)
+}
+
+func TestPlanCacheSharedAcrossConcurrentJobs(t *testing.T) {
+	cache := NewPlanCache(32)
+
+	// Two layout families, each built two structurally equal ways.
+	mkRegularA := func() *Type { return Indexed([]int{2, 2, 2, 2}, []int{0, 6, 12, 18}, Double) }
+	mkRegularB := func() *Type { return Vector(4, 2, 6, Double) }
+
+	// Warm both canonical forms once, serially, so the concurrent phase
+	// below must be all hits (a racing first compile may double-count a
+	// miss; after warmup any extra miss is a sharing bug).
+	pRegular := cache.Get(mkRegularA(), 1)
+	pEx49 := cache.Get(ex49Type(), 1)
+	base := cache.Stats()
+	if base.Misses != 2 {
+		t.Fatalf("warmup misses = %d, want 2 (one per canonical form)", base.Misses)
+	}
+
+	const jobs, iters = 8, 50
+	plans := make([][2]*Plan, jobs)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var p0, p1 *Plan
+				if j%2 == 0 {
+					p0, p1 = cache.Get(mkRegularA(), 1), cache.Get(ex49Type(), 1)
+				} else {
+					p0, p1 = cache.Get(mkRegularB(), 1), cache.Get(ex49TypeDense(), 1)
+				}
+				plans[j] = [2]*Plan{p0, p1}
+			}
+		}(j)
+	}
+	wg.Wait()
+
+	for j, pp := range plans {
+		if pp[0] != pRegular {
+			t.Errorf("job %d got a private plan for the regular layout", j)
+		}
+		if pp[1] != pEx49 {
+			t.Errorf("job %d got a private plan for the ex49 layout", j)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("misses grew to %d after the concurrent phase — structurally equal tenant layouts recompiled", st.Misses)
+	}
+	wantHits := base.Hits + int64(jobs*iters*2)
+	if st.Hits != wantHits {
+		t.Fatalf("hits = %d, want %d", st.Hits, wantHits)
+	}
+	if st.Rewrites <= base.Rewrites {
+		t.Fatalf("rewrites did not grow (%d -> %d): canonical normalization not engaged on the concurrent path", base.Rewrites, st.Rewrites)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("cache holds %d entries, want 2", st.Entries)
+	}
+}

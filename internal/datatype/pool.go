@@ -3,6 +3,7 @@ package datatype
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"nccd/internal/obs"
 )
@@ -29,6 +30,24 @@ var (
 	mPoolPuts = obs.Metrics.Counter("datatype.pool_puts")
 )
 
+// poolOutstanding tracks bytes handed out by GetBuffer and not yet returned
+// through PutBuffer — the occupancy signal the service admission controller
+// watches.  Counted in size-class capacities (what the pool actually
+// holds); oversized buffers that bypass pooling are excluded, as are
+// returns of buffers that never came from the pool, so the gauge is an
+// approximation of pool-attributable memory pressure, not an exact ledger.
+var poolOutstanding atomic.Int64
+
+// PoolOutstandingBytes reports bytes currently checked out of the buffer
+// pool.
+func PoolOutstandingBytes() int64 { return poolOutstanding.Load() }
+
+func init() {
+	obs.Metrics.RegisterFunc("datatype.pool", func() any {
+		return map[string]int64{"outstanding_bytes": poolOutstanding.Load()}
+	})
+}
+
 func poolClass(n int) int {
 	if n <= 1<<minPoolClass {
 		return minPoolClass
@@ -47,6 +66,7 @@ func GetBuffer(n int) []byte {
 	if c > maxPoolClass {
 		return make([]byte, n)
 	}
+	poolOutstanding.Add(1 << c)
 	if v := bufPools[c].Get(); v != nil {
 		return (*v.(*[]byte))[:n]
 	}
@@ -64,6 +84,7 @@ func PutBuffer(b []byte) {
 		return
 	}
 	mPoolPuts.Inc()
+	poolOutstanding.Add(-int64(c))
 	b = b[:c]
 	bufPools[poolClass(c)].Put(&b)
 }

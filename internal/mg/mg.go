@@ -75,6 +75,15 @@ type Solver struct {
 	Checkpoints     ksp.Store
 	CheckpointEvery int
 
+	// OnCycle, when non-nil, runs before each V-cycle with the cycle number
+	// about to execute (1-based, continuing from SolveFrom's base).  A
+	// non-nil error stops the solve immediately with the cycles completed so
+	// far.  The hook is where a scheduler paces a tenant job — blocking here
+	// shifts timing only, never the arithmetic, so residual histories stay
+	// bitwise identical under any pacing — and where cooperative
+	// cancellation lands between cycles.
+	OnCycle func(cycle int) error
+
 	// OwnedCheckpoints, when non-nil, takes precedence over Checkpoints:
 	// checkpoints are written collectively — each rank contributes only
 	// its finest-level owned values and the store's two-phase aggregated
@@ -697,6 +706,11 @@ func (s *Solver) solve(b, x *petsc.Vec, rtol float64, maxCycles int, r0 float64,
 	}()
 	lv := s.levels[0]
 	for cycles = 0; cycles < maxCycles; cycles++ {
+		if s.OnCycle != nil {
+			if err := s.OnCycle(base + cycles + 1); err != nil {
+				return cycles, relres
+			}
+		}
 		cycleStart := s.c.Clock()
 		s.VCycle(b, x)
 		s.residual(0, b, x, lv.r)

@@ -102,6 +102,12 @@ type Config struct {
 	Reliability ReliabilityConfig
 	// Watchdog tunes the deadlock detector.
 	Watchdog WatchdogConfig
+	// Job labels this world as one tenant of a multi-job service.  Zero
+	// (the default) is a standalone world.  The label flows into the
+	// world's spans (obs.Span.Job) so one process's traces separate by
+	// tenant; frame-level isolation itself lives in the transport mux,
+	// which stamps its own job id on the wire.
+	Job uint64
 }
 
 // ReliabilityConfig parameterizes the ack/retransmission protocol that

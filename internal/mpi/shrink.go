@@ -160,8 +160,14 @@ func (w *World) revokeCtx(ctx uint64) {
 	w.wakeAll()
 }
 
-// isRevoked reports whether ctx has been revoked.
+// isRevoked reports whether ctx has been revoked.  A canceled world
+// (World.Cancel) treats every context as revoked, including the derived
+// side-channel contexts agreement uses — cancellation is final, so not
+// even recovery agreement should keep running.
 func (w *World) isRevoked(ctx uint64) bool {
+	if w.canceledAll.Load() {
+		return true
+	}
 	if !w.anyRevoked.Load() {
 		return false
 	}

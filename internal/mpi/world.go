@@ -88,6 +88,13 @@ type World struct {
 	revoked    sync.Map
 	anyRevoked atomic.Bool
 
+	// canceledAll is the whole-world analogue of a revocation: every
+	// blocking operation on every context of this world aborts with
+	// ErrRevoked.  Set by World.Cancel, the teardown primitive a job host
+	// uses to stop a tenant world without enumerating its derived
+	// contexts.  Never cleared — a canceled world is done.
+	canceledAll atomic.Bool
+
 	// tracer records structured spans for every rank this world hosts.
 	// Per-world (not process-global) because tests run several worlds in
 	// one process; see internal/obs.
@@ -242,6 +249,7 @@ func NewWorldTransport(tr transport.Transport, cluster *simnet.Cluster, cfg Conf
 		cfg.Watchdog.Disable = true
 	}
 	w := &World{cluster: cluster, cfg: cfg, tr: tr, wall: wall, tracer: obs.NewTracer(0)}
+	w.tracer.SetJob(cfg.Job)
 	if wall {
 		if vs, ok := tr.(transport.VectoredSender); ok {
 			w.vecSender = vs
@@ -331,6 +339,10 @@ func (w *World) SetTopology(nodeOf []int) error {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.procs) }
+
+// Job returns the tenant label this world was configured with (zero for a
+// standalone world).
+func (w *World) Job() uint64 { return w.cfg.Job }
 
 // Config returns the configuration the world runs with.
 func (w *World) Config() Config { return w.cfg }
@@ -463,6 +475,48 @@ func (w *World) setState(r int, s int32) {
 	}
 	w.progress.Add(1)
 	w.wakeAll()
+}
+
+// Cancel aborts every blocking operation on this world, now and in the
+// future: sends and receives on any of its contexts raise ErrRevoked.  It
+// is the teardown primitive for a world hosting one tenant of a multi-job
+// service — a job cancel (or a drain) must unblock ranks parked inside
+// collectives without knowing which derived contexts they are parked on.
+// Idempotent, and never undone for the world's lifetime.
+func (w *World) Cancel() {
+	if w.canceledAll.Swap(true) {
+		return
+	}
+	w.anyRevoked.Store(true) // make matchE re-check on its slow path
+	w.progress.Add(1)
+	w.wakeAll()
+}
+
+// Canceled reports whether Cancel was called.
+func (w *World) Canceled() bool { return w.canceledAll.Load() }
+
+// Readmit re-admits every failed rank whose replacement transport
+// connection is already up (rejoin-ready), returning the ranks flipped
+// back to running.  It is the standing-world counterpart of the readmission
+// Comm.Restore performs during an epoch commit: a long-lived control world
+// that rides through member deaths — reporting errors to a supervisor
+// instead of aborting — calls Readmit once the supervisor has respawned
+// the member, and resumes messaging it.
+func (w *World) Readmit() []int {
+	var back []int
+	for r := range w.states {
+		if w.states[r].Load() == stateRunning || !w.rejoinReady[r].Load() {
+			continue
+		}
+		if w.tryReadmit(r) {
+			back = append(back, r)
+		}
+	}
+	if len(back) > 0 {
+		w.recheckDown()
+		w.wakeAll()
+	}
+	return back
 }
 
 // noteDown records that some rank went down (state already stored by the

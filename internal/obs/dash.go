@@ -3,10 +3,14 @@ package obs
 import "net/http"
 
 // The live communication-matrix dashboard: a single self-contained HTML
-// page that polls /debug/metrics and renders any "mpi.comm_matrix.rank*"
+// page that polls /debug/metrics and renders any "mpi.comm_matrix.*"
 // entries (published by the nccdd daemon from World.CommMatrix) as a
 // heat-colored src×dst table, alongside the aggregate transport counters.
-// No external assets — the page must work on an air-gapped cluster node.
+// When the daemon hosts a multi-tenant service, matrices arrive under
+// per-job names ("mpi.comm_matrix.job7.rank2") and the page grows a job
+// selector — one heatmap tab per tenant, so one job's traffic is never
+// visually mixed into another's.  No external assets — the page must work
+// on an air-gapped cluster node.
 
 // DashHandler serves the dashboard page.
 func DashHandler() http.Handler {
@@ -26,10 +30,13 @@ td, th { border: 1px solid #333; padding: 3px 8px; text-align: right; min-width:
 th { color: #9ad; font-weight: normal; }
 #err { color: #f66; } .dim { color: #777; }
 #stats span { margin-right: 1.5em; }
+#jobs button { background: #222; color: #ddd; border: 1px solid #444; padding: 3px 10px; margin-right: .4em; cursor: pointer; }
+#jobs button.sel { background: #357; border-color: #9ad; }
 </style></head><body>
 <h1>nccd live communication matrix</h1>
 <div id="stats" class="dim">connecting…</div>
 <div id="err"></div>
+<div id="jobs"></div>
 <h2>bytes by (src row → dst col)</h2>
 <div id="matrix" class="dim">no mpi.comm_matrix.* metrics yet</div>
 <h2>transport totals</h2>
@@ -46,12 +53,46 @@ function heat(v, max) {
   var t = Math.log(1+v)/Math.log(1+max);
   return 'background:rgb('+Math.round(40+120*t)+','+Math.round(30+40*t)+','+Math.round(60-30*t)+')';
 }
+var selJob = null, lastSnap = null;
+function groupMatrices(snap) {
+  // Bucket per-rank matrices by tenant: "mpi.comm_matrix.rank2" goes to
+  // the standalone "world" bucket, "mpi.comm_matrix.job7.rank2" to "job7".
+  var groups = {};
+  var re = /^mpi\.comm_matrix\.(?:(job\d+)\.)?rank\d+$/;
+  for (var k in snap) {
+    var m = re.exec(k);
+    if (!m) continue;
+    var g = m[1] || 'world';
+    (groups[g] = groups[g] || []).push(snap[k]);
+  }
+  return groups;
+}
+function renderTabs(groups) {
+  var names = Object.keys(groups).sort(function(a, b) {
+    if (a === 'world') return -1;
+    if (b === 'world') return 1;
+    return parseInt(a.slice(3)) - parseInt(b.slice(3));
+  });
+  var el = document.getElementById('jobs');
+  if (names.length < 2 && (names.length === 0 || names[0] === 'world')) {
+    el.innerHTML = ''; return names[0] || null;
+  }
+  if (selJob === null || names.indexOf(selJob) < 0) selJob = names[0];
+  el.innerHTML = names.map(function(n) {
+    return '<button class="'+(n === selJob ? 'sel' : '')+'" onclick="pick(\''+n+'\')">'+n+'</button>';
+  }).join('');
+  return selJob;
+}
+function pick(n) { selJob = n; if (lastSnap) render(lastSnap); }
 function render(snap) {
-  // Merge every rank's matrix (each daemon publishes its world view; cells
-  // owned by remote ranks are zero in a local view, so summing is safe for
-  // bytes/msgs and per-rank publishes are identical for in-process worlds).
-  var mats = [];
-  for (var k in snap) if (k.indexOf('mpi.comm_matrix.rank') === 0) mats.push(snap[k]);
+  lastSnap = snap;
+  var groups = groupMatrices(snap);
+  var which = renderTabs(groups);
+  // Merge the selected tenant's per-rank matrices (each daemon publishes
+  // its world view; cells owned by remote ranks are zero in a local view,
+  // so taking the max per cell is safe for bytes/msgs and per-rank
+  // publishes are identical for in-process worlds).
+  var mats = which ? groups[which] : [];
   var el = document.getElementById('matrix');
   if (mats.length) {
     var n = mats[0].n, bytes = [], retrans = [];
@@ -81,13 +122,18 @@ function render(snap) {
     }
     h += '</table>';
     el.className = ''; el.innerHTML = h;
+    var njobs = Object.keys(groups).filter(function(g) { return g !== 'world'; }).length;
     document.getElementById('stats').innerHTML =
+      '<span>'+(which === 'world' ? 'standalone world' : which)+'</span>'+
       '<span>ranks: '+n+'</span><span>total: '+fmtB(total)+'B</span>'+
-      '<span>nonuniformity (max/mean): '+(mean ? (max/mean).toFixed(2) : '—')+'</span>';
+      '<span>nonuniformity (max/mean): '+(mean ? (max/mean).toFixed(2) : '—')+'</span>'+
+      (njobs ? '<span>jobs live: '+njobs+'</span>' : '');
+  } else {
+    el.className = 'dim'; el.textContent = 'no mpi.comm_matrix.* metrics yet';
   }
-  var t = [], keys = ['transport.tcp.total', 'transport.shm.total'];
+  var t = [], keys = ['transport.tcp.total', 'transport.shm.total', 'datatype.pool'];
   keys.forEach(function(k) {
-    if (snap[k]) t.push(k.split('.')[1]+': '+JSON.stringify(snap[k]));
+    if (snap[k]) t.push(k.split('.').slice(0, 2).join('.')+': '+JSON.stringify(snap[k]));
   });
   if (t.length) {
     var tr = document.getElementById('transport');

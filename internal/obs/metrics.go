@@ -5,6 +5,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -209,8 +210,13 @@ func (r *Registry) Snapshot() map[string]any {
 }
 
 // rankMetric splits a per-rank metric name ("transport.tcp.rank3.frames")
-// into its base form with the rank component removed.
-var rankMetric = regexp.MustCompile(`^(.*)\.rank\d+($|\..*)`)
+// into its base form with the rank component removed; jobMetric does the
+// same for the per-job component of multi-tenant service metrics
+// ("mpi.comm_matrix.job7.total").
+var (
+	rankMetric = regexp.MustCompile(`^(.*)\.rank\d+($|\..*)`)
+	jobMetric  = regexp.MustCompile(`^(.*)\.job\d+($|\..*)`)
+)
 
 // addRankTotals folds per-rank metric families into aggregate entries: for
 // every family of names differing only in a ".rankN" component, a
@@ -219,14 +225,31 @@ var rankMetric = regexp.MustCompile(`^(.*)\.rank\d+($|\..*)`)
 // many-rank snapshot does not have to know the world size.  Values are
 // JSON-round-tripped before summing, so typed snapshot-function results
 // aggregate the same way they marshal.
+//
+// Per-job families fold the same way, in two layers: the rank pass turns
+// "mpi.comm_matrix.job7.rank1" into "mpi.comm_matrix.job7.total" (sum over
+// the job's ranks), and the job pass then folds the per-job totals across
+// jobs into "mpi.comm_matrix.total" — so one snapshot answers both "how
+// much did job 7 move" and "how much did the service move".
 func addRankTotals(out map[string]any) {
+	foldFamilies(out, rankMetric)
+	foldFamilies(out, jobMetric)
+}
+
+// foldFamilies adds a "<base>.total" sum for every family of names
+// differing only in the component matched by re.  Existing entries are
+// never overwritten.
+func foldFamilies(out map[string]any, re *regexp.Regexp) {
 	groups := make(map[string][]any)
 	for name, v := range out {
-		m := rankMetric.FindStringSubmatch(name)
+		m := re.FindStringSubmatch(name)
 		if m == nil {
 			continue
 		}
 		base := m[1] + m[2] + ".total"
+		// Collapse a doubled ".total.total" when the matched component was
+		// already followed by ".total" (the job pass over rank totals).
+		base = strings.ReplaceAll(base, ".total.total", ".total")
 		groups[base] = append(groups[base], v)
 	}
 	for base, vals := range groups {

@@ -123,3 +123,32 @@ func TestServeMetrics(t *testing.T) {
 		t.Fatalf("retransmits = %v, want 42", got["retransmits"])
 	}
 }
+
+// TestJobTotalAggregation checks the two-layer service rollup: per-job
+// per-rank comm matrices fold into a per-job ".total", and the per-job
+// totals fold once more into the family-wide ".total" (the ".total.total"
+// spelling is collapsed).
+func TestJobTotalAggregation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpi.comm_matrix.job7.rank0").Add(3)
+	r.Counter("mpi.comm_matrix.job7.rank1").Add(4)
+	r.Counter("mpi.comm_matrix.job9.rank1").Add(10)
+
+	snap := r.Snapshot()
+	if got := snap["mpi.comm_matrix.job7.total"]; got != float64(7) {
+		t.Fatalf("job7 total = %v, want 7", got)
+	}
+	if got := snap["mpi.comm_matrix.job9.total"]; got != float64(10) {
+		t.Fatalf("job9 total = %v, want 10", got)
+	}
+	if got := snap["mpi.comm_matrix.total"]; got != float64(17) {
+		t.Fatalf("family total = %v, want 17", got)
+	}
+	if _, ok := snap["mpi.comm_matrix.total.total"]; ok {
+		t.Fatal("collapsed .total.total spelling leaked into the snapshot")
+	}
+	// Raw per-job per-rank entries survive alongside the rollups.
+	if _, ok := snap["mpi.comm_matrix.job7.rank0"]; !ok {
+		t.Fatal("raw per-job entry removed")
+	}
+}

@@ -59,6 +59,10 @@ type Span struct {
 	Start float64 // seconds in the span's clock domain
 	End   float64
 	Clock Clock
+	// Job labels the tenant world the span belongs to when the process
+	// hosts several (the multi-job service); zero for standalone runs.
+	// Stamped automatically by a tracer with SetJob.
+	Job   uint64
 	Attrs []Attr
 }
 
@@ -131,6 +135,7 @@ type Tracer struct {
 	enabled atomic.Bool
 	epoch   time.Time
 	laneCap int
+	job     atomic.Uint64 // tenant label stamped onto every emitted span
 
 	mu      sync.Mutex
 	lanes   map[int]*ring
@@ -160,10 +165,19 @@ func (t *Tracer) Enabled() bool { return t.enabled.Load() }
 // for ClockWall spans.
 func (t *Tracer) Now() float64 { return time.Since(t.epoch).Seconds() }
 
+// SetJob labels every span this tracer emits from now on with the given
+// tenant job id (zero clears).  A per-world tracer inside a multi-job
+// service gets its job stamped once at world construction, so the
+// instrumentation sites stay unchanged.
+func (t *Tracer) SetJob(job uint64) { t.job.Store(job) }
+
 // Emit records one span if the tracer is enabled.
 func (t *Tracer) Emit(s Span) {
 	if !t.enabled.Load() {
 		return
+	}
+	if j := t.job.Load(); j != 0 && s.Job == 0 {
+		s.Job = j
 	}
 	t.mu.Lock()
 	r := t.lanes[s.Rank]

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nccd/internal/datatype"
+)
+
+// ErrOverloaded is the sentinel every admission rejection wraps: the
+// service is above a resource watermark and the job should be resubmitted
+// after OverloadedError.RetryAfter.  The HTTP layer maps it to 429 with a
+// Retry-After header.
+var ErrOverloaded = errors.New("service: overloaded")
+
+// OverloadedError says which watermark rejected the job and when to retry.
+type OverloadedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("service: overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// AdmissionConfig holds the watermarks the admission controller checks at
+// submission time.  Zero fields take the defaults below.  All checks are
+// process-local reads on the controller rank — cheap enough to run on
+// every POST.
+type AdmissionConfig struct {
+	// MaxQueue bounds jobs admitted but not yet started.
+	MaxQueue int
+	// MaxRunning bounds concurrently running jobs (further admitted jobs
+	// queue; the scheduler then time-slices the running set).
+	MaxRunning int
+	// MaxPoolBytes rejects when the datatype packed-buffer pool has more
+	// than this many bytes checked out (pack scratch, wire assembly — the
+	// memory signature of in-flight communication).
+	MaxPoolBytes int64
+	// MaxTransportBytes rejects when the mesh transport's occupancy gauge
+	// (in-flight + ring-backlog bytes) exceeds this.
+	MaxTransportBytes int64
+	// MaxActiveBytes rejects when the estimated resident bytes of running
+	// plus queued jobs, including the candidate, would exceed this.
+	MaxActiveBytes int64
+	// RetryAfter is the advisory backoff returned with rejections.
+	RetryAfter time.Duration
+}
+
+// Admission defaults: sized for a small test fleet, overridable per
+// deployment.
+const (
+	DefaultMaxQueue          = 16
+	DefaultMaxRunning        = 4
+	DefaultMaxPoolBytes      = 1 << 30
+	DefaultMaxTransportBytes = 256 << 20
+	DefaultMaxActiveBytes    = 2 << 30
+	DefaultRetryAfter        = time.Second
+)
+
+func (a AdmissionConfig) withDefaults() AdmissionConfig {
+	if a.MaxQueue <= 0 {
+		a.MaxQueue = DefaultMaxQueue
+	}
+	if a.MaxRunning <= 0 {
+		a.MaxRunning = DefaultMaxRunning
+	}
+	if a.MaxPoolBytes <= 0 {
+		a.MaxPoolBytes = DefaultMaxPoolBytes
+	}
+	if a.MaxTransportBytes <= 0 {
+		a.MaxTransportBytes = DefaultMaxTransportBytes
+	}
+	if a.MaxActiveBytes <= 0 {
+		a.MaxActiveBytes = DefaultMaxActiveBytes
+	}
+	if a.RetryAfter <= 0 {
+		a.RetryAfter = DefaultRetryAfter
+	}
+	return a
+}
+
+// estBytes approximates a job's resident footprint: the multigrid
+// hierarchy holds a handful of vectors per level, dominated by the finest
+// level's extent^3 float64 grids.  The geometric level sum is < 8/7 of the
+// finest, so 6 finest-level-equivalent vectors is a safe upper bound.
+func estBytes(sp JobSpec) int64 {
+	e := int64(sp.Extent)
+	return 6 * 8 * e * e * e
+}
+
+// admit applies the watermarks to a candidate spec.  Caller must NOT hold
+// s.mu.  A nil return admits.
+func (s *Service) admit(sp JobSpec) error {
+	a := s.cfg.Admission
+	s.mu.Lock()
+	queued := len(s.queue)
+	var activeBytes int64
+	for _, j := range s.jobs {
+		if j.state == stateQueued || j.state == stateRunning || j.state == stateHealing {
+			activeBytes += estBytes(j.spec)
+		}
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return &OverloadedError{Reason: "draining", RetryAfter: a.RetryAfter}
+	}
+	if queued >= a.MaxQueue {
+		return &OverloadedError{
+			Reason:     fmt.Sprintf("job queue full (%d queued, cap %d)", queued, a.MaxQueue),
+			RetryAfter: a.RetryAfter,
+		}
+	}
+	if pb := datatype.PoolOutstandingBytes(); pb > a.MaxPoolBytes {
+		return &OverloadedError{
+			Reason:     fmt.Sprintf("packed-buffer pool occupancy %d B over watermark %d B", pb, a.MaxPoolBytes),
+			RetryAfter: a.RetryAfter,
+		}
+	}
+	if oc := s.mux.Occupancy().Total(); oc > a.MaxTransportBytes {
+		return &OverloadedError{
+			Reason:     fmt.Sprintf("transport occupancy %d B over watermark %d B", oc, a.MaxTransportBytes),
+			RetryAfter: a.RetryAfter,
+		}
+	}
+	if want := activeBytes + estBytes(sp); want > a.MaxActiveBytes {
+		return &OverloadedError{
+			Reason:     fmt.Sprintf("active job footprint %d B would exceed watermark %d B", want, a.MaxActiveBytes),
+			RetryAfter: a.RetryAfter,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// errSchedCanceled aborts a solve whose job was canceled while blocked in
+// Acquire awaiting a cycle credit.
+var errSchedCanceled = errors.New("service: job canceled while awaiting a cycle credit")
+
+// sched is the per-process weighted-round-robin credit scheduler that
+// paces the V-cycles of every tenant job this daemon hosts.  Each job
+// registers with a weight; before every V-cycle its rank calls Acquire,
+// which spends one credit or blocks until the refill rule grants more.
+//
+// The refill rule — "when no WAITING job holds a credit, refill every job
+// to its weight" — gives two properties at once:
+//
+//   - Fairness with a starvation bound: between two grants to a waiting
+//     job, the other jobs can spend at most the sum of their weights in
+//     credits, so a weight-1 job is delayed by at most sum(weights)-1
+//     cycles regardless of how greedy its neighbors are.
+//
+//   - Deadlock freedom across ranks: only jobs actually blocked in
+//     Acquire count as waiting.  A job blocked in a collective (waiting
+//     for a peer rank's progress, possibly gated by that rank's own
+//     scheduler) is not waiting here, so it can never suppress a refill —
+//     the local waiting set always progresses, and cross-job cross-rank
+//     wait cycles through the scheduler cannot form.
+//
+// Pacing shifts timing only, never arithmetic: a solve's residual history
+// is bitwise identical under any schedule.
+type sched struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs map[uint64]*schedJob
+}
+
+type schedJob struct {
+	weight  int
+	credits int
+	waiting bool
+}
+
+func newSched() *sched {
+	s := &sched{jobs: make(map[uint64]*schedJob)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Register adds a job with the given cycle weight (minimum 1).
+func (s *sched) Register(id uint64, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	s.jobs[id] = &schedJob{weight: weight, credits: weight}
+	s.mu.Unlock()
+}
+
+// Unregister removes a job and wakes waiters (its absence can enable a
+// refill).
+func (s *sched) Unregister(id uint64) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Kick wakes every waiter so it can re-check its canceled condition.
+func (s *sched) Kick() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Acquire spends one cycle credit of job id, blocking until one is
+// available.  canceled is re-checked on every wake-up; a canceled wait
+// returns errSchedCanceled so the solve aborts between cycles.  Acquire
+// on an unregistered job returns nil immediately (unpaced).
+func (s *sched) Acquire(id uint64, canceled func() bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil
+	}
+	j.waiting = true
+	defer func() { j.waiting = false }()
+	for {
+		if canceled != nil && canceled() {
+			return errSchedCanceled
+		}
+		if j.credits > 0 {
+			j.credits--
+			return nil
+		}
+		if s.refillLocked() {
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// refillLocked applies the refill rule: if no waiting job holds a credit,
+// every job's credits reset to its weight.  Reports whether a refill
+// happened.  Caller holds s.mu.
+func (s *sched) refillLocked() bool {
+	for _, o := range s.jobs {
+		if o.waiting && o.credits > 0 {
+			return false
+		}
+	}
+	for _, o := range s.jobs {
+		o.credits = o.weight
+	}
+	s.cond.Broadcast()
+	return true
+}

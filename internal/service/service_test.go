@@ -1,0 +1,308 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nccd/internal/bench"
+	"nccd/internal/core"
+	"nccd/internal/transport"
+)
+
+// startServices brings up an n-daemon service fleet in one process: one
+// TCP mesh endpoint + Mux + Service per "daemon", exactly the nccdd -serve
+// topology.  Returns the services; the caller drains rank 0 and Waits.
+func startServices(t *testing.T, n int, mutate func(rank int, c *Config)) []*Service {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[r] = ln
+		addrs[r] = ln.Addr().String()
+	}
+	armCfg, mode, err := bench.ArmByName("compiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcs := make([]*Service, n)
+	muxes := make([]*transport.Mux, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		tcp, terr := transport.NewTCP(transport.TCPConfig{
+			Rank: r, Size: n, WorldID: 0x51c, Addrs: addrs, Listener: lns[r],
+			AckTimeout: 50 * time.Millisecond, DialTimeout: 5 * time.Second,
+		})
+		if terr != nil {
+			t.Fatalf("rank %d: %v", r, terr)
+		}
+		muxes[r] = transport.NewMux(tcp)
+		cfg := Config{Rank: r, MPI: armCfg, Mode: mode,
+			OnEvent: func(line string) { t.Logf("[rank %d] %s", r, line) }}
+		if mutate != nil {
+			mutate(r, &cfg)
+		}
+		wg.Add(1)
+		go func(r int, cfg Config) {
+			defer wg.Done()
+			svcs[r], errs[r] = New(muxes[r], cfg)
+		}(r, cfg)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("service rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, m := range muxes {
+			m.Close()
+		}
+	})
+	return svcs
+}
+
+// waitState polls until job id reaches want, failing fast when it lands in
+// a different terminal state.
+func waitState(t *testing.T, s *Service, id uint64, want string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := s.Status(id)
+		if ok && st.State == want {
+			return st
+		}
+		if ok && isTerminalState(st.State) && st.State != want {
+			t.Fatalf("job %d landed %q (error %q), want %q", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %d still %q after %v, want %q", id, st.State, timeout, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func isTerminalState(s string) bool {
+	return s == stateCompleted || s == stateFailed || s == stateCanceled
+}
+
+// drainAll drains the fleet through rank 0 and requires every service's
+// control world to exit cleanly.
+func drainAll(t *testing.T, svcs []*Service, timeout time.Duration) {
+	t.Helper()
+	svcs[0].Drain()
+	done := make(chan error, len(svcs))
+	for _, s := range svcs {
+		go func(s *Service) { done <- s.Wait() }(s)
+	}
+	deadline := time.After(timeout)
+	for range svcs {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("service exited uncleanly after drain: %v", err)
+			}
+		case <-deadline:
+			t.Fatal("fleet did not drain in time")
+		}
+	}
+}
+
+func refHistoryFor(t *testing.T, ranks int, spec JobSpec) []float64 {
+	t.Helper()
+	armCfg, mode, err := bench.ArmByName("compiled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bench.MultigridParams{Extent: spec.Extent, Levels: spec.Levels,
+		Rtol: spec.Rtol, MaxCycles: spec.MaxCycles}
+	return bench.RunMultigridWorld(core.NewUniformWorld(ranks, armCfg), p, mode).History
+}
+
+func sameHistory(got, want []float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d cycles vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("cycle %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// TestServiceEndToEnd exercises the whole tenant lifecycle on a 3-daemon
+// in-process fleet: submit → run → completed with a bitwise-reference
+// history, concurrent jobs on overlapping rank sets, typed overload
+// rejection, the HTTP API surface, cancellation, and the drain protocol.
+func TestServiceEndToEnd(t *testing.T) {
+	svcs := startServices(t, 3, nil)
+	s0 := svcs[0]
+
+	// One full-mesh job, verified bitwise against an in-process reference.
+	spec := JobSpec{Extent: 16, Levels: 3, Rtol: 1e-8, MaxCycles: 12}
+	id, err := s0.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st := waitState(t, s0, id, stateCompleted, 60*time.Second)
+	if st.Cycles == 0 || len(st.History) != st.Cycles {
+		t.Fatalf("completed job has cycles=%d history=%d", st.Cycles, len(st.History))
+	}
+	if err := sameHistory(st.History, refHistoryFor(t, 3, st.Spec)); err != nil {
+		t.Fatalf("service run diverged from in-process reference: %v", err)
+	}
+
+	// Submissions are controller-only.
+	if _, err := svcs[1].Submit(spec); err == nil {
+		t.Fatal("worker rank accepted a submission")
+	}
+
+	// A batch of concurrent jobs across different rank subsets; all must
+	// complete and reproduce their references.
+	batch := []JobSpec{
+		{Extent: 16, Levels: 3, Rtol: 1e-8, MaxCycles: 10},
+		{Extent: 16, Levels: 3, Rtol: 1e-8, MaxCycles: 10},
+		{Extent: 16, Levels: 3, Rtol: 1e-8, MaxCycles: 10, Ranks: 2},
+		{Extent: 8, Levels: 2, Rtol: 1e-8, MaxCycles: 8, Ranks: 2, Weight: 2},
+	}
+	ids := make([]uint64, len(batch))
+	for i, sp := range batch {
+		if ids[i], err = s0.Submit(sp); err != nil {
+			t.Fatalf("submit batch[%d]: %v", i, err)
+		}
+	}
+	for i, jid := range ids {
+		st := waitState(t, s0, jid, stateCompleted, 120*time.Second)
+		if err := sameHistory(st.History, refHistoryFor(t, len(st.Ranks), st.Spec)); err != nil {
+			t.Fatalf("batch job %d diverged: %v", i, err)
+		}
+	}
+
+	// Overload: a spec whose estimated footprint alone crosses the
+	// active-bytes watermark comes back as the typed error.
+	_, err = s0.Submit(JobSpec{Extent: 360})
+	var over *OverloadedError
+	if !errors.Is(err, ErrOverloaded) || !errors.As(err, &over) || over.RetryAfter <= 0 {
+		t.Fatalf("oversized submit returned %v, want *OverloadedError wrapping ErrOverloaded", err)
+	}
+
+	// The same paths over HTTP.
+	srv := httptest.NewServer(s0.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"extent":360}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("oversized POST: status %d Retry-After %q, want 429 with a header", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"extent":16,"max_cycles":400,"rtol":1e-30,"ranks":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", resp.StatusCode)
+	}
+	var sub struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%d", srv.URL, sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil || view.ID != sub.ID {
+		t.Fatalf("GET /jobs/%d: err %v view %+v", sub.ID, err, view)
+	}
+	resp.Body.Close()
+
+	// Cancel the long-running HTTP job through the API; whatever state the
+	// controller catches it in, it must land canceled.
+	resp, err = http.Post(fmt.Sprintf("%s/jobs/%d/cancel", srv.URL, sub.ID), "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	waitState(t, s0, sub.ID, stateCanceled, 60*time.Second)
+
+	// Unknown job ids 404.
+	resp, err = http.Get(srv.URL + "/jobs/99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown job: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	drainAll(t, svcs, 60*time.Second)
+
+	// Post-drain admission refuses with the typed overload error.
+	if _, err := s0.Submit(spec); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("post-drain submit returned %v, want ErrOverloaded", err)
+	}
+}
+
+// TestServiceQueueWatermark: a full queue bounces submissions with the
+// typed overload error before they reach the mesh.
+func TestServiceQueueWatermark(t *testing.T) {
+	svcs := startServices(t, 2, func(rank int, c *Config) {
+		c.Admission.MaxQueue = 1
+		c.Admission.MaxRunning = 1
+		c.Admission.RetryAfter = 3 * time.Second
+	})
+	s0 := svcs[0]
+	long := JobSpec{Extent: 16, Levels: 3, Rtol: 1e-30, MaxCycles: 300}
+	// First fills the single running slot, second the single queue slot;
+	// the third must bounce.
+	first, err := s0.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s0, first, stateRunning, 30*time.Second)
+	second, err := s0.Submit(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var over *OverloadedError
+	_, err = s0.Submit(long)
+	if !errors.As(err, &over) {
+		t.Fatalf("third submit returned %v, want queue-full overload", err)
+	}
+	if over.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want the configured 3s", over.RetryAfter)
+	}
+
+	// Drain is graceful: the running job finishes, the queued one is
+	// canceled before it starts.
+	drainAll(t, svcs, 120*time.Second)
+	if st, _ := s0.Status(first); st.State != stateCompleted {
+		t.Fatalf("running job drained to %q, want completed", st.State)
+	}
+	if st, _ := s0.Status(second); st.State != stateCanceled {
+		t.Fatalf("queued job drained to %q, want canceled", st.State)
+	}
+}

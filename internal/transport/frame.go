@@ -70,7 +70,7 @@ const (
 	helloBodyLen    = 1 + 8 + 4 + 4 + 8  // kind + world id + rank + size + epoch
 	ackBodyLen      = 1 + 8              // kind + tseq
 	beatBodyLen     = 1 + 8              // kind + epoch
-	hdrLen          = 8 + 4 + 4 + 8 + 1 + 4 + 8 + 4 + 8
+	hdrLen          = 8 + 4 + 4 + 8 + 1 + 4 + 8 + 4 + 8 + 8
 
 	// DefaultMaxFrame bounds a frame's wire size; a length prefix above the
 	// limit is treated as stream corruption.
@@ -115,6 +115,7 @@ func appendHeader(dst []byte, h *Header) []byte {
 	binary.LittleEndian.PutUint64(b[29:], h.Seq)
 	binary.LittleEndian.PutUint32(b[37:], h.Sum)
 	binary.LittleEndian.PutUint64(b[41:], h.MSeq)
+	binary.LittleEndian.PutUint64(b[49:], h.Job)
 	return append(dst, b[:]...)
 }
 
@@ -129,6 +130,7 @@ func decodeHeader(b []byte) Header {
 		Seq:      binary.LittleEndian.Uint64(b[29:]),
 		Sum:      binary.LittleEndian.Uint32(b[37:]),
 		MSeq:     binary.LittleEndian.Uint64(b[41:]),
+		Job:      binary.LittleEndian.Uint64(b[49:]),
 	}
 }
 

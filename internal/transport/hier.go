@@ -69,6 +69,18 @@ func (h *Hierarchical) Local(r int) bool { return r == h.self }
 // Wallclock reports true: both constituent transports run in real time.
 func (h *Hierarchical) Wallclock() bool { return true }
 
+// Occupancy sums the resource gauges of both sides of the router.
+func (h *Hierarchical) Occupancy() Occupancy {
+	var o Occupancy
+	if or, ok := h.intra.(OccupancyReporter); ok {
+		o.Add(or.Occupancy())
+	}
+	if or, ok := h.inter.(OccupancyReporter); ok {
+		o.Add(or.Occupancy())
+	}
+	return o
+}
+
 // NodeMap returns the node id of every world rank; the mpi layer adopts
 // it as the world topology for hierarchy-aware collectives.
 func (h *Hierarchical) NodeMap() []int { return append([]int(nil), h.nodeOf...) }

@@ -333,6 +333,22 @@ func (t *Transport) Health(r int) transport.PeerHealth {
 	return h
 }
 
+// Occupancy reports the bytes currently sitting in this endpoint's
+// outbound rings — records pushed but not yet popped by their consumers.
+// The ring backlog is the shared-memory transport's natural backpressure
+// signal: a slow or stalled consumer shows up here long before a push
+// would block.
+func (t *Transport) Occupancy() transport.Occupancy {
+	var o transport.Occupancy
+	for _, p := range t.peers {
+		if p == nil || p.out == nil {
+			continue
+		}
+		o.BacklogBytes += int64(p.out.used())
+	}
+	return o
+}
+
 // Stats returns a snapshot of the endpoint's counters.
 func (t *Transport) Stats() Stats {
 	c := &t.stats

@@ -69,6 +69,12 @@ type TCP struct {
 
 	stats tcpCounters
 
+	// inflight gauges payload bytes inside Send/SendVectored calls that
+	// have not yet been released — written to the socket for plain sends,
+	// acknowledged for reliable ones.  It backs Occupancy, the admission
+	// watermark signal of the multi-tenant service.
+	inflight atomic.Int64
+
 	// tracer, when set, records wall-clock spans for wire operations.  An
 	// atomic pointer so reader goroutines may race SetTracer safely; the
 	// world wires it before Start in practice.
@@ -264,6 +270,12 @@ func (t *TCP) Local(r int) bool { return r == t.cfg.Rank }
 
 // Wallclock reports true: this transport has no virtual-time coupling.
 func (t *TCP) Wallclock() bool { return true }
+
+// Occupancy reports payload bytes currently committed to the wire but not
+// yet released (written, or acknowledged when the link is reliable).
+func (t *TCP) Occupancy() Occupancy {
+	return Occupancy{InflightBytes: t.inflight.Load()}
+}
 
 // SetTracer attaches a span recorder to the endpoint.  Wire operations
 // trace as ClockWall spans on the hosted rank's wall lane.
@@ -772,6 +784,8 @@ func (t *TCP) Send(to int, hdr Header, payload []byte) error {
 	}
 	start, traced := t.traceNow()
 	nbytes := int64(len(payload))
+	t.inflight.Add(nbytes)
+	defer t.inflight.Add(-nbytes)
 	fp := t.cfg.Faults
 	if fp.Lossy() {
 		err := t.sendReliable(p, hdr, payload)
@@ -836,6 +850,8 @@ func (t *TCP) SendVectored(to int, hdr Header, user []byte, segs []datatype.Segm
 		return &PeerDownError{Rank: to}
 	}
 	t.stats.vectoredSends.Add(1)
+	t.inflight.Add(int64(nbytes))
+	defer t.inflight.Add(-int64(nbytes))
 	start, traced := t.traceNow()
 	if t.cfg.Faults.Lossy() {
 		err := t.sendVectoredReliable(p, hdr, user, segs, nbytes)

@@ -65,6 +65,14 @@ type Header struct {
 	// no protocol meaning: retransmitted copies of one logical message share
 	// one MSeq.
 	MSeq uint64
+	// Job namespaces the frame when several independent rank worlds share
+	// one physical mesh (the Mux).  Zero means "not multiplexed" — the
+	// single-world daemons never set it.  A Mux sub-transport stamps its
+	// job id on every outbound frame and the receiving Mux routes on it, so
+	// two jobs' frames can carry identical context ids without ever seeing
+	// each other.  The (Job, Ctx) pair is the effective communicator
+	// namespace.
+	Job uint64
 }
 
 // Handler consumes one inbound message addressed to local rank to.  The
@@ -138,6 +146,37 @@ type VectoredSender interface {
 	// or delivered) by the time SendVectored returns.  Zero-length
 	// segments are permitted and contribute nothing.
 	SendVectored(to int, hdr Header, user []byte, segs []datatype.Segment) error
+}
+
+// Occupancy is a transport's instantaneous resource usage, the raw signal
+// behind service-level admission control: how many bytes are committed to
+// the wire but not yet known delivered.  All fields are best-effort
+// gauges read from atomics — momentary, not monotonic.
+type Occupancy struct {
+	// InflightBytes counts payload bytes of reliable frames sent but not
+	// yet acknowledged (zero on transports, or fault plans, without an
+	// ack protocol).
+	InflightBytes int64 `json:"inflight_bytes"`
+	// BacklogBytes counts bytes sitting in local send-side buffers: bytes
+	// of frames mid-write on a socket, or occupying shared-memory send
+	// rings awaiting the consumer.
+	BacklogBytes int64 `json:"backlog_bytes"`
+}
+
+// Add accumulates other into o (for transports composed of layers).
+func (o *Occupancy) Add(other Occupancy) {
+	o.InflightBytes += other.InflightBytes
+	o.BacklogBytes += other.BacklogBytes
+}
+
+// Total is the sum of every occupancy component.
+func (o Occupancy) Total() int64 { return o.InflightBytes + o.BacklogBytes }
+
+// OccupancyReporter is implemented by transports that can report their
+// send-side resource usage.  Admission control polls it to decide whether
+// the mesh has headroom for another job.
+type OccupancyReporter interface {
+	Occupancy() Occupancy
 }
 
 // Typed transport errors.  The mpi layer maps these onto its own error
